@@ -1,0 +1,300 @@
+(* Benchmark harness.
+
+   Two halves:
+
+   1. Regeneration of every table and figure in the paper (DESIGN.md
+      experiment index F1a, F1b, F1c, T1, E1..E6), printed in
+      paper-style rows at the default benchmark scale. Pass [--full]
+      for the 512-server paper-scale configuration.
+
+   2. A Bechamel suite with one [Test.make] per table/figure (timing
+      the regeneration of that artefact's data at a tiny scale) plus
+      micro-benchmarks of the simulator's hot paths. Pass [--micro] to
+      run only this suite, [--no-micro] to skip it. *)
+
+module Scale = Sim_experiments.Scale
+module Scenario = Sim_workload.Scenario
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: paper-style tables and figures *)
+
+let experiments =
+  [
+    ("F1a", fun s -> Sim_experiments.Fig1a.run s);
+    ("F1b", fun s -> Sim_experiments.Fig1bc.run_fig1b s);
+    ("F1c", fun s -> Sim_experiments.Fig1bc.run_fig1c s);
+    ("T1", Sim_experiments.Summary_table.run);
+    ("E1", Sim_experiments.Ext_switching.run);
+    ("E2", Sim_experiments.Ext_load.run);
+    ("E3", Sim_experiments.Ext_hotspot.run);
+    ("E4", Sim_experiments.Ext_multihomed.run);
+    ("E5", Sim_experiments.Ext_coexist.run);
+    ("E6", Sim_experiments.Ext_dupack.run);
+    ("E7", Sim_experiments.Ext_topologies.run);
+    ("E8", Sim_experiments.Ext_matrices.run);
+    ("E9", Sim_experiments.Ext_sack.run);
+  ]
+
+let regenerate scale =
+  List.iter
+    (fun (id, f) ->
+      Printf.printf "\n######## experiment %s ########\n" id;
+      let t0 = Unix.gettimeofday () in
+      f scale;
+      Printf.printf "[%s done in %.1fs]\n%!" id (Unix.gettimeofday () -. t0))
+    experiments
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel suite *)
+
+open Bechamel
+open Toolkit
+
+(* Tiny scale: each regeneration sample stays under a second so the
+   suite finishes quickly. *)
+let tiny = { Scale.k = 4; oversub = 2; flows = 40; rate = 50.; seed = 3; horizon_s = 2. }
+
+let run_scenario protocol =
+  let cfg = Scale.scenario_config tiny ~protocol in
+  let r = Scenario.run cfg in
+  ignore (Scenario.short_fcts_ms r)
+
+let table_tests =
+  (* One Test.make per paper artefact: it measures regenerating that
+     artefact's underlying data (output suppressed). *)
+  [
+    Test.make ~name:"F1a:mptcp-sweep-point"
+      (Staged.stage (fun () ->
+           run_scenario (Scenario.Mptcp_proto { subflows = 8; coupled = true })));
+    Test.make ~name:"F1b:mptcp8-scatterplot"
+      (Staged.stage (fun () ->
+           run_scenario (Scenario.Mptcp_proto { subflows = 8; coupled = true })));
+    Test.make ~name:"F1c:mmptcp-scatterplot"
+      (Staged.stage (fun () ->
+           run_scenario (Scenario.Mmptcp_proto Mmptcp.Strategy.default)));
+    Test.make ~name:"T1:summary-row"
+      (Staged.stage (fun () ->
+           run_scenario (Scenario.Mmptcp_proto Mmptcp.Strategy.default)));
+    Test.make ~name:"E1:switching-point"
+      (Staged.stage (fun () ->
+           run_scenario
+             (Scenario.Mmptcp_proto
+                { Mmptcp.Strategy.default with
+                  Mmptcp.Strategy.switch = Mmptcp.Strategy.Congestion_event })));
+    Test.make ~name:"E2:load-point"
+      (Staged.stage (fun () ->
+           let cfg =
+             Scale.scenario_config { tiny with Scale.rate = 100. }
+               ~protocol:(Scenario.Mmptcp_proto Mmptcp.Strategy.default)
+           in
+           ignore (Scenario.run cfg)));
+    Test.make ~name:"E3:hotspot-point"
+      (Staged.stage (fun () ->
+           let cfg =
+             {
+               (Scale.scenario_config tiny
+                  ~protocol:(Scenario.Mmptcp_proto Mmptcp.Strategy.default))
+               with
+               Scenario.tm =
+                 Sim_workload.Traffic_matrix.Hotspot { targets = 2; fraction = 0.5 };
+             }
+           in
+           ignore (Scenario.run cfg)));
+    Test.make ~name:"E4:multihomed-point"
+      (Staged.stage (fun () ->
+           let cfg =
+             {
+               (Scale.scenario_config tiny
+                  ~protocol:(Scenario.Mmptcp_proto Mmptcp.Strategy.default))
+               with
+               Scenario.topo =
+                 Scenario.Multihomed_topo
+                   {
+                     Sim_net.Multihomed.k = 4;
+                     oversub = 2;
+                     host_spec = Scenario.paper_link_spec;
+                     fabric_spec = Scenario.paper_link_spec;
+                   };
+             }
+           in
+           ignore (Scenario.run cfg)));
+    Test.make ~name:"E5:coexist-bottleneck"
+      (Staged.stage (fun () ->
+           Sim_tcp.Conn_id.reset ();
+           let sched = Sim_engine.Scheduler.create () in
+           let net =
+             Sim_net.Dumbbell.create ~sched
+               ~bottleneck_spec:Scenario.paper_link_spec ~pairs:3 ()
+           in
+           let open Sim_net.Topology in
+           let _tcp =
+             Sim_tcp.Flow.start ~src:(host net 0) ~dst:(host net 3)
+               ~size:1_000_000 ()
+           in
+           let _mp =
+             Sim_mptcp.Mptcp_conn.start ~src:(host net 1) ~dst:(host net 4)
+               ~size:1_000_000 ~subflows:8 ()
+           in
+           Sim_engine.Scheduler.run
+             ~until:(Sim_engine.Sim_time.of_sec 1.) sched));
+    Test.make ~name:"E6:dupack-point"
+      (Staged.stage (fun () ->
+           run_scenario
+             (Scenario.Mmptcp_proto
+                { Mmptcp.Strategy.default with
+                  Mmptcp.Strategy.dupack = Mmptcp.Strategy.Static 3 })));
+    Test.make ~name:"E7:vl2-point"
+      (Staged.stage (fun () ->
+           let cfg =
+             {
+               (Scale.scenario_config tiny
+                  ~protocol:(Scenario.Mmptcp_proto Mmptcp.Strategy.default))
+               with
+               Scenario.topo =
+                 Scenario.Vl2_topo
+                   {
+                     (Sim_net.Vl2.default_params ~tors:8 ~hosts_per_tor:4 ()) with
+                     Sim_net.Vl2.host_spec = Scenario.paper_link_spec;
+                     fabric_spec = Scenario.paper_link_spec;
+                   };
+             }
+           in
+           ignore (Scenario.run cfg)));
+    Test.make ~name:"E9:sack-point"
+      (Staged.stage (fun () ->
+           let base =
+             Scale.scenario_config tiny
+               ~protocol:(Scenario.Mptcp_proto { subflows = 8; coupled = true })
+           in
+           let cfg =
+             {
+               base with
+               Scenario.params =
+                 { base.Scenario.params with Sim_tcp.Tcp_params.sack = true };
+             }
+           in
+           ignore (Scenario.run cfg)));
+    Test.make ~name:"E8:matrix-point"
+      (Staged.stage (fun () ->
+           let cfg =
+             {
+               (Scale.scenario_config tiny
+                  ~protocol:(Scenario.Mmptcp_proto Mmptcp.Strategy.default))
+               with
+               Scenario.tm = Sim_workload.Traffic_matrix.Random;
+             }
+           in
+           ignore (Scenario.run cfg)));
+  ]
+
+let micro_tests =
+  let heap () =
+    let h = Sim_engine.Event_heap.create () in
+    for i = 0 to 999 do
+      Sim_engine.Event_heap.push h ~time:(Int64.of_int ((i * 7919) mod 4096)) ~seq:i i
+    done;
+    let rec drain () =
+      match Sim_engine.Event_heap.pop h with Some _ -> drain () | None -> ()
+    in
+    drain ()
+  in
+  let rng = Sim_engine.Rng.create ~seed:1 in
+  let ecmp_pkt =
+    Sim_net.Packet.make ~src:(Sim_net.Addr.of_int 1) ~dst:(Sim_net.Addr.of_int 2)
+      ~tcp:
+        {
+          Sim_net.Packet.conn = 1;
+          subflow = 0;
+          src_port = 1234;
+          dst_port = 80;
+          seq = 0;
+          ack_seq = 0;
+          len = 1400;
+          flags = Sim_net.Packet.data_flags;
+          ece = false;
+          dup_seen = false;
+          dsn = 0; sack = [];
+        }
+  in
+  [
+    Test.make ~name:"micro:event-heap-1k" (Staged.stage heap);
+    Test.make ~name:"micro:rng-draw" (Staged.stage (fun () -> Sim_engine.Rng.int rng 65536));
+    Test.make ~name:"micro:ecmp-select"
+      (Staged.stage (fun () -> Sim_net.Ecmp.select ecmp_pkt ~salt:7 ~n:8));
+    Test.make ~name:"micro:intervals-insert"
+      (Staged.stage (fun () ->
+           let iv = Sim_tcp.Intervals.create () in
+           for i = 0 to 63 do
+             ignore
+               (Sim_tcp.Intervals.add iv
+                  ~start:(((i * 37) mod 64) * 100)
+                  ~stop:((((i * 37) mod 64) * 100) + 100))
+           done));
+    Test.make ~name:"micro:fattree-build"
+      (Staged.stage (fun () ->
+           let sched = Sim_engine.Scheduler.create () in
+           ignore
+             (Sim_net.Fattree.create ~sched
+                (Sim_net.Fattree.default_params ~k:4 ~oversub:2 ()))));
+    Test.make ~name:"micro:tcp-70KB-direct"
+      (Staged.stage (fun () ->
+           let sched = Sim_engine.Scheduler.create () in
+           let net = Sim_net.Dumbbell.direct ~sched () in
+           let f =
+             Sim_tcp.Flow.start
+               ~src:(Sim_net.Topology.host net 0)
+               ~dst:(Sim_net.Topology.host net 1)
+               ~size:70_000 ()
+           in
+           Sim_engine.Scheduler.run ~until:(Sim_engine.Sim_time.of_sec 5.) sched;
+           assert (Sim_tcp.Flow.is_complete f)));
+  ]
+
+let run_bechamel tests =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 0.8) ~kde:None ~stabilize:false ()
+  in
+  let grouped = Test.make_grouped ~name:"bench" ~fmt:"%s/%s" tests in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols (Instance.monotonic_clock) raw in
+  Printf.printf "\n%-32s %16s\n" "benchmark" "time/run";
+  Printf.printf "%s\n" (String.make 49 '-');
+  let rows =
+    Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some (est :: _) ->
+        let pretty =
+          if est > 1e9 then Printf.sprintf "%.2f s" (est /. 1e9)
+          else if est > 1e6 then Printf.sprintf "%.2f ms" (est /. 1e6)
+          else if est > 1e3 then Printf.sprintf "%.2f us" (est /. 1e3)
+          else Printf.sprintf "%.0f ns" est
+        in
+        Printf.printf "%-32s %16s\n" name pretty
+      | Some [] | None -> Printf.printf "%-32s %16s\n" name "n/a")
+    rows
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let has flag = List.mem flag args in
+  let scale = if has "--full" then Scale.full else Scale.small in
+  if has "--micro" then run_bechamel (micro_tests @ table_tests)
+  else begin
+    Printf.printf "MMPTCP reproduction benchmark suite (scale: %s)\n"
+      (Format.asprintf "%a" Scale.pp scale);
+    regenerate scale;
+    if not (has "--no-micro") then begin
+      Printf.printf
+        "\n######## bechamel: per-artefact regeneration + micro ########\n%!";
+      run_bechamel (micro_tests @ table_tests)
+    end
+  end

@@ -1,0 +1,133 @@
+(* Command-line front end: every experiment from DESIGN.md's index is a
+   subcommand, parameterised by scale. *)
+
+open Cmdliner
+module Scale = Sim_experiments.Scale
+
+let scale_term =
+  let k =
+    Arg.(value & opt int Scale.small.Scale.k & info [ "k" ] ~doc:"FatTree arity (even).")
+  in
+  let oversub =
+    Arg.(
+      value
+      & opt int Scale.small.Scale.oversub
+      & info [ "oversub" ] ~doc:"Hosts per edge uplink (1 = full bisection).")
+  in
+  let flows =
+    Arg.(
+      value
+      & opt int Scale.small.Scale.flows
+      & info [ "flows" ] ~doc:"Total short flows to schedule.")
+  in
+  let rate =
+    Arg.(
+      value
+      & opt float Scale.small.Scale.rate
+      & info [ "rate" ] ~doc:"Poisson arrival rate per short host (flows/s).")
+  in
+  let seed =
+    Arg.(value & opt int Scale.small.Scale.seed & info [ "seed" ] ~doc:"Random seed.")
+  in
+  let horizon =
+    Arg.(
+      value
+      & opt float Scale.small.Scale.horizon_s
+      & info [ "horizon" ] ~doc:"Simulated seconds before the hard stop.")
+  in
+  let full =
+    Arg.(
+      value & flag
+      & info [ "full" ]
+          ~doc:
+            "Run at paper scale (k=8, 512 servers, 20000 short flows). Takes \
+             tens of minutes; overrides the other scale options.")
+  in
+  let make k oversub flows rate seed horizon_s full =
+    if full then Scale.full
+    else { Scale.k; oversub; flows; rate; seed; horizon_s }
+  in
+  Term.(const make $ k $ oversub $ flows $ rate $ seed $ horizon $ full)
+
+let experiment name doc f =
+  let run scale =
+    f scale;
+    0
+  in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ scale_term)
+
+let csv_term =
+  Arg.(
+    value
+    & opt (some dir) None
+    & info [ "csv" ] ~docv:"DIR"
+        ~doc:"Also write the figure's data series as CSV into $(docv).")
+
+let fig1a_cmd =
+  let lo = Arg.(value & opt int 1 & info [ "lo" ] ~doc:"Smallest subflow count.") in
+  let hi = Arg.(value & opt int 9 & info [ "hi" ] ~doc:"Largest subflow count.") in
+  let run lo hi csv_dir scale =
+    Sim_experiments.Fig1a.run ~lo ~hi ?csv_dir scale;
+    0
+  in
+  Cmd.v
+    (Cmd.info "fig1a" ~doc:"Figure 1(a): MPTCP short-flow FCT vs subflow count.")
+    Term.(const run $ lo $ hi $ csv_term $ scale_term)
+
+let fig1bc_cmd name doc f =
+  let run csv_dir scale =
+    f ?csv_dir scale;
+    0
+  in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ csv_term $ scale_term)
+
+let cmds =
+  [
+    fig1a_cmd;
+    fig1bc_cmd "fig1b" "Figure 1(b): per-flow FCT scatter, MPTCP 8 subflows."
+      Sim_experiments.Fig1bc.run_fig1b;
+    fig1bc_cmd "fig1c" "Figure 1(c): per-flow FCT scatter, MMPTCP."
+      Sim_experiments.Fig1bc.run_fig1c;
+    experiment "table1" "Text claims: MMPTCP vs MPTCP summary table."
+      Sim_experiments.Summary_table.run;
+    experiment "ext-switching" "E1: phase-switching strategies."
+      Sim_experiments.Ext_switching.run;
+    experiment "ext-load" "E2: network-load sweep." Sim_experiments.Ext_load.run;
+    experiment "ext-hotspot" "E3: hotspot traffic matrices."
+      Sim_experiments.Ext_hotspot.run;
+    experiment "ext-multihomed" "E4: dual-homed FatTree."
+      Sim_experiments.Ext_multihomed.run;
+    experiment "ext-coexist" "E5: co-existence fairness."
+      Sim_experiments.Ext_coexist.run;
+    experiment "ext-dupack" "E6: dup-ACK threshold ablation."
+      Sim_experiments.Ext_dupack.run;
+    experiment "ext-topologies" "E7: FatTree vs VL2-style Clos."
+      Sim_experiments.Ext_topologies.run;
+    experiment "ext-matrices" "E8: traffic matrices."
+      Sim_experiments.Ext_matrices.run;
+    experiment "ext-sack" "E9: NewReno vs SACK loss recovery."
+      Sim_experiments.Ext_sack.run;
+    experiment "all" "Run every experiment in sequence." (fun scale ->
+        Sim_experiments.Fig1a.run scale;
+        Sim_experiments.Fig1bc.run_fig1b scale;
+        Sim_experiments.Fig1bc.run_fig1c scale;
+        Sim_experiments.Summary_table.run scale;
+        Sim_experiments.Ext_switching.run scale;
+        Sim_experiments.Ext_load.run scale;
+        Sim_experiments.Ext_hotspot.run scale;
+        Sim_experiments.Ext_multihomed.run scale;
+        Sim_experiments.Ext_coexist.run scale;
+        Sim_experiments.Ext_dupack.run scale;
+        Sim_experiments.Ext_topologies.run scale;
+        Sim_experiments.Ext_matrices.run scale;
+        Sim_experiments.Ext_sack.run scale);
+  ]
+
+let () =
+  let info =
+    Cmd.info "mmptcp_sim" ~version:"1.0.0"
+      ~doc:
+        "Packet-level reproduction of 'Short vs. Long Flows: A Battle That \
+         Both Can Win' (SIGCOMM 2015)."
+  in
+  exit (Cmd.eval' (Cmd.group info cmds))

@@ -1,0 +1,1 @@
+examples/flow_monitor.ml: List Printf Sim_engine Sim_mptcp Sim_net Sim_tcp Sim_workload String

@@ -1,0 +1,1 @@
+examples/incast.ml: List Mmptcp Option Printf Sim_engine Sim_mptcp Sim_net Sim_stats Sim_tcp Sim_workload

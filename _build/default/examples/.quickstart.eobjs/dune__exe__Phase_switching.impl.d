@@ -1,0 +1,1 @@
+examples/phase_switching.ml: Mmptcp Printf Sim_engine Sim_net

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Mmptcp Printf Sim_engine Sim_net

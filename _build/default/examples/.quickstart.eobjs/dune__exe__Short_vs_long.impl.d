@@ -1,0 +1,1 @@
+examples/short_vs_long.ml: Array Mmptcp Printf Sim_stats Sim_workload

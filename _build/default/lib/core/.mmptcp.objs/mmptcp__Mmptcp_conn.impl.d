@@ -1,0 +1,1 @@
+lib/core/mmptcp_conn.ml: Array Lazy List Sim_engine Sim_mptcp Sim_net Sim_tcp Strategy

@@ -1,0 +1,1 @@
+lib/core/mmptcp_conn.mli: Sim_engine Sim_net Sim_tcp Strategy

@@ -1,0 +1,208 @@
+module Time = Sim_engine.Sim_time
+module Scheduler = Sim_engine.Scheduler
+module Rng = Sim_engine.Rng
+module Host = Sim_net.Host
+module Packet = Sim_net.Packet
+module Tcp_tx = Sim_tcp.Tcp_tx
+module Tcp_rx = Sim_tcp.Tcp_rx
+module Dataplane = Sim_mptcp.Dataplane
+module Lia = Sim_mptcp.Lia
+
+type phase = Packet_scatter | Multipath
+
+type t = {
+  conn : int;
+  size : int;
+  strategy : Strategy.t;
+  params : Sim_tcp.Tcp_params.t;
+  plane : Dataplane.t;
+  sched : Scheduler.t;
+  src : Host.t;
+  dst : Host.t;
+  rng : Rng.t;
+  mutable phase : phase;
+  mutable ps_tx : Tcp_tx.t option;
+  mutable mp_txs : Tcp_tx.t array;
+  rxs : Tcp_rx.t array;  (* index 0 = scatter, 1..subflows = multipath *)
+  started_at : Time.t;
+  mutable switched_at : Time.t option;
+  group : Lia.group;
+  mutable dupack_threshold : int;
+  dupack_cap : int;
+  on_switch : t -> unit;
+}
+
+let scatter_tx t =
+  match t.ps_tx with Some tx -> tx | None -> assert false
+
+(* Phase switching: open the MPTCP subflows and starve the scatter
+   flow of new data. Idempotent. *)
+let rec trigger_switch t =
+  if t.phase = Packet_scatter then begin
+    t.phase <- Multipath;
+    t.switched_at <- Some (Scheduler.now t.sched);
+    let mp_source =
+      {
+        Tcp_tx.pull = (fun ~max -> Dataplane.pull t.plane ~max);
+        has_more = (fun () -> Dataplane.unassigned t.plane);
+      }
+    in
+    t.mp_txs <-
+      Array.init t.strategy.Strategy.subflows (fun j ->
+          let i = j + 1 in
+          let src_port = 30_000 + (t.conn * 131) + (i * 7) in
+          Tcp_tx.create ~host:t.src ~peer:(Host.addr t.dst) ~conn:t.conn
+            ~subflow:i ~params:t.params
+            ~src_port:(fun () -> src_port)
+            ~dst_port:5001 ~source:mp_source ~cc:(Lia.attach t.group) ());
+    Array.iter Tcp_tx.connect t.mp_txs;
+    t.on_switch t
+  end
+
+and ps_source t =
+  {
+    Tcp_tx.pull =
+      (fun ~max ->
+        match t.phase with
+        | Multipath -> None
+        | Packet_scatter -> (
+          match t.strategy.Strategy.switch with
+          | Strategy.Data_volume v when Dataplane.assigned t.plane >= v ->
+            trigger_switch t;
+            None
+          | Strategy.Data_volume _ | Strategy.Congestion_event | Strategy.Never
+            ->
+            Dataplane.pull t.plane ~max));
+    has_more =
+      (fun () ->
+        t.phase = Packet_scatter
+        &&
+        match t.strategy.Strategy.switch with
+        | Strategy.Data_volume v ->
+          Dataplane.assigned t.plane < v && Dataplane.unassigned t.plane
+        | Strategy.Congestion_event | Strategy.Never ->
+          Dataplane.unassigned t.plane);
+  }
+
+let initial_threshold strategy ~paths =
+  match strategy with
+  | Strategy.Static k -> max 1 k
+  | Strategy.Topology_aware -> max 3 paths
+  | Strategy.Adaptive { initial; _ } -> max 1 initial
+
+let start ~src ~dst ~size ~rng ?(strategy = Strategy.default)
+    ?(params = Sim_tcp.Tcp_params.default) ?(paths = 1)
+    ?(on_complete = fun _ -> ()) ?(on_switch = fun _ -> ()) () =
+  let sched = Host.sched src in
+  let conn = Sim_tcp.Conn_id.fresh () in
+  let subflows = strategy.Strategy.subflows in
+  if subflows < 1 then invalid_arg "Mmptcp_conn.start: subflows must be >= 1";
+  let dupack_cap =
+    match strategy.Strategy.dupack with
+    | Strategy.Adaptive { cap; _ } -> cap
+    | Strategy.Static k -> max 1 k
+    | Strategy.Topology_aware -> max 3 paths
+  in
+  let rec t =
+    lazy
+      {
+        conn;
+        size;
+        strategy;
+        params;
+        plane =
+          Dataplane.create ~sched ~size ~on_complete:(fun () ->
+              on_complete (Lazy.force t));
+        sched;
+        src;
+        dst;
+        rng;
+        phase = Packet_scatter;
+        ps_tx = None;
+        mp_txs = [||];
+        rxs =
+          Array.init (subflows + 1) (fun i ->
+              Tcp_rx.create ~params ~host:dst ~peer:(Host.addr src) ~conn
+                ~subflow:i
+                ~on_data:(fun ~dsn ~len ->
+                  Dataplane.deliver (Lazy.force t).plane ~dsn ~len)
+                ());
+        started_at = Scheduler.now sched;
+        switched_at = None;
+        group = Lia.make_group ();
+        dupack_threshold = initial_threshold strategy.Strategy.dupack ~paths;
+        dupack_cap;
+        on_switch;
+      }
+  in
+  let t = Lazy.force t in
+  (* Per-packet source-port randomisation: this is what makes ECMP
+     scatter the flow, and it applies to retransmissions too — a
+     retransmitted packet takes a fresh random path. *)
+  let scatter_port () = 1024 + Rng.int t.rng 60_000 in
+  let on_first_congestion () =
+    match t.strategy.Strategy.switch with
+    | Strategy.Congestion_event -> trigger_switch t
+    | Strategy.Data_volume _ | Strategy.Never -> ()
+  in
+  let on_dsack () =
+    match t.strategy.Strategy.dupack with
+    | Strategy.Adaptive _ ->
+      if t.dupack_threshold < t.dupack_cap then
+        t.dupack_threshold <- t.dupack_threshold + 1
+    | Strategy.Static _ | Strategy.Topology_aware -> ()
+  in
+  let ps_tx =
+    Tcp_tx.create ~host:src ~peer:(Host.addr dst) ~conn ~subflow:0 ~params
+      ~src_port:scatter_port ~dst_port:5001 ~source:(ps_source t)
+      ~cc:Sim_tcp.Reno.make
+      ~dupack_threshold:(fun () -> t.dupack_threshold)
+      ~on_dsack ~on_first_congestion ()
+  in
+  t.ps_tx <- Some ps_tx;
+  Host.bind src ~conn (fun pkt ->
+      let i = pkt.Packet.tcp.Packet.subflow in
+      if i = 0 then Tcp_tx.handle ps_tx pkt
+      else if i >= 1 && i <= Array.length t.mp_txs then
+        Tcp_tx.handle t.mp_txs.(i - 1) pkt);
+  Host.bind dst ~conn (fun pkt ->
+      let i = pkt.Packet.tcp.Packet.subflow in
+      if i >= 0 && i < Array.length t.rxs then Tcp_rx.handle t.rxs.(i) pkt);
+  if size = 0 then Dataplane.deliver t.plane ~dsn:0 ~len:0;
+  Tcp_tx.connect ps_tx;
+  t
+
+let conn t = t.conn
+let size t = t.size
+let phase t = t.phase
+let started_at t = t.started_at
+let completed_at t = Dataplane.completed_at t.plane
+let switched_at t = t.switched_at
+
+let fct t =
+  match completed_at t with
+  | None -> None
+  | Some c -> Some (Time.diff c t.started_at)
+
+let is_complete t = Dataplane.is_complete t.plane
+let bytes_received t = Dataplane.received_bytes t.plane
+
+let all_txs t =
+  match t.ps_tx with
+  | None -> Array.to_list t.mp_txs
+  | Some tx -> tx :: Array.to_list t.mp_txs
+
+let sum_stats t f =
+  List.fold_left (fun acc tx -> acc + f (Tcp_tx.stats tx)) 0 (all_txs t)
+
+let rto_events t = sum_stats t (fun s -> s.Tcp_tx.rto_events)
+let fast_rtx_events t = sum_stats t (fun s -> s.Tcp_tx.fast_rtx_events)
+
+let spurious_rtx_signals t =
+  (Tcp_tx.stats (scatter_tx t)).Tcp_tx.dsacks_received
+
+let multipath_txs t = t.mp_txs
+let current_dupack_threshold t = t.dupack_threshold
+
+let total_cwnd t =
+  List.fold_left (fun acc tx -> acc +. Tcp_tx.cwnd tx) 0. (all_txs t)

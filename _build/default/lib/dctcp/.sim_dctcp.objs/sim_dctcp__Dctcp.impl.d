@@ -1,0 +1,1 @@
+lib/dctcp/dctcp.ml: Float Hashtbl Option Printf Sim_tcp String

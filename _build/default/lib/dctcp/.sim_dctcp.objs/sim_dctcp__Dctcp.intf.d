@@ -1,0 +1,1 @@
+lib/dctcp/dctcp.mli: Sim_tcp

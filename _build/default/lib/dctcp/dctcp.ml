@@ -1,0 +1,57 @@
+module Cong = Sim_tcp.Cong
+
+let recommended_marking_threshold = 17
+
+(* Alpha registry keyed by controller name instance: we instead embed
+   the alpha in a ref captured by the closures and expose it through a
+   weak map from the record's physical identity. Simpler: tag the name
+   with a unique id and keep a table. *)
+let alphas : (int, float ref) Hashtbl.t = Hashtbl.create 16
+let next_id = ref 0
+
+let make ?(g = 1. /. 16.) (w : Cong.window) =
+  let id = !next_id in
+  incr next_id;
+  let alpha = ref 0. in
+  Hashtbl.replace alphas id alpha;
+  let bytes_acked = ref 0 in
+  let bytes_marked = ref 0 in
+  let window_target = ref 0. in
+  let on_ack ~acked ~ece =
+    bytes_acked := !bytes_acked + acked;
+    if ece then bytes_marked := !bytes_marked + acked;
+    (* Normal growth continues; DCTCP reduces proportionally to the
+       marking fraction once per observation window (~one cwnd of
+       ACKed bytes). *)
+    if w.Cong.get_cwnd () < w.Cong.get_ssthresh () then
+      Cong.slow_start_increase w ~acked
+    else Cong.congestion_avoidance_increase w ~acked;
+    if !window_target <= 0. then window_target := w.Cong.get_cwnd ();
+    if float_of_int !bytes_acked >= !window_target then begin
+      let f = float_of_int !bytes_marked /. float_of_int (max 1 !bytes_acked) in
+      alpha := ((1. -. g) *. !alpha) +. (g *. f);
+      if !bytes_marked > 0 then begin
+        let cwnd = w.Cong.get_cwnd () in
+        let reduced = cwnd *. (1. -. (!alpha /. 2.)) in
+        w.Cong.set_cwnd (Float.max reduced (float_of_int w.Cong.mss));
+        w.Cong.set_ssthresh (w.Cong.get_cwnd ())
+      end;
+      bytes_acked := 0;
+      bytes_marked := 0;
+      window_target := w.Cong.get_cwnd ()
+    end
+  in
+  {
+    Cong.name = Printf.sprintf "dctcp#%d" id;
+    on_ack;
+    on_loss = Cong.reno_on_loss w;
+  }
+
+let alpha_of (cc : Cong.t) =
+  match String.index_opt cc.Cong.name '#' with
+  | Some i when String.length cc.Cong.name > 5 && String.sub cc.Cong.name 0 5 = "dctcp" ->
+    (try
+       let id = int_of_string (String.sub cc.Cong.name (i + 1) (String.length cc.Cong.name - i - 1)) in
+       Option.map ( ! ) (Hashtbl.find_opt alphas id)
+     with _ -> None)
+  | Some _ | None -> None

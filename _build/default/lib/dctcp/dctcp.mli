@@ -1,0 +1,24 @@
+(** DCTCP congestion control (Alizadeh et al., SIGCOMM 2010).
+
+    The single-path, ECN-based protocol the paper's introduction
+    positions MMPTCP against. Run it over links built with an
+    [ecn_threshold] in their {!Sim_net.Topology.link_spec} (the switch
+    marking side). The sender keeps the running fraction [alpha] of
+    marked bytes, smoothed with gain [g], and once per window cuts
+    cwnd by [alpha/2] if the window saw marks. Loss response and
+    window growth are standard NewReno.
+
+    Used by the extension benchmarks only; DCTCP is deliberately not
+    part of the headline reproduction, which compares MPTCP and
+    MMPTCP as the paper's Figure 1 does. *)
+
+val recommended_marking_threshold : int
+(** ~17 packets for 100 Mb/s links per the DCTCP guideline (K ≈
+    RTT*C/7 rounded up for our defaults). *)
+
+val make : ?g:float -> Sim_tcp.Cong.window -> Sim_tcp.Cong.t
+(** [g] defaults to 1/16. *)
+
+val alpha_of : Sim_tcp.Cong.t -> float option
+(** Diagnostic: current alpha of a controller created by [make];
+    [None] for foreign controllers. *)

@@ -1,0 +1,1 @@
+lib/engine/scheduler.ml: Event_heap Int64 Sim_time

@@ -1,0 +1,1 @@
+lib/engine/scheduler.mli: Sim_time

@@ -1,0 +1,95 @@
+(* Array-backed binary min-heap. Three parallel-ish arrays are avoided:
+   each slot stores an immutable cell so that [pop]'s sift-down moves a
+   single word. Ordering key is (time, seq). *)
+
+type 'a cell = { time : int64; seq : int; value : 'a }
+
+type 'a t = {
+  mutable cells : 'a cell option array;
+  mutable size : int;
+}
+
+let create () = { cells = Array.make 64 None; size = 0 }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+let cell_lt a b =
+  let c = Int64.compare a.time b.time in
+  if c <> 0 then c < 0 else a.seq < b.seq
+
+let grow t =
+  let cells = Array.make (2 * Array.length t.cells) None in
+  Array.blit t.cells 0 cells 0 t.size;
+  t.cells <- cells
+
+let get t i =
+  match t.cells.(i) with
+  | Some c -> c
+  | None -> assert false
+
+let push t ~time ~seq value =
+  if t.size = Array.length t.cells then grow t;
+  let cell = { time; seq; value } in
+  (* Sift up. *)
+  let i = ref t.size in
+  t.size <- t.size + 1;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    let pc = get t parent in
+    if cell_lt cell pc then begin
+      t.cells.(!i) <- Some pc;
+      i := parent
+    end
+    else continue := false
+  done;
+  t.cells.(!i) <- Some cell
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let root = get t 0 in
+    t.size <- t.size - 1;
+    let last = get t t.size in
+    t.cells.(t.size) <- None;
+    if t.size > 0 then begin
+      (* Sift the former last element down from the root. *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        let sc = ref last in
+        if l < t.size then begin
+          let lc = get t l in
+          if cell_lt lc !sc then begin
+            smallest := l;
+            sc := lc
+          end
+        end;
+        if r < t.size then begin
+          let rc = get t r in
+          if cell_lt rc !sc then begin
+            smallest := r;
+            sc := rc
+          end
+        end;
+        if !smallest = !i then begin
+          t.cells.(!i) <- Some last;
+          continue := false
+        end
+        else begin
+          t.cells.(!i) <- Some !sc;
+          i := !smallest
+        end
+      done
+    end;
+    Some (root.time, root.seq, root.value)
+  end
+
+let peek_time t = if t.size = 0 then None else Some (get t 0).time
+
+let clear t =
+  Array.fill t.cells 0 t.size None;
+  t.size <- 0

@@ -1,0 +1,22 @@
+(** Binary min-heap of timestamped events.
+
+    Events are ordered by [(time, seq)] where [seq] is a strictly
+    increasing insertion counter, so two events scheduled for the same
+    instant fire in insertion order (FIFO tie-breaking, matching ns-3
+    semantics). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> time:int64 -> seq:int -> 'a -> unit
+
+val pop : 'a t -> (int64 * int * 'a) option
+(** Removes and returns the earliest event. *)
+
+val peek_time : 'a t -> int64 option
+
+val clear : 'a t -> unit

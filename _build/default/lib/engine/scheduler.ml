@@ -1,0 +1,63 @@
+type handle = {
+  mutable cancelled : bool;
+  mutable fired : bool;
+  action : unit -> unit;
+}
+
+type t = {
+  heap : handle Event_heap.t;
+  mutable now : Sim_time.t;
+  mutable next_seq : int;
+  mutable processed : int;
+}
+
+let create () =
+  { heap = Event_heap.create (); now = Sim_time.zero; next_seq = 0; processed = 0 }
+
+let now t = t.now
+
+let schedule_at t time action =
+  if Sim_time.(time < t.now) then
+    invalid_arg "Scheduler.schedule_at: time is in the past";
+  let h = { cancelled = false; fired = false; action } in
+  Event_heap.push t.heap ~time:(Sim_time.to_ns time) ~seq:t.next_seq h;
+  t.next_seq <- t.next_seq + 1;
+  h
+
+let schedule_after t delay action =
+  schedule_at t (Sim_time.add t.now delay) action
+
+let cancel h = h.cancelled <- true
+
+let is_pending h = (not h.cancelled) && not h.fired
+
+let run ?until ?max_events t =
+  let budget = ref (match max_events with Some n -> n | None -> max_int) in
+  let horizon = match until with Some u -> Sim_time.to_ns u | None -> Int64.max_int in
+  let continue = ref true in
+  while !continue && !budget > 0 do
+    match Event_heap.peek_time t.heap with
+    | None -> continue := false
+    | Some time when Int64.compare time horizon > 0 -> continue := false
+    | Some _ ->
+      (match Event_heap.pop t.heap with
+       | None -> assert false
+       | Some (time, _seq, h) ->
+         if not h.cancelled then begin
+           t.now <- Sim_time.of_ns time;
+           h.fired <- true;
+           t.processed <- t.processed + 1;
+           decr budget;
+           h.action ()
+         end)
+  done;
+  (* When the queue drained (or only holds events beyond the horizon)
+     advance the clock to the horizon, so repeated bounded runs make
+     progress. A stop caused by [max_events] leaves the clock alone. *)
+  if !budget > 0 then
+    match until with
+    | Some u when Sim_time.(u > t.now) -> t.now <- u
+    | Some _ | None -> ()
+
+let pending_events t = Event_heap.length t.heap
+let events_processed t = t.processed

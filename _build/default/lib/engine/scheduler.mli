@@ -1,0 +1,42 @@
+(** Discrete-event scheduler.
+
+    The scheduler owns the virtual clock and a priority queue of pending
+    events. Simulation components schedule closures to run at future
+    instants; [run] drains the queue in timestamp order, advancing the
+    clock. Events scheduled for the same instant fire in the order they
+    were scheduled.
+
+    A scheduled event can be cancelled through its handle; cancellation
+    is O(1) (the event stays in the heap but is skipped when popped),
+    which is the right trade-off for TCP retransmission timers that are
+    re-armed on almost every ACK. *)
+
+type t
+
+type handle
+(** Identifies a scheduled event so it can be cancelled. *)
+
+val create : unit -> t
+
+val now : t -> Sim_time.t
+(** Current virtual time. *)
+
+val schedule_at : t -> Sim_time.t -> (unit -> unit) -> handle
+(** [schedule_at t time f] runs [f] when the clock reaches [time].
+    Raises [Invalid_argument] if [time] is in the past. *)
+
+val schedule_after : t -> Sim_time.t -> (unit -> unit) -> handle
+(** [schedule_after t delay f] runs [f] at [now t + delay]. *)
+
+val cancel : handle -> unit
+(** Cancel a pending event. Cancelling an already-fired or
+    already-cancelled event is a no-op. *)
+
+val is_pending : handle -> bool
+
+val run : ?until:Sim_time.t -> ?max_events:int -> t -> unit
+(** Drain the event queue. Stops when the queue is empty, when the next
+    event lies strictly beyond [until], or after [max_events] events. *)
+
+val pending_events : t -> int
+val events_processed : t -> int

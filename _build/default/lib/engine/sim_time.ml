@@ -1,0 +1,53 @@
+type t = int64
+
+let zero = 0L
+let is_zero t = Int64.equal t 0L
+
+let of_ns n =
+  if Int64.compare n 0L < 0 then invalid_arg "Sim_time.of_ns: negative";
+  n
+
+let of_us f =
+  if f < 0. then invalid_arg "Sim_time.of_us: negative";
+  Int64.of_float (f *. 1e3)
+
+let of_ms f =
+  if f < 0. then invalid_arg "Sim_time.of_ms: negative";
+  Int64.of_float (f *. 1e6)
+
+let of_sec f =
+  if f < 0. then invalid_arg "Sim_time.of_sec: negative";
+  Int64.of_float (f *. 1e9)
+
+let to_ns t = t
+let to_us t = Int64.to_float t /. 1e3
+let to_ms t = Int64.to_float t /. 1e6
+let to_sec t = Int64.to_float t /. 1e9
+
+let add = Int64.add
+
+let diff a b =
+  if Int64.compare b a > 0 then invalid_arg "Sim_time.diff: negative result";
+  Int64.sub a b
+
+let scale t f =
+  if f < 0. then invalid_arg "Sim_time.scale: negative factor";
+  Int64.of_float (Int64.to_float t *. f)
+
+let compare = Int64.compare
+let equal = Int64.equal
+let ( < ) a b = compare a b < 0
+let ( <= ) a b = compare a b <= 0
+let ( > ) a b = compare a b > 0
+let ( >= ) a b = compare a b >= 0
+let min a b = if a <= b then a else b
+let max a b = if a >= b then a else b
+
+let pp ppf t =
+  let ns = Int64.to_float t in
+  if Stdlib.( < ) ns 1e3 then Format.fprintf ppf "%.0fns" ns
+  else if Stdlib.( < ) ns 1e6 then Format.fprintf ppf "%.2fus" (ns /. 1e3)
+  else if Stdlib.( < ) ns 1e9 then Format.fprintf ppf "%.3fms" (ns /. 1e6)
+  else Format.fprintf ppf "%.4fs" (ns /. 1e9)
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,28 @@
+type level = Error | Warn | Info | Debug
+
+let severity = function Error -> 0 | Warn -> 1 | Info -> 2 | Debug -> 3
+let label = function Error -> "ERROR" | Warn -> "WARN" | Info -> "INFO" | Debug -> "DEBUG"
+
+let current : level option ref = ref None
+
+let set_level l = current := l
+let level () = !current
+
+let enabled l =
+  match !current with
+  | None -> false
+  | Some threshold -> severity l <= severity threshold
+
+let logf lvl ~component fmt =
+  if enabled lvl then
+    Format.kfprintf
+      (fun ppf -> Format.fprintf ppf "@.")
+      Format.err_formatter
+      ("[%s] %s: " ^^ fmt)
+      (label lvl) component
+  else Format.ifprintf Format.err_formatter fmt
+
+let errorf ~component fmt = logf Error ~component fmt
+let warnf ~component fmt = logf Warn ~component fmt
+let infof ~component fmt = logf Info ~component fmt
+let debugf ~component fmt = logf Debug ~component fmt

@@ -1,0 +1,20 @@
+(** Lightweight component-tagged tracing.
+
+    Tracing is off by default and costs one branch per call site when
+    disabled, so stacks can trace per-packet events without slowing
+    down full-scale benchmark runs. *)
+
+type level = Error | Warn | Info | Debug
+
+val set_level : level option -> unit
+(** [set_level (Some Debug)] enables everything; [set_level None]
+    (the default) disables all output. *)
+
+val level : unit -> level option
+
+val enabled : level -> bool
+
+val errorf : component:string -> ('a, Format.formatter, unit) format -> 'a
+val warnf : component:string -> ('a, Format.formatter, unit) format -> 'a
+val infof : component:string -> ('a, Format.formatter, unit) format -> 'a
+val debugf : component:string -> ('a, Format.formatter, unit) format -> 'a

@@ -1,0 +1,1 @@
+lib/experiments/ext_coexist.ml: Array Float List Mmptcp Printf Report Scale Sim_engine Sim_mptcp Sim_net Sim_stats Sim_tcp Sim_workload

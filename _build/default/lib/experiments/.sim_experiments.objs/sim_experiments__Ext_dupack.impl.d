@@ -1,0 +1,1 @@
+lib/experiments/ext_dupack.ml: Array Format List Mmptcp Printf Report Scale Sim_stats Sim_workload

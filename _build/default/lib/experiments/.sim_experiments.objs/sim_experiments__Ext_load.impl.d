@@ -1,0 +1,1 @@
+lib/experiments/ext_load.ml: Format List Mmptcp Printf Report Scale Sim_stats Sim_workload

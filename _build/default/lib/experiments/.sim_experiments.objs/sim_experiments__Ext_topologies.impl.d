@@ -1,0 +1,1 @@
+lib/experiments/ext_topologies.ml: Format List Mmptcp Printf Report Scale Sim_net Sim_stats Sim_workload

@@ -1,0 +1,1 @@
+lib/experiments/fig1a.ml: Filename Format List Printf Report Scale Sim_stats Sim_workload

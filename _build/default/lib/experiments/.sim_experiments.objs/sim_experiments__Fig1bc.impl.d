@@ -1,0 +1,1 @@
+lib/experiments/fig1bc.ml: Array Filename Format List Mmptcp Printf Report Scale Sim_engine Sim_stats Sim_workload

@@ -1,0 +1,1 @@
+lib/experiments/fig1bc.mli: Scale Sim_workload

@@ -1,0 +1,1 @@
+lib/experiments/report.ml: Array Printf Sim_stats Sim_workload String

@@ -1,0 +1,1 @@
+lib/experiments/scale.ml: Format Sim_engine Sim_workload

@@ -1,0 +1,1 @@
+lib/experiments/summary_table.ml: Format Mmptcp Printf Report Scale Sim_stats Sim_workload

@@ -1,0 +1,1 @@
+lib/experiments/summary_table.mli: Scale

@@ -1,0 +1,64 @@
+module Time = Sim_engine.Sim_time
+module Scheduler = Sim_engine.Scheduler
+module Topology = Sim_net.Topology
+module Dumbbell = Sim_net.Dumbbell
+module Table = Sim_stats.Table
+
+let jain_index xs =
+  let n = float_of_int (Array.length xs) in
+  if n = 0. then 1.
+  else begin
+    let s = Array.fold_left ( +. ) 0. xs in
+    let sq = Array.fold_left (fun a x -> a +. (x *. x)) 0. xs in
+    if sq = 0. then 1. else s *. s /. (n *. sq)
+  end
+
+let run scale =
+  Report.header "E5: co-existence of TCP, MPTCP and MMPTCP on one bottleneck";
+  ignore scale;
+  Sim_tcp.Conn_id.reset ();
+  let sched = Scheduler.create () in
+  let net =
+    Dumbbell.create ~sched
+      ~bottleneck_spec:Sim_workload.Scenario.paper_link_spec ~pairs:3 ()
+  in
+  let duration = 20. in
+  let size = 1_000_000_000 in
+  (* Pair 0: TCP, pair 1: MPTCP-8, pair 2: MMPTCP. *)
+  let tcp_flow =
+    Sim_tcp.Flow.start ~src:(Topology.host net 0) ~dst:(Topology.host net 3)
+      ~size ()
+  in
+  let mptcp_conn =
+    Sim_mptcp.Mptcp_conn.start ~src:(Topology.host net 1)
+      ~dst:(Topology.host net 4) ~size ~subflows:8 ()
+  in
+  let mmptcp_conn =
+    Mmptcp.Mmptcp_conn.start ~src:(Topology.host net 2)
+      ~dst:(Topology.host net 5) ~size
+      ~rng:(Sim_engine.Rng.create ~seed:scale.Scale.seed)
+      ()
+  in
+  Scheduler.run ~until:(Time.of_sec duration) sched;
+  let goodput bytes = float_of_int bytes *. 8. /. duration /. 1e6 in
+  let rates =
+    [|
+      goodput (Sim_tcp.Flow.bytes_received tcp_flow);
+      goodput (Sim_mptcp.Mptcp_conn.bytes_received mptcp_conn);
+      goodput (Mmptcp.Mmptcp_conn.bytes_received mmptcp_conn);
+    |]
+  in
+  let table = Table.create ~columns:[ "protocol"; "goodput(Mb/s)"; "share" ] in
+  let total = Array.fold_left ( +. ) 0. rates in
+  List.iteri
+    (fun i name ->
+      Table.add_row table
+        [
+          name;
+          Printf.sprintf "%.1f" rates.(i);
+          Printf.sprintf "%.1f%%" (100. *. rates.(i) /. Float.max total 1e-9);
+        ])
+    [ "tcp"; "mptcp-8"; "mmptcp" ];
+  Table.print table;
+  Printf.printf "Jain fairness index: %.3f (1.0 = perfectly fair)\n"
+    (jain_index rates)

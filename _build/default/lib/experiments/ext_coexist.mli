@@ -1,0 +1,14 @@
+(** E5 (paper Discussion: co-existence with TCP and MPTCP).
+
+    One long flow of each protocol — TCP, MPTCP-8 and MMPTCP — shares a
+    single dumbbell bottleneck. Harmonious co-existence means each
+    aggregate takes roughly a third of the link: LIA is designed to
+    make an MPTCP connection no more aggressive than one TCP, and
+    MMPTCP runs one Reno window in its scatter phase before moving to
+    LIA. Prints per-protocol goodput and the Jain fairness index. *)
+
+val run : Scale.t -> unit
+
+val jain_index : float array -> float
+(** Jain's fairness index: (sum x)^2 / (n * sum x^2); 1 = perfectly
+    fair. Exposed for tests. *)

@@ -1,0 +1,51 @@
+module Scenario = Sim_workload.Scenario
+module Strategy = Mmptcp.Strategy
+module Table = Sim_stats.Table
+
+let variants =
+  [
+    ("static-3 (std TCP)", Strategy.Static 3);
+    ("topology-aware", Strategy.Topology_aware);
+    ("adaptive (RR-TCP)", Strategy.Adaptive { initial = 3; cap = 64 });
+    ("static-1000 (no FR)", Strategy.Static 1_000);
+  ]
+
+let run scale =
+  Report.header "E6: scatter-phase dup-ACK threshold ablation";
+  Printf.printf "workload: %s\n" (Format.asprintf "%a" Scale.pp scale);
+  let table =
+    Table.create
+      ~columns:
+        [
+          "threshold";
+          "mean(ms)";
+          "sd(ms)";
+          "p99(ms)";
+          "rto-flows";
+          "fast-rtx(total)";
+        ]
+  in
+  List.iter
+    (fun (name, dupack) ->
+      let strategy = { Strategy.default with Strategy.dupack } in
+      let cfg =
+        Scale.scenario_config scale ~protocol:(Scenario.Mmptcp_proto strategy)
+      in
+      let r = Scenario.run cfg in
+      let s = Report.fct_stats r in
+      let frtx =
+        Array.fold_left
+          (fun a f -> a + f.Scenario.fast_rtxs)
+          0 r.Scenario.shorts
+      in
+      Table.add_row table
+        [
+          name;
+          Table.fms s.Report.mean_ms;
+          Table.fms s.Report.sd_ms;
+          Table.fms s.Report.p99_ms;
+          string_of_int s.Report.flows_with_rto;
+          string_of_int frtx;
+        ])
+    variants;
+  Table.print table

@@ -1,0 +1,11 @@
+(** E6 (paper §2 "Packet Scatter Phase"): dup-ACK threshold ablation.
+
+    The scatter phase must not mistake reordering for loss. The paper
+    proposes (1) a topology-derived threshold and (2) an RR-TCP-style
+    adaptive scheme. This ablation runs MMPTCP with: the standard
+    static threshold 3 (no protection), the topology-aware threshold,
+    the adaptive scheme, and an effectively-infinite threshold (fast
+    retransmit disabled). Reported: FCT statistics, RTO-bound flows,
+    spurious fast retransmits avoided. *)
+
+val run : Scale.t -> unit

@@ -1,0 +1,8 @@
+(** E3 (Roadmap: "effect of hotspots"): hotspot traffic matrices.
+
+    A fraction of short-flow senders all target a handful of hot
+    hosts, concentrating load on a few downlinks, while the remaining
+    hosts follow the permutation matrix. Compares TCP, MPTCP-8 and
+    MMPTCP under this skewed matrix. *)
+
+val run : Scale.t -> unit

@@ -1,0 +1,42 @@
+module Scenario = Sim_workload.Scenario
+module Table = Sim_stats.Table
+
+let rates = [ 10.; 25.; 50.; 100. ]
+
+let run scale =
+  Report.header "E2: effect of network load (short-flow arrival rate)";
+  Printf.printf "workload: %s (rate swept)\n" (Format.asprintf "%a" Scale.pp scale);
+  let table =
+    Table.create
+      ~columns:
+        [
+          "rate(flows/s/host)";
+          "protocol";
+          "mean(ms)";
+          "sd(ms)";
+          "p99(ms)";
+          "rto-flows";
+        ]
+  in
+  List.iter
+    (fun rate ->
+      List.iter
+        (fun (name, protocol) ->
+          let cfg = Scale.scenario_config { scale with Scale.rate } ~protocol in
+          let r = Scenario.run cfg in
+          let s = Report.fct_stats r in
+          Table.add_row table
+            [
+              Printf.sprintf "%.0f" rate;
+              name;
+              Table.fms s.Report.mean_ms;
+              Table.fms s.Report.sd_ms;
+              Table.fms s.Report.p99_ms;
+              string_of_int s.Report.flows_with_rto;
+            ])
+        [
+          ("mptcp-8", Scenario.Mptcp_proto { subflows = 8; coupled = true });
+          ("mmptcp", Scenario.Mmptcp_proto Mmptcp.Strategy.default);
+        ])
+    rates;
+  Table.print table

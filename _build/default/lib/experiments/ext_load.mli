@@ -1,0 +1,9 @@
+(** E2 (Roadmap: "network loads"): short-flow arrival-rate sweep.
+
+    Varies the per-host Poisson arrival rate of short flows and
+    compares MPTCP-8 with MMPTCP. The expectation from the paper: the
+    two protocols are comparable at light load, and MMPTCP's advantage
+    (fewer RTO-bound flows, smaller tail) widens as bursts become more
+    frequent. *)
+
+val run : Scale.t -> unit

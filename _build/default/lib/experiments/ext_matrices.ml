@@ -1,0 +1,44 @@
+module Scenario = Sim_workload.Scenario
+module Traffic_matrix = Sim_workload.Traffic_matrix
+module Table = Sim_stats.Table
+
+let matrices hosts =
+  [
+    ("permutation", Traffic_matrix.Permutation);
+    ("random", Traffic_matrix.Random);
+    ("stride", Traffic_matrix.Stride (max 1 (hosts / 2)));
+  ]
+
+let run scale =
+  Report.header "E8: traffic matrices";
+  Printf.printf "workload: %s\n" (Format.asprintf "%a" Scale.pp scale);
+  let hosts =
+    Sim_net.Fattree.host_count
+      (Scenario.paper_fattree ~k:scale.Scale.k ~oversub:scale.Scale.oversub ())
+  in
+  let table =
+    Table.create
+      ~columns:[ "matrix"; "protocol"; "mean(ms)"; "sd(ms)"; "p99(ms)"; "rto-flows" ]
+  in
+  List.iter
+    (fun (mname, tm) ->
+      List.iter
+        (fun (pname, protocol) ->
+          let cfg = { (Scale.scenario_config scale ~protocol) with Scenario.tm } in
+          let r = Scenario.run cfg in
+          let s = Report.fct_stats r in
+          Table.add_row table
+            [
+              mname;
+              pname;
+              Table.fms s.Report.mean_ms;
+              Table.fms s.Report.sd_ms;
+              Table.fms s.Report.p99_ms;
+              string_of_int s.Report.flows_with_rto;
+            ])
+        [
+          ("mptcp-8", Scenario.Mptcp_proto { subflows = 8; coupled = true });
+          ("mmptcp", Scenario.Mmptcp_proto Mmptcp.Strategy.default);
+        ])
+    (matrices hosts);
+  Table.print table

@@ -1,0 +1,7 @@
+(** E8 (Roadmap: "traffic matrices"): permutation vs uniform-random vs
+    stride matrices under MPTCP-8 and MMPTCP. Permutation (the Figure 1
+    matrix) maximises ECMP collision pain for subflow-pinned paths;
+    random destinations decorrelate over time; stride is the classic
+    adversarial pattern for structured fabrics. *)
+
+val run : Scale.t -> unit

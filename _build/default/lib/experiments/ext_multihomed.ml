@@ -1,0 +1,56 @@
+module Scenario = Sim_workload.Scenario
+module Table = Sim_stats.Table
+
+let multihomed_topo scale =
+  Scenario.Multihomed_topo
+    {
+      Sim_net.Multihomed.k = scale.Scale.k;
+      oversub = scale.Scale.oversub;
+      host_spec = Scenario.paper_link_spec;
+      fabric_spec = Scenario.paper_link_spec;
+    }
+
+let run scale =
+  Report.header "E4: single-homed vs dual-homed FatTree";
+  Printf.printf "workload: %s\n" (Format.asprintf "%a" Scale.pp scale);
+  let table =
+    Table.create
+      ~columns:
+        [
+          "topology";
+          "protocol";
+          "mean(ms)";
+          "sd(ms)";
+          "p99(ms)";
+          "rto-flows";
+        ]
+  in
+  List.iter
+    (fun (tname, topo) ->
+      List.iter
+        (fun (pname, protocol) ->
+          let cfg =
+            { (Scale.scenario_config scale ~protocol) with Scenario.topo }
+          in
+          let r = Scenario.run cfg in
+          let s = Report.fct_stats r in
+          Table.add_row table
+            [
+              tname;
+              pname;
+              Table.fms s.Report.mean_ms;
+              Table.fms s.Report.sd_ms;
+              Table.fms s.Report.p99_ms;
+              string_of_int s.Report.flows_with_rto;
+            ])
+        [
+          ("mptcp-8", Scenario.Mptcp_proto { subflows = 8; coupled = true });
+          ("mmptcp", Scenario.Mmptcp_proto Mmptcp.Strategy.default);
+        ])
+    [
+      ( "fattree",
+        Scenario.Fattree_topo
+          (Scenario.paper_fattree ~k:scale.Scale.k ~oversub:scale.Scale.oversub ()) );
+      ("dual-homed", multihomed_topo scale);
+    ];
+  Table.print table

@@ -1,0 +1,10 @@
+(** E4 (Roadmap: "multi-homed network topologies"): burst tolerance
+    with dual-homed hosts.
+
+    Runs the paper workload on the dual-homed FatTree variant, where
+    every host attaches to two edge switches, and compares against the
+    single-homed fabric. The paper's conjecture: more parallel paths
+    at the access layer raise burst tolerance — scatter can spread
+    even the first hop — so MMPTCP improves further. *)
+
+val run : Scale.t -> unit

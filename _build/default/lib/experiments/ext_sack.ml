@@ -1,0 +1,39 @@
+module Scenario = Sim_workload.Scenario
+module Table = Sim_stats.Table
+
+let run scale =
+  Report.header "E9: NewReno vs SACK loss recovery (extension)";
+  Printf.printf "workload: %s\n" (Format.asprintf "%a" Scale.pp scale);
+  let table =
+    Table.create
+      ~columns:
+        [ "recovery"; "protocol"; "mean(ms)"; "sd(ms)"; "p99(ms)"; "rto-flows" ]
+  in
+  List.iter
+    (fun (rname, sack) ->
+      List.iter
+        (fun (pname, protocol) ->
+          let base = Scale.scenario_config scale ~protocol in
+          let cfg =
+            {
+              base with
+              Scenario.params = { base.Scenario.params with Sim_tcp.Tcp_params.sack };
+            }
+          in
+          let r = Scenario.run cfg in
+          let s = Report.fct_stats r in
+          Table.add_row table
+            [
+              rname;
+              pname;
+              Table.fms s.Report.mean_ms;
+              Table.fms s.Report.sd_ms;
+              Table.fms s.Report.p99_ms;
+              string_of_int s.Report.flows_with_rto;
+            ])
+        [
+          ("mptcp-8", Scenario.Mptcp_proto { subflows = 8; coupled = true });
+          ("mmptcp", Scenario.Mmptcp_proto Mmptcp.Strategy.default);
+        ])
+    [ ("newreno", false); ("sack", true) ];
+  Table.print table

@@ -1,0 +1,11 @@
+(** E9 (extension beyond the paper): SACK-based loss recovery.
+
+    The paper-era ns-3 models recover with NewReno only; part of
+    MPTCP's short-flow pain is that a tiny subflow window cannot even
+    produce three duplicate ACKs, and NewReno repairs one hole per
+    RTT. This ablation reruns the headline comparison with
+    selective-acknowledgement recovery enabled in every sender, asking
+    a forward-looking question the paper leaves open: how much of
+    MMPTCP's advantage survives once loss recovery itself improves? *)
+
+val run : Scale.t -> unit

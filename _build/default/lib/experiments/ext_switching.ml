@@ -1,0 +1,46 @@
+module Scenario = Sim_workload.Scenario
+module Strategy = Mmptcp.Strategy
+module Table = Sim_stats.Table
+
+let strategies =
+  [
+    ("volume-35KB", Strategy.Data_volume 35_000);
+    ("volume-100KB", Strategy.Data_volume 100_000);
+    ("volume-500KB", Strategy.Data_volume 500_000);
+    ("volume-2MB", Strategy.Data_volume 2_000_000);
+    ("congestion-event", Strategy.Congestion_event);
+    ("never (pure PS)", Strategy.Never);
+  ]
+
+let run scale =
+  Report.header "E1: MMPTCP phase-switching strategies";
+  Printf.printf "workload: %s\n" (Format.asprintf "%a" Scale.pp scale);
+  let table =
+    Table.create
+      ~columns:
+        [
+          "switching";
+          "short mean(ms)";
+          "short sd(ms)";
+          "rto-flows";
+          "long goodput(Mb/s)";
+        ]
+  in
+  List.iter
+    (fun (name, switch) ->
+      let strategy = { Strategy.default with Strategy.switch } in
+      let cfg =
+        Scale.scenario_config scale ~protocol:(Scenario.Mmptcp_proto strategy)
+      in
+      let r = Scenario.run cfg in
+      let s = Report.fct_stats r in
+      Table.add_row table
+        [
+          name;
+          Table.fms s.Report.mean_ms;
+          Table.fms s.Report.sd_ms;
+          string_of_int s.Report.flows_with_rto;
+          Printf.sprintf "%.1f" (Report.long_mean_mbps r);
+        ])
+    strategies;
+  Table.print table

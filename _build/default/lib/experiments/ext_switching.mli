@@ -1,0 +1,10 @@
+(** E1 (paper §2 "Phase Switching" + Roadmap): switching strategies.
+
+    Sweeps the data-volume threshold and compares it against
+    congestion-event switching and against never switching (pure
+    packet scatter). Reported per strategy: short-flow FCT statistics
+    and long-flow goodput — the trade-off the paper describes is that
+    switching too late hurts long flows (single window for too long)
+    while switching too early forfeits scatter's burst tolerance. *)
+
+val run : Scale.t -> unit

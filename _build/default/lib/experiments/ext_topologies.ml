@@ -1,0 +1,55 @@
+module Scenario = Sim_workload.Scenario
+module Table = Sim_stats.Table
+
+(* A VL2 Clos with the same host count as the FatTree at this scale:
+   k^3/4 * oversub hosts spread over ToRs of the same radix as the
+   FatTree edge switches. *)
+let vl2_params scale =
+  let hosts = Sim_net.Fattree.host_count (Scenario.paper_fattree ~k:scale.Scale.k ~oversub:scale.Scale.oversub ()) in
+  let hosts_per_tor = scale.Scale.k / 2 * scale.Scale.oversub in
+  {
+    Sim_net.Vl2.aggs = scale.Scale.k;
+    intermediates = scale.Scale.k / 2;
+    tors = hosts / hosts_per_tor;
+    hosts_per_tor;
+    host_spec = Scenario.paper_link_spec;
+    fabric_spec = Scenario.paper_link_spec;
+  }
+
+let run scale =
+  Report.header "E7: FatTree vs VL2-style Clos, same workload";
+  Printf.printf "workload: %s\n" (Format.asprintf "%a" Scale.pp scale);
+  let table =
+    Table.create
+      ~columns:
+        [ "topology"; "protocol"; "mean(ms)"; "sd(ms)"; "p99(ms)"; "rto-flows" ]
+  in
+  List.iter
+    (fun (tname, topo) ->
+      List.iter
+        (fun (pname, protocol) ->
+          let cfg =
+            { (Scale.scenario_config scale ~protocol) with Scenario.topo }
+          in
+          let r = Scenario.run cfg in
+          let s = Report.fct_stats r in
+          Table.add_row table
+            [
+              tname;
+              pname;
+              Table.fms s.Report.mean_ms;
+              Table.fms s.Report.sd_ms;
+              Table.fms s.Report.p99_ms;
+              string_of_int s.Report.flows_with_rto;
+            ])
+        [
+          ("mptcp-8", Scenario.Mptcp_proto { subflows = 8; coupled = true });
+          ("mmptcp", Scenario.Mmptcp_proto Mmptcp.Strategy.default);
+        ])
+    [
+      ( "fattree",
+        Scenario.Fattree_topo
+          (Scenario.paper_fattree ~k:scale.Scale.k ~oversub:scale.Scale.oversub ()) );
+      ("vl2", Scenario.Vl2_topo (vl2_params scale));
+    ];
+  Table.print table

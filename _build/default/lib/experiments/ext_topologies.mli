@@ -1,0 +1,8 @@
+(** E7 (Roadmap: "simulating several data centre topologies"): the
+    same mixed workload on a FatTree and a VL2-style Clos of equal host
+    count, under MPTCP-8 and MMPTCP. MMPTCP's topology-aware threshold
+    adapts automatically (it only consumes [Topology.path_count]), so
+    the qualitative ordering should carry over — the paper's argument
+    that one transport can serve disparate fabrics. *)
+
+val run : Scale.t -> unit

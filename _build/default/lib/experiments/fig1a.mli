@@ -1,0 +1,13 @@
+(** Figure 1(a): MPTCP short-flow completion time vs subflow count.
+
+    Sweeps the number of MPTCP subflows from [lo] to [hi] over the
+    paper workload and prints, per point, the mean and standard
+    deviation of short-flow completion times (the paper's main panel)
+    and the mean alone (the embedded zoom panel). The paper's claim:
+    both grow with the subflow count, the deviation dramatically so,
+    because more subflows mean smaller per-subflow windows and
+    therefore more RTO-bound losses. *)
+
+val run : ?lo:int -> ?hi:int -> ?csv_dir:string -> Scale.t -> unit
+(** [csv_dir] additionally writes the swept series to
+    [<csv_dir>/fig1a.csv]. *)

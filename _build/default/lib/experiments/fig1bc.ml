@@ -1,0 +1,74 @@
+module Time = Sim_engine.Sim_time
+module Scenario = Sim_workload.Scenario
+module Histogram = Sim_stats.Histogram
+
+let scatter r ~max_series =
+  let all =
+    Array.to_list r.Scenario.shorts
+    |> List.filter_map (fun f ->
+        match f.Scenario.fct with
+        | Some t -> Some (f.Scenario.id, Time.to_ms t)
+        | None -> None)
+  in
+  let stragglers = List.filter (fun (_, ms) -> ms > 500.) all in
+  let normal = List.filter (fun (_, ms) -> ms <= 500.) all in
+  let stride = max 1 (List.length normal / max 1 max_series) in
+  let sampled =
+    List.filteri (fun i _ -> i mod stride = 0) normal
+  in
+  List.sort compare (stragglers @ sampled)
+
+let run_one ~title ~tag ?csv_dir ~protocol scale =
+  Report.header title;
+  Printf.printf "workload: %s\n" (Format.asprintf "%a" Scale.pp scale);
+  let cfg = Scale.scenario_config scale ~protocol in
+  let r = Scenario.run cfg in
+  (match csv_dir with
+   | Some dir ->
+     let rows =
+       Array.to_list r.Scenario.shorts
+       |> List.filter_map (fun f ->
+           match f.Scenario.fct with
+           | Some t ->
+             Some
+               [
+                 string_of_int f.Scenario.id;
+                 Sim_stats.Csv.float_cell (Time.to_ms t);
+                 string_of_int f.Scenario.rtos;
+               ]
+           | None -> None)
+     in
+     let path = Filename.concat dir (tag ^ ".csv") in
+     Sim_stats.Csv.write ~path ~header:[ "flow_id"; "fct_ms"; "rtos" ] rows;
+     Printf.printf "[full per-flow series written to %s]\n" path
+   | None -> ());
+  let s = Report.fct_stats r in
+  Printf.printf
+    "shorts: %d completed, %d incomplete | mean=%.1fms sd=%.1fms p50=%.1fms p99=%.1fms max=%.1fms\n"
+    s.Report.completed s.Report.incomplete s.Report.mean_ms s.Report.sd_ms
+    s.Report.p50_ms s.Report.p99_ms s.Report.max_ms;
+  Printf.printf "flows with >=1 RTO: %d | completed within 100ms: %.1f%%\n"
+    s.Report.flows_with_rto
+    (100. *. s.Report.within_100ms);
+  Report.sub_header "FCT histogram (ms)";
+  let h = Histogram.create ~lo:0. ~hi:1000. ~buckets:10 in
+  Array.iter (fun v -> Histogram.add h v) (Scenario.short_fcts_ms r);
+  print_string (Histogram.render h);
+  Report.sub_header "scatter series: flow-id fct-ms (stragglers + sample)";
+  List.iter
+    (fun (id, ms) -> Printf.printf "  %6d %9.1f\n" id ms)
+    (scatter r ~max_series:40)
+
+let run_fig1b ?csv_dir scale =
+  run_one
+    ~title:"Figure 1(b): short-flow completion times, MPTCP (8 subflows)"
+    ~tag:"fig1b" ?csv_dir
+    ~protocol:(Scenario.Mptcp_proto { subflows = 8; coupled = true })
+    scale
+
+let run_fig1c ?csv_dir scale =
+  run_one
+    ~title:"Figure 1(c): short-flow completion times, MMPTCP (PS + 8 subflows)"
+    ~tag:"fig1c" ?csv_dir
+    ~protocol:(Scenario.Mmptcp_proto Mmptcp.Strategy.default)
+    scale

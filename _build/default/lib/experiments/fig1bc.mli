@@ -1,0 +1,21 @@
+(** Figures 1(b) and 1(c): per-flow completion-time scatter.
+
+    Figure 1(b) plots every short flow's FCT under MPTCP with 8
+    subflows; Figure 1(c) is the same under MMPTCP (PS phase + 8
+    subflows after switching). The paper's claim: under MPTCP many
+    flows stall on (repeated) RTOs and reach seconds, while under
+    MMPTCP the cloud collapses towards the x-axis with the majority of
+    flows below 100 ms.
+
+    Printed per protocol: the FCT histogram, a decimated
+    [flow-id fct-ms] series (every flow whose FCT exceeds 500 ms plus a
+    uniform sample of the rest), and summary statistics. *)
+
+val run_fig1b : ?csv_dir:string -> Scale.t -> unit
+val run_fig1c : ?csv_dir:string -> Scale.t -> unit
+(** [csv_dir] additionally writes the complete per-flow series to
+    [<csv_dir>/fig1b.csv] / [fig1c.csv]. *)
+
+val scatter :
+  Sim_workload.Scenario.result -> max_series:int -> (int * float) list
+(** The decimated series described above (exposed for tests). *)

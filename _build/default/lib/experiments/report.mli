@@ -1,0 +1,24 @@
+(** Shared result-reporting helpers for the experiment suite. *)
+
+type fct_stats = {
+  completed : int;
+  incomplete : int;
+  mean_ms : float;
+  sd_ms : float;
+  p50_ms : float;
+  p99_ms : float;
+  max_ms : float;
+  within_100ms : float;  (** fraction of completed shorts *)
+  flows_with_rto : int;
+}
+
+val fct_stats : Sim_workload.Scenario.result -> fct_stats
+(** Short-flow statistics of a finished scenario run. *)
+
+val header : string -> unit
+(** Print an experiment banner. *)
+
+val sub_header : string -> unit
+
+val long_mean_mbps : Sim_workload.Scenario.result -> float
+(** Mean long-flow goodput; 0 when there are no long flows. *)

@@ -1,0 +1,32 @@
+module Time = Sim_engine.Sim_time
+module Scenario = Sim_workload.Scenario
+
+type t = {
+  k : int;
+  oversub : int;
+  flows : int;
+  rate : float;
+  seed : int;
+  horizon_s : float;
+}
+
+(* Horizons: short-flow arrivals span well under a second at these
+   rates; the rest of the horizon is tail budget for RTO-backoff
+   stragglers. *)
+let small = { k = 4; oversub = 4; flows = 500; rate = 25.; seed = 7; horizon_s = 8. }
+let full = { k = 8; oversub = 4; flows = 20_000; rate = 25.; seed = 7; horizon_s = 30. }
+
+let pp ppf t =
+  Format.fprintf ppf "k=%d oversub=%d flows=%d rate=%.0f/s seed=%d" t.k
+    t.oversub t.flows t.rate t.seed
+
+let scenario_config t ~protocol =
+  {
+    Scenario.default_config with
+    Scenario.topo = Scenario.Fattree_topo (Scenario.paper_fattree ~k:t.k ~oversub:t.oversub ());
+    protocol;
+    seed = t.seed;
+    short_flows = t.flows;
+    short_rate = t.rate;
+    horizon = Time.of_sec t.horizon_s;
+  }

@@ -1,0 +1,26 @@
+(** Experiment scale presets.
+
+    The paper simulates a 512-server (k=8, 4:1) FatTree with on the
+    order of 100 K short flows; that takes tens of minutes per protocol
+    in this simulator. [small] is the default benchmark scale — a k=4
+    4:1 fat-tree (64 servers) and hundreds of flows — at which every
+    qualitative shape of the paper already holds and the full suite
+    runs in minutes. [full] is the paper-scale configuration. *)
+
+type t = {
+  k : int;
+  oversub : int;
+  flows : int;  (** total short flows *)
+  rate : float;  (** Poisson arrivals per short host, flows/s *)
+  seed : int;
+  horizon_s : float;  (** simulation stop time *)
+}
+
+val small : t
+val full : t
+val pp : Format.formatter -> t -> unit
+
+val scenario_config :
+  t -> protocol:Sim_workload.Scenario.protocol -> Sim_workload.Scenario.config
+(** The paper workload (permutation TM, 1/3 long hosts, 70 KB shorts)
+    at this scale. *)

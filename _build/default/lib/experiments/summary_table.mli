@@ -1,0 +1,13 @@
+(** Table 1 (the paper's quantitative claims, reported in prose):
+
+    - short-flow mean FCT and standard deviation: MMPTCP 116 ms (sd
+      101) vs MPTCP 126 ms (sd 425);
+    - average loss rates at the core and aggregation layers slightly
+      lower under MMPTCP;
+    - the same average long-flow throughput and overall network
+      utilisation for both protocols.
+
+    Runs both protocols on the identical seeded workload and prints
+    all of those quantities side by side. *)
+
+val run : Scale.t -> unit

@@ -1,0 +1,1 @@
+lib/mptcp/dataplane.ml: Sim_engine Sim_tcp

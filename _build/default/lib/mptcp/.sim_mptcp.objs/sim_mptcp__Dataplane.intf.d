@@ -1,0 +1,1 @@
+lib/mptcp/dataplane.mli: Sim_engine

@@ -1,0 +1,1 @@
+lib/mptcp/lia.ml: Float List Sim_engine Sim_tcp

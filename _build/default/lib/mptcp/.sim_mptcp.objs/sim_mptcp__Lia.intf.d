@@ -1,0 +1,1 @@
+lib/mptcp/lia.mli: Sim_tcp

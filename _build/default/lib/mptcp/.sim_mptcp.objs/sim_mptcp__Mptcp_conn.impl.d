@@ -1,0 +1,1 @@
+lib/mptcp/mptcp_conn.ml: Array Dataplane Lazy Lia Option Sim_engine Sim_net Sim_tcp

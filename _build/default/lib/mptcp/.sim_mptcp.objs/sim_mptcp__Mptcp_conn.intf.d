@@ -1,0 +1,1 @@
+lib/mptcp/mptcp_conn.mli: Sim_engine Sim_net Sim_tcp

@@ -1,0 +1,50 @@
+module Time = Sim_engine.Sim_time
+module Scheduler = Sim_engine.Scheduler
+module Intervals = Sim_tcp.Intervals
+
+type t = {
+  sched : Scheduler.t;
+  size : int;
+  mutable next_dsn : int;
+  received : Intervals.t;
+  mutable completed_at : Time.t option;
+  on_complete : unit -> unit;
+}
+
+let create ~sched ~size ~on_complete =
+  if size < 0 then invalid_arg "Dataplane.create: negative size";
+  {
+    sched;
+    size;
+    next_dsn = 0;
+    received = Intervals.create ();
+    completed_at = None;
+    on_complete;
+  }
+
+let pull t ~max =
+  if max <= 0 then invalid_arg "Dataplane.pull: max must be positive";
+  if t.next_dsn >= t.size then None
+  else begin
+    let len = min max (t.size - t.next_dsn) in
+    let dsn = t.next_dsn in
+    t.next_dsn <- t.next_dsn + len;
+    Some (dsn, len)
+  end
+
+let assigned t = t.next_dsn
+let unassigned t = t.next_dsn < t.size
+
+let deliver t ~dsn ~len =
+  if dsn >= 0 && t.completed_at = None then begin
+    ignore (Intervals.add t.received ~start:dsn ~stop:(dsn + len));
+    if Intervals.total t.received >= t.size then begin
+      t.completed_at <- Some (Scheduler.now t.sched);
+      t.on_complete ()
+    end
+  end
+
+let received_bytes t = Intervals.total t.received
+let is_complete t = t.completed_at <> None
+let completed_at t = t.completed_at
+let size t = t.size

@@ -1,0 +1,36 @@
+(** Shared data-level state of a multipath connection.
+
+    One side allocates data-sequence ranges to subflows on demand (the
+    transmission opportunity *is* the scheduler: whichever subflow has
+    congestion-window space pulls the next chunk); the other side
+    tracks data-level coverage to detect completion — the paper's
+    flow-completion definition (all bytes received, any subflow). *)
+
+module Time = Sim_engine.Sim_time
+
+type t
+
+val create :
+  sched:Sim_engine.Scheduler.t -> size:int -> on_complete:(unit -> unit) -> t
+
+(** {1 Sender side} *)
+
+val pull : t -> max:int -> (int * int) option
+(** Allocate the next [(dsn, len)] chunk, [len <= max]. *)
+
+val assigned : t -> int
+(** Bytes allocated to subflows so far. *)
+
+val unassigned : t -> bool
+(** Whether unallocated data remains. *)
+
+(** {1 Receiver side} *)
+
+val deliver : t -> dsn:int -> len:int -> unit
+(** Record received data (duplicates are fine); fires [on_complete]
+    exactly once when coverage reaches [size]. *)
+
+val received_bytes : t -> int
+val is_complete : t -> bool
+val completed_at : t -> Time.t option
+val size : t -> int

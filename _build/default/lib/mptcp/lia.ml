@@ -1,0 +1,58 @@
+module Cong = Sim_tcp.Cong
+module Time = Sim_engine.Sim_time
+
+type group = { mutable windows : Cong.window list }
+
+let make_group () = { windows = [] }
+
+let subflow_count g = List.length g.windows
+
+(* RTT fallback before the first sample; only influences the very first
+   increases of a subflow. *)
+let default_rtt_s = 1e-3
+
+let rtt_s (w : Cong.window) =
+  match w.Cong.srtt () with
+  | Some t -> Float.max 1e-6 (Time.to_sec t)
+  | None -> default_rtt_s
+
+let alpha g =
+  match g.windows with
+  | [] -> 1.
+  | windows ->
+    let total = List.fold_left (fun acc w -> acc +. w.Cong.get_cwnd ()) 0. windows in
+    if total <= 0. then 1.
+    else begin
+      let best =
+        List.fold_left
+          (fun acc w ->
+            let r = rtt_s w in
+            Float.max acc (w.Cong.get_cwnd () /. (r *. r)))
+          0. windows
+      in
+      let denom =
+        List.fold_left (fun acc w -> acc +. (w.Cong.get_cwnd () /. rtt_s w)) 0. windows
+      in
+      if denom <= 0. then 1. else total *. best /. (denom *. denom)
+    end
+
+let attach g (w : Cong.window) =
+  g.windows <- w :: g.windows;
+  let on_ack ~acked ~ece:_ =
+    if w.Cong.get_cwnd () < w.Cong.get_ssthresh () then
+      Cong.slow_start_increase w ~acked
+    else begin
+      let total =
+        List.fold_left (fun acc w' -> acc +. w'.Cong.get_cwnd ()) 0. g.windows
+      in
+      let a = alpha g in
+      let mss = float_of_int w.Cong.mss in
+      let acked_f = float_of_int acked in
+      let coupled = a *. acked_f *. mss /. Float.max total mss in
+      let uncoupled = acked_f *. mss /. Float.max (w.Cong.get_cwnd ()) mss in
+      let inc = Float.min coupled uncoupled in
+      (* Same per-ACK cap as byte-counted AIMD. *)
+      w.Cong.set_cwnd (w.Cong.get_cwnd () +. Float.min inc mss)
+    end
+  in
+  { Cong.name = "lia"; on_ack; on_loss = Cong.reno_on_loss w }

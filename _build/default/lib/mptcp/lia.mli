@@ -1,0 +1,26 @@
+(** Linked-Increase congestion control (RFC 6356), the MPTCP coupled
+    algorithm evaluated in the paper.
+
+    All subflows of a connection share a {!group}. On every ACK the
+    group computes
+
+    {v alpha = cwnd_total * max_i(w_i / rtt_i^2) / (sum_i w_i / rtt_i)^2 v}
+
+    and subflow [i] increases by
+    [min(alpha * acked * mss / cwnd_total, acked * mss / w_i)] bytes in
+    congestion avoidance — never more aggressive than an uncoupled TCP
+    on its best path, and shifting load away from congested paths.
+    Slow start and the loss response are the standard per-subflow
+    mechanisms. *)
+
+type group
+
+val make_group : unit -> group
+
+val attach : group -> Sim_tcp.Cong.window -> Sim_tcp.Cong.t
+(** Join a subflow's window to the group and get its controller. *)
+
+val subflow_count : group -> int
+
+val alpha : group -> float
+(** Current coupling factor (diagnostic; recomputed on demand). *)

@@ -1,0 +1,1 @@
+lib/net/dumbbell.ml: Addr Array Host Layer Packet Printf Switch Topology

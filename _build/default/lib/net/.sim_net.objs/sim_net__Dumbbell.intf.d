@@ -1,0 +1,1 @@
+lib/net/dumbbell.mli: Sim_engine Topology

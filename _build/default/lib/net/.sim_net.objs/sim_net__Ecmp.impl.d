@@ -1,0 +1,1 @@
+lib/net/ecmp.ml: Addr Int64 Packet Stdlib

@@ -1,0 +1,1 @@
+lib/net/ecmp.mli: Packet

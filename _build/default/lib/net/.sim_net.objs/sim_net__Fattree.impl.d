@@ -1,0 +1,1 @@
+lib/net/fattree.ml: Addr Array Builder Ecmp Host Layer Packet Printf Switch Topology

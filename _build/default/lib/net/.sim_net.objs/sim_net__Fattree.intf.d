@@ -1,0 +1,1 @@
+lib/net/fattree.mli: Addr Sim_engine Topology

@@ -1,0 +1,1 @@
+lib/net/flowmon.ml: Array Hashtbl Layer Link List Packet Pktqueue Topology

@@ -1,0 +1,1 @@
+lib/net/flowmon.mli: Layer Topology

@@ -1,0 +1,1 @@
+lib/net/host.ml: Addr Array Ecmp Hashtbl Link Packet Sim_engine

@@ -1,0 +1,1 @@
+lib/net/host.mli: Addr Link Packet Sim_engine

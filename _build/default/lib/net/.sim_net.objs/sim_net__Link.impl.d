@@ -1,0 +1,1 @@
+lib/net/link.ml: Int64 List Packet Pktqueue Sim_engine

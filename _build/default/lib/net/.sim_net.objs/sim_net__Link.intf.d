@@ -1,0 +1,1 @@
+lib/net/link.mli: Packet Pktqueue Sim_engine

@@ -1,0 +1,1 @@
+lib/net/multihomed.ml: Addr Array Builder Ecmp Hashtbl Host Layer Packet Printf Switch Topology

@@ -1,0 +1,1 @@
+lib/net/multihomed.mli: Sim_engine Topology

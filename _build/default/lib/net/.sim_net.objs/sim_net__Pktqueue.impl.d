@@ -1,0 +1,1 @@
+lib/net/pktqueue.ml: Layer Packet Queue Sim_engine

@@ -1,0 +1,1 @@
+lib/net/pktqueue.mli: Layer Packet

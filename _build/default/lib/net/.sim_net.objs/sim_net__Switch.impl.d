@@ -1,0 +1,1 @@
+lib/net/switch.ml: Layer Link Packet

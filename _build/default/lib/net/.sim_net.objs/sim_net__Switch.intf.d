@@ -1,0 +1,1 @@
+lib/net/switch.mli: Layer Link Packet

@@ -1,0 +1,1 @@
+lib/net/topology.ml: Addr Array Host Layer Link List Pktqueue Sim_engine Switch

@@ -1,0 +1,1 @@
+lib/net/topology.mli: Addr Host Layer Link Pktqueue Sim_engine Switch

@@ -1,0 +1,1 @@
+lib/net/vl2.ml: Addr Array Builder Ecmp Hashtbl Host Layer List Packet Printf Switch Topology

@@ -1,0 +1,1 @@
+lib/net/vl2.mli: Sim_engine Topology

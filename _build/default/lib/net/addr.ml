@@ -1,0 +1,11 @@
+type t = int
+
+let of_int i =
+  if i < 0 then invalid_arg "Addr.of_int: negative";
+  i
+
+let to_int t = t
+let equal = Int.equal
+let compare = Int.compare
+let hash t = t
+let pp ppf t = Format.fprintf ppf "h%d" t

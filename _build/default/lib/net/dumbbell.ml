@@ -1,0 +1,121 @@
+module Builder = Topology.Builder
+
+let no_paths a b = if Addr.equal a b then 0 else 1
+
+let direct ~sched ?(spec = Topology.default_link_spec) () =
+  let b = Builder.create sched in
+  let h0 = Host.create ~sched ~addr:(Addr.of_int 0) in
+  let h1 = Host.create ~sched ~addr:(Addr.of_int 1) in
+  let l01 = Builder.make_link b ~spec ~layer:Layer.Host_layer in
+  let l10 = Builder.make_link b ~spec ~layer:Layer.Host_layer in
+  Builder.to_host l01 h1;
+  Builder.to_host l10 h0;
+  Host.add_nic h0 l01;
+  Host.add_nic h1 l10;
+  {
+    Topology.sched;
+    name = "direct";
+    hosts = [| h0; h1 |];
+    switches = [||];
+    links = Builder.links b;
+    path_count = no_paths;
+  }
+
+let create ~sched ?(edge_spec = Topology.default_link_spec)
+    ?(bottleneck_spec = Topology.default_link_spec) ~pairs () =
+  if pairs < 1 then invalid_arg "Dumbbell.create: pairs must be >= 1";
+  let b = Builder.create sched in
+  let n = 2 * pairs in
+  let hosts = Array.init n (fun i -> Host.create ~sched ~addr:(Addr.of_int i)) in
+  let sw_left = Switch.create ~id:0 ~layer:Layer.Edge_layer in
+  let sw_right = Switch.create ~id:1 ~layer:Layer.Edge_layer in
+  let host_down = Array.make n None in
+  let attach sw i =
+    let up = Builder.make_link b ~spec:edge_spec ~layer:Layer.Host_layer in
+    Builder.to_switch up sw;
+    Host.add_nic hosts.(i) up;
+    let down = Builder.make_link b ~spec:edge_spec ~layer:Layer.Edge_layer in
+    Builder.to_host down hosts.(i);
+    host_down.(i) <- Some down
+  in
+  for i = 0 to pairs - 1 do
+    attach sw_left i
+  done;
+  for i = pairs to n - 1 do
+    attach sw_right i
+  done;
+  let lr = Builder.make_link b ~spec:bottleneck_spec ~layer:Layer.Core_layer in
+  let rl = Builder.make_link b ~spec:bottleneck_spec ~layer:Layer.Core_layer in
+  Builder.to_switch lr sw_right;
+  Builder.to_switch rl sw_left;
+  let down i =
+    match host_down.(i) with Some l -> l | None -> assert false
+  in
+  Switch.set_route sw_left (fun pkt ->
+      let d = Addr.to_int pkt.Packet.dst in
+      if d < pairs then down d else lr);
+  Switch.set_route sw_right (fun pkt ->
+      let d = Addr.to_int pkt.Packet.dst in
+      if d >= pairs then down d else rl);
+  {
+    Topology.sched;
+    name = Printf.sprintf "dumbbell-%d" pairs;
+    hosts;
+    switches = [| sw_left; sw_right |];
+    links = Builder.links b;
+    path_count = no_paths;
+  }
+
+let parking_lot ~sched ?(spec = Topology.default_link_spec) ~hops () =
+  if hops < 1 then invalid_arg "Dumbbell.parking_lot: hops must be >= 1";
+  let b = Builder.create sched in
+  (* Switches s0 .. s_hops in a chain; sender i attaches to switch i,
+     the single receiver attaches to the last switch. *)
+  let switches =
+    Array.init (hops + 1) (fun i -> Switch.create ~id:i ~layer:Layer.Edge_layer)
+  in
+  let hosts =
+    Array.init (hops + 1) (fun i -> Host.create ~sched ~addr:(Addr.of_int i))
+  in
+  let host_down = Array.make (hops + 1) None in
+  Array.iteri
+    (fun i _ ->
+      let sw = switches.(min i hops) in
+      let up = Builder.make_link b ~spec ~layer:Layer.Host_layer in
+      Builder.to_switch up sw;
+      Host.add_nic hosts.(i) up;
+      let downl = Builder.make_link b ~spec ~layer:Layer.Edge_layer in
+      Builder.to_host downl hosts.(i);
+      host_down.(i) <- Some downl)
+    hosts;
+  (* Chain links, both directions, tagged Core for easy inspection. *)
+  let fwd =
+    Array.init hops (fun i ->
+        let l = Builder.make_link b ~spec ~layer:Layer.Core_layer in
+        Builder.to_switch l switches.(i + 1);
+        l)
+  in
+  let bwd =
+    Array.init hops (fun i ->
+        let l = Builder.make_link b ~spec ~layer:Layer.Core_layer in
+        Builder.to_switch l switches.(i);
+        l)
+  in
+  let down i = match host_down.(i) with Some l -> l | None -> assert false in
+  Array.iteri
+    (fun si sw ->
+      Switch.set_route sw (fun pkt ->
+          let d = Addr.to_int pkt.Packet.dst in
+          let d_switch = min d hops in
+          if d_switch = si then down d
+          else if d_switch > si then fwd.(si)
+          else bwd.(si - 1)))
+    switches;
+  {
+    Topology.sched;
+    name = Printf.sprintf "parking-lot-%d" hops;
+    hosts;
+    switches;
+    links = Builder.links b;
+    path_count = no_paths;
+  }

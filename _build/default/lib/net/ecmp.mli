@@ -1,0 +1,16 @@
+(** Hash-based equal-cost multi-path selection.
+
+    Switches hash the 5-tuple of each packet to pick among equal-cost
+    next hops, as in RFC 2992-style ECMP. The hash is deterministic, so
+    all packets of a (src, dst, sport, dport) flow follow one path —
+    which is exactly why per-packet source-port randomisation in
+    MMPTCP's packet-scatter phase sprays packets across all paths. *)
+
+val flow_hash : Packet.t -> int
+(** Non-negative hash of the packet's 5-tuple. *)
+
+val select : Packet.t -> salt:int -> n:int -> int
+(** [select pkt ~salt ~n] picks an index in [\[0, n)]. [salt] decorrelates
+    the choice made by different switches on the same flow (real
+    switches use distinct hash seeds; without this, hash polarisation
+    would collapse path diversity). *)

@@ -1,0 +1,151 @@
+type params = {
+  k : int;
+  oversub : int;
+  host_spec : Topology.link_spec;
+  fabric_spec : Topology.link_spec;
+}
+
+let default_params ?(k = 4) ?(oversub = 4) () =
+  {
+    k;
+    oversub;
+    host_spec = Topology.default_link_spec;
+    fabric_spec = Topology.default_link_spec;
+  }
+
+let validate p =
+  if p.k < 2 || p.k mod 2 <> 0 then
+    invalid_arg "Fattree: k must be even and >= 2";
+  if p.oversub < 1 then invalid_arg "Fattree: oversub must be >= 1"
+
+let hosts_per_edge p = p.k / 2 * p.oversub
+let hosts_per_pod p = p.k / 2 * hosts_per_edge p
+let host_count p = p.k * hosts_per_pod p
+
+let position p addr =
+  let h = Addr.to_int addr in
+  let hpe = hosts_per_edge p and hpp = hosts_per_pod p in
+  let pod = h / hpp in
+  let rem = h mod hpp in
+  (pod, rem / hpe, rem mod hpe)
+
+let paths_between p a b =
+  let pa, ea, _ = position p a and pb, eb, _ = position p b in
+  let half = p.k / 2 in
+  if Addr.equal a b then 0
+  else if pa = pb && ea = eb then 1
+  else if pa = pb then half
+  else half * half
+
+let create ~sched p =
+  validate p;
+  let n_hosts = host_count p in
+  let open Topology in
+  let b = Builder.create sched in
+  let half = p.k / 2 in
+  let pods = p.k in
+  let hpe = hosts_per_edge p in
+  let hosts =
+    Array.init n_hosts (fun i -> Host.create ~sched ~addr:(Addr.of_int i))
+  in
+  (* Switch ids are globally unique so ECMP salts differ per switch. *)
+  let next_sw = ref 0 in
+  let fresh_switch layer =
+    let sw = Switch.create ~id:!next_sw ~layer in
+    incr next_sw;
+    sw
+  in
+  let edge = Array.init pods (fun _ -> Array.init half (fun _ -> fresh_switch Layer.Edge_layer)) in
+  let agg = Array.init pods (fun _ -> Array.init half (fun _ -> fresh_switch Layer.Agg_layer)) in
+  let core = Array.init (half * half) (fun _ -> fresh_switch Layer.Core_layer) in
+
+  (* Host <-> edge links. *)
+  let edge_down = (* edge_down.(pod).(e).(i) : edge -> host i *)
+    Array.init pods (fun pd ->
+        Array.init half (fun e ->
+            Array.init hpe (fun i ->
+                let host_id = (pd * half + e) * hpe + i in
+                let l = Builder.make_link b ~spec:p.host_spec ~layer:Layer.Edge_layer in
+                Builder.to_host l hosts.(host_id);
+                let up = Builder.make_link b ~spec:p.host_spec ~layer:Layer.Host_layer in
+                Builder.to_switch up edge.(pd).(e);
+                Host.add_nic hosts.(host_id) up;
+                l)))
+  in
+  (* Edge <-> agg links (within each pod, full bipartite). *)
+  let edge_up = (* edge_up.(pod).(e).(a) : edge e -> agg a *)
+    Array.init pods (fun pd ->
+        Array.init half (fun e ->
+            Array.init half (fun a ->
+                let l = Builder.make_link b ~spec:p.fabric_spec ~layer:Layer.Edge_layer in
+                Builder.to_switch l agg.(pd).(a);
+                ignore e;
+                l)))
+  in
+  let agg_down = (* agg_down.(pod).(a).(e) : agg a -> edge e *)
+    Array.init pods (fun pd ->
+        Array.init half (fun a ->
+            Array.init half (fun e ->
+                let l = Builder.make_link b ~spec:p.fabric_spec ~layer:Layer.Agg_layer in
+                Builder.to_switch l edge.(pd).(e);
+                ignore a;
+                l)))
+  in
+  (* Agg <-> core links. Core c = a * half + m connects to agg a of
+     every pod; agg (pd, a) uplink m goes to core a*half + m. *)
+  let agg_up = (* agg_up.(pod).(a).(m) : agg -> core (a*half + m) *)
+    Array.init pods (fun pd ->
+        Array.init half (fun a ->
+            Array.init half (fun m ->
+                let l = Builder.make_link b ~spec:p.fabric_spec ~layer:Layer.Agg_layer in
+                Builder.to_switch l core.((a * half) + m);
+                ignore pd;
+                l)))
+  in
+  let core_down = (* core_down.(c).(pod) : core -> agg (c / half) of pod *)
+    Array.init (half * half) (fun c ->
+        Array.init pods (fun pd ->
+            let l = Builder.make_link b ~spec:p.fabric_spec ~layer:Layer.Core_layer in
+            Builder.to_switch l agg.(pd).(c / half);
+            l))
+  in
+
+  (* Routing. *)
+  let pos addr = position p addr in
+  for pd = 0 to pods - 1 do
+    for e = 0 to half - 1 do
+      let sw = edge.(pd).(e) in
+      let salt = Switch.id sw in
+      Switch.set_route sw (fun pkt ->
+          let dpd, de, di = pos pkt.Packet.dst in
+          if dpd = pd && de = e then edge_down.(pd).(e).(di)
+          else edge_up.(pd).(e).(Ecmp.select pkt ~salt ~n:half))
+    done;
+    for a = 0 to half - 1 do
+      let sw = agg.(pd).(a) in
+      let salt = Switch.id sw in
+      Switch.set_route sw (fun pkt ->
+          let dpd, de, _ = pos pkt.Packet.dst in
+          if dpd = pd then agg_down.(pd).(a).(de)
+          else agg_up.(pd).(a).(Ecmp.select pkt ~salt ~n:half))
+    done
+  done;
+  Array.iteri
+    (fun c sw ->
+      Switch.set_route sw (fun pkt ->
+          let dpd, _, _ = pos pkt.Packet.dst in
+          core_down.(c).(dpd)))
+    core;
+
+  let switches =
+    Array.concat
+      [ Array.concat (Array.to_list edge); Array.concat (Array.to_list agg); core ]
+  in
+  {
+    sched;
+    name = Printf.sprintf "fattree-k%d-oversub%d" p.k p.oversub;
+    hosts;
+    switches;
+    links = Builder.links b;
+    path_count = (fun a bb -> paths_between p a bb);
+  }

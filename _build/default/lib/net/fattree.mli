@@ -1,0 +1,37 @@
+(** k-ary FatTree (Al-Fares et al., SIGCOMM 2008) with configurable
+    over-subscription and hash-based ECMP.
+
+    For even [k] the fabric has [k] pods, each with [k/2] edge and
+    [k/2] aggregation switches, and [(k/2)^2] core switches. With
+    over-subscription ratio [oversub], every edge switch serves
+    [oversub * k/2] hosts behind its [k/2] uplinks, so the total host
+    count is [oversub * k^3/4]. The paper's 512-server 4:1 topology is
+    exactly [k = 8, oversub = 4].
+
+    Routing is the standard two-level scheme: upward hops are selected
+    by per-switch-salted ECMP hashing on the packet 5-tuple; downward
+    hops are deterministic from the destination address. The number of
+    equal-cost paths is 1 (same edge), [k/2] (same pod) or [(k/2)^2]
+    (different pods); [Topology.path_count] exposes this, which is what
+    MMPTCP's topology-aware dup-ACK threshold consumes. *)
+
+type params = {
+  k : int;  (** even, >= 2 *)
+  oversub : int;  (** hosts per edge-switch uplink; 1 = full bisection *)
+  host_spec : Topology.link_spec;  (** host-to-edge links *)
+  fabric_spec : Topology.link_spec;  (** edge-agg and agg-core links *)
+}
+
+val default_params : ?k:int -> ?oversub:int -> unit -> params
+(** Defaults: [k = 4], [oversub = 4], all links [default_link_spec]. *)
+
+val host_count : params -> int
+
+val create : sched:Sim_engine.Scheduler.t -> params -> Topology.t
+
+(** {1 Address arithmetic} *)
+
+val position : params -> Addr.t -> int * int * int
+(** [(pod, edge, index)] of a host address. *)
+
+val paths_between : params -> Addr.t -> Addr.t -> int

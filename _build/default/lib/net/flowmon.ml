@@ -1,0 +1,91 @@
+type conn_stats = {
+  mutable tx_packets : int;
+  mutable tx_bytes : int;
+  mutable drops : int;
+  mutable retransmitted_segments : int;
+  mutable per_layer_packets : (Layer.t * int) list;
+  mutable drops_per_layer : (Layer.t * int) list;
+}
+
+type t = {
+  table : (int, conn_stats) Hashtbl.t;
+  (* (conn, subflow, seq) first-transmission dedup, host layer only. *)
+  seen : (int * int * int, unit) Hashtbl.t;
+}
+
+let fresh_stats () =
+  {
+    tx_packets = 0;
+    tx_bytes = 0;
+    drops = 0;
+    retransmitted_segments = 0;
+    per_layer_packets = [];
+    drops_per_layer = [];
+  }
+
+let get t conn =
+  match Hashtbl.find_opt t.table conn with
+  | Some s -> s
+  | None ->
+    let s = fresh_stats () in
+    Hashtbl.replace t.table conn s;
+    s
+
+let bump_layer assoc layer =
+  let rec go = function
+    | [] -> [ (layer, 1) ]
+    | (l, n) :: rest when Layer.equal l layer -> (l, n + 1) :: rest
+    | entry :: rest -> entry :: go rest
+  in
+  go assoc
+
+let attach net =
+  let t = { table = Hashtbl.create 64; seen = Hashtbl.create 1024 } in
+  Array.iter
+    (fun link ->
+      let layer = Pktqueue.layer (Link.queue link) in
+      Link.add_tap link (fun pkt ->
+          if Packet.is_data pkt then begin
+            let s = get t pkt.Packet.tcp.Packet.conn in
+            s.tx_packets <- s.tx_packets + 1;
+            s.tx_bytes <- s.tx_bytes + pkt.Packet.size;
+            s.per_layer_packets <- bump_layer s.per_layer_packets layer;
+            if Layer.equal layer Layer.Host_layer then begin
+              let key =
+                ( pkt.Packet.tcp.Packet.conn,
+                  pkt.Packet.tcp.Packet.subflow,
+                  pkt.Packet.tcp.Packet.seq )
+              in
+              if Hashtbl.mem t.seen key then
+                s.retransmitted_segments <- s.retransmitted_segments + 1
+              else Hashtbl.replace t.seen key ()
+            end
+          end);
+      Pktqueue.set_drop_hook (Link.queue link)
+        (Some
+           (fun pkt ->
+             let s = get t pkt.Packet.tcp.Packet.conn in
+             s.drops <- s.drops + 1;
+             s.drops_per_layer <- bump_layer s.drops_per_layer layer;
+             (* A segment dropped at the sender's own uplink never hits
+                the transmit tap; record it so its retransmission is
+                still recognised as one. *)
+             if Layer.equal layer Layer.Host_layer && Packet.is_data pkt then
+               Hashtbl.replace t.seen
+                 ( pkt.Packet.tcp.Packet.conn,
+                   pkt.Packet.tcp.Packet.subflow,
+                   pkt.Packet.tcp.Packet.seq )
+                 ())))
+    net.Topology.links;
+  t
+
+let conn_stats t ~conn = Hashtbl.find_opt t.table conn
+let conns t = Hashtbl.fold (fun c _ acc -> c :: acc) t.table []
+
+let total_drops t =
+  Hashtbl.fold (fun _ s acc -> acc + s.drops) t.table 0
+
+let top_talkers t ~n =
+  Hashtbl.fold (fun c s acc -> (c, s) :: acc) t.table []
+  |> List.sort (fun (_, a) (_, b) -> compare b.tx_bytes a.tx_bytes)
+  |> List.filteri (fun i _ -> i < n)

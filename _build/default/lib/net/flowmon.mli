@@ -1,0 +1,32 @@
+(** Per-flow network accounting (an ns-3 FlowMonitor analogue).
+
+    Attach one monitor to a built topology and it taps every link and
+    queue, aggregating per-connection counters: packets/bytes
+    transmitted per layer, drops per layer, and retransmission
+    estimates (data segments whose (subflow, sequence) was seen
+    before). Passive — attaching a monitor never changes simulation
+    behaviour, only adds constant work per forwarded packet. *)
+
+type conn_stats = {
+  mutable tx_packets : int;  (** data segments transmitted (all hops) *)
+  mutable tx_bytes : int;
+  mutable drops : int;
+  mutable retransmitted_segments : int;
+      (** distinct (subflow, seq) seen more than once at host uplinks *)
+  mutable per_layer_packets : (Layer.t * int) list;
+  mutable drops_per_layer : (Layer.t * int) list;
+}
+
+type t
+
+val attach : Topology.t -> t
+(** Install taps on every link and queue of the topology. *)
+
+val conn_stats : t -> conn:int -> conn_stats option
+val conns : t -> int list
+(** Connections seen, unordered. *)
+
+val total_drops : t -> int
+
+val top_talkers : t -> n:int -> (int * conn_stats) list
+(** The [n] connections with the most transmitted bytes, descending. *)

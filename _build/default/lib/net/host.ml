@@ -1,0 +1,37 @@
+type t = {
+  sched : Sim_engine.Scheduler.t;
+  addr : Addr.t;
+  mutable nics : Link.t array;
+  demux : (int, Packet.t -> unit) Hashtbl.t;
+  mutable unmatched : int;
+}
+
+let create ~sched ~addr =
+  { sched; addr; nics = [||]; demux = Hashtbl.create 16; unmatched = 0 }
+
+let addr t = t.addr
+let sched t = t.sched
+
+let add_nic t link = t.nics <- Array.append t.nics [| link |]
+let nic_count t = Array.length t.nics
+
+let send t pkt =
+  match Array.length t.nics with
+  | 0 -> failwith "Host.send: host has no NIC"
+  | 1 -> Link.send t.nics.(0) pkt
+  | n ->
+    let i = Ecmp.select pkt ~salt:(Addr.to_int t.addr + 0x5115) ~n in
+    Link.send t.nics.(i) pkt
+
+let receive t pkt =
+  match Hashtbl.find_opt t.demux pkt.Packet.tcp.Packet.conn with
+  | Some handler -> handler pkt
+  | None -> t.unmatched <- t.unmatched + 1
+
+let bind t ~conn handler =
+  if Hashtbl.mem t.demux conn then
+    invalid_arg "Host.bind: connection id already bound";
+  Hashtbl.replace t.demux conn handler
+
+let unbind t ~conn = Hashtbl.remove t.demux conn
+let unmatched t = t.unmatched

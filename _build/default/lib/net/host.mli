@@ -1,0 +1,33 @@
+(** End host.
+
+    A host owns one or more NICs (uplinks to edge switches — more than
+    one only in multi-homed topologies) and a demultiplexing table from
+    connection id to handler. Transport endpoints bind their connection
+    id on both hosts; packets whose connection id is not bound are
+    counted and discarded. *)
+
+type t
+
+val create : sched:Sim_engine.Scheduler.t -> addr:Addr.t -> t
+
+val addr : t -> Addr.t
+val sched : t -> Sim_engine.Scheduler.t
+
+val add_nic : t -> Link.t -> unit
+(** Register an uplink. Called by topology builders. *)
+
+val nic_count : t -> int
+
+val send : t -> Packet.t -> unit
+(** Transmit via the single NIC, or ECMP-select among NICs when
+    multi-homed. Raises [Failure] if the host has no NIC. *)
+
+val receive : t -> Packet.t -> unit
+(** Deliver an incoming packet to the bound connection handler. *)
+
+val bind : t -> conn:int -> (Packet.t -> unit) -> unit
+(** Raises [Invalid_argument] if the connection id is already bound. *)
+
+val unbind : t -> conn:int -> unit
+val unmatched : t -> int
+(** Packets that arrived for an unbound connection id. *)

@@ -1,0 +1,101 @@
+module Time = Sim_engine.Sim_time
+module Scheduler = Sim_engine.Scheduler
+
+type stats = {
+  mutable tx_packets : int;
+  mutable tx_bytes : int;
+  mutable busy_ns : int64;
+}
+
+type t = {
+  sched : Scheduler.t;
+  rate_bps : float;
+  delay : Time.t;
+  jitter : Time.t;
+  jitter_rng : Sim_engine.Rng.t;
+  queue : Pktqueue.t;
+  id : int;
+  mutable deliver : (Packet.t -> unit) option;
+  mutable taps : (Packet.t -> unit) list;
+  mutable busy : bool;
+  mutable last_delivery : Time.t;
+  st : stats;
+}
+
+let create ?(jitter = Time.of_us 5.) ~sched ~rate_bps ~delay ~queue ~id () =
+  if rate_bps <= 0. then invalid_arg "Link.create: rate must be positive";
+  {
+    sched;
+    rate_bps;
+    delay;
+    jitter;
+    (* Seeded from the link id: runs stay bit-for-bit reproducible. *)
+    jitter_rng = Sim_engine.Rng.create ~seed:(0x11CC + id);
+    queue;
+    id;
+    deliver = None;
+    taps = [];
+    busy = false;
+    last_delivery = Time.zero;
+    st = { tx_packets = 0; tx_bytes = 0; busy_ns = 0L };
+  }
+
+let attach t f = t.deliver <- Some f
+let add_tap t f = t.taps <- f :: t.taps
+
+let tx_time t ~bytes =
+  Time.of_ns (Int64.of_float (float_of_int (bytes * 8) /. t.rate_bps *. 1e9))
+
+let rec pump t =
+  match Pktqueue.dequeue t.queue with
+  | None -> t.busy <- false
+  | Some pkt ->
+    t.busy <- true;
+    let tx = tx_time t ~bytes:pkt.Packet.size in
+    t.st.tx_packets <- t.st.tx_packets + 1;
+    t.st.tx_bytes <- t.st.tx_bytes + pkt.Packet.size;
+    t.st.busy_ns <- Int64.add t.st.busy_ns (Time.to_ns tx);
+    List.iter (fun tap -> tap pkt) t.taps;
+    let deliver =
+      match t.deliver with
+      | Some f -> f
+      | None -> failwith "Link.send: no receiver attached"
+    in
+    ignore
+      (Scheduler.schedule_after t.sched tx (fun () ->
+           (* Serialisation done: the packet enters the wire and the
+              transmitter is free for the next one. Propagation gets a
+              small random jitter (switch pipelines and NICs are not
+              perfectly deterministic; without this, exact ACK-clocking
+              produces drop-tail lockout artifacts), clamped so the
+              link stays FIFO. *)
+           let extra =
+             if Time.is_zero t.jitter then Time.zero
+             else Time.of_ns (Int64.of_float
+                    (Sim_engine.Rng.float t.jitter_rng
+                       (Int64.to_float (Time.to_ns t.jitter))))
+           in
+           let target =
+             Time.add (Time.add (Scheduler.now t.sched) t.delay) extra
+           in
+           let when_ = Time.max target t.last_delivery in
+           t.last_delivery <- when_;
+           ignore
+             (Scheduler.schedule_at t.sched when_ (fun () -> deliver pkt));
+           pump t))
+
+let send t pkt =
+  if t.deliver = None then failwith "Link.send: no receiver attached";
+  let accepted = Pktqueue.enqueue t.queue pkt in
+  if accepted && not t.busy then pump t
+
+let id t = t.id
+let queue t = t.queue
+let rate_bps t = t.rate_bps
+let delay t = t.delay
+let stats t = t.st
+
+let utilisation t ~now =
+  let n = Time.to_ns now in
+  if Int64.equal n 0L then 0.
+  else Int64.to_float t.st.busy_ns /. Int64.to_float n

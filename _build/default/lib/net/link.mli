@@ -1,0 +1,58 @@
+(** Unidirectional point-to-point link.
+
+    A link models a transmitter (store-and-forward serialisation at
+    [rate_bps] out of a drop-tail queue) followed by fixed propagation
+    delay. Transmission is pipelined: the next packet starts
+    serialising as soon as the previous one has left the transmitter,
+    while earlier packets are still propagating.
+
+    The receive side is a closure installed with [attach]; topologies
+    wire it to the downstream switch or host. *)
+
+type stats = {
+  mutable tx_packets : int;
+  mutable tx_bytes : int;
+  mutable busy_ns : int64;  (** cumulative serialisation time *)
+}
+
+type t
+
+val create :
+  ?jitter:Sim_engine.Sim_time.t ->
+  sched:Sim_engine.Scheduler.t ->
+  rate_bps:float ->
+  delay:Sim_engine.Sim_time.t ->
+  queue:Pktqueue.t ->
+  id:int ->
+  unit ->
+  t
+(** [jitter] (default 5 us) is the bound of a uniform random extra
+    propagation delay applied per packet, from a per-link deterministic
+    stream. It decorrelates otherwise perfectly ACK-clocked arrivals —
+    without it drop-tail FIFOs exhibit total lockout of sparse flows, a
+    simulation artifact. Delivery order on a link remains FIFO. Pass
+    [Sim_time.zero] for exact timing (used by timing unit tests). *)
+
+val attach : t -> (Packet.t -> unit) -> unit
+(** Install the receiver-side handler. Must be called before traffic
+    flows; [send] raises [Failure] otherwise. *)
+
+val add_tap : t -> (Packet.t -> unit) -> unit
+(** Register a passive observer called for every packet as it starts
+    transmitting (flow monitors, packet sniffers). Taps never affect
+    forwarding. *)
+
+val send : t -> Packet.t -> unit
+(** Enqueue a packet for transmission (drop-tail on overflow). *)
+
+val id : t -> int
+val queue : t -> Pktqueue.t
+val rate_bps : t -> float
+val delay : t -> Sim_engine.Sim_time.t
+val stats : t -> stats
+
+val utilisation : t -> now:Sim_engine.Sim_time.t -> float
+(** Fraction of wall-clock time the transmitter has been busy. *)
+
+val tx_time : t -> bytes:int -> Sim_engine.Sim_time.t
+(** Serialisation delay for a packet of [bytes] bytes. *)

@@ -1,0 +1,52 @@
+type flags = { syn : bool; ack : bool; fin : bool }
+
+type tcp = {
+  conn : int;
+  subflow : int;
+  src_port : int;
+  dst_port : int;
+  seq : int;
+  ack_seq : int;
+  len : int;
+  flags : flags;
+  ece : bool;
+  dup_seen : bool;
+  dsn : int;
+  sack : (int * int) list;
+}
+
+type t = {
+  uid : int;
+  src : Addr.t;
+  dst : Addr.t;
+  size : int;
+  tcp : tcp;
+  mutable ce : bool;
+}
+
+let header_bytes = 40
+
+let data_flags = { syn = false; ack = false; fin = false }
+let pure_ack_flags = { syn = false; ack = true; fin = false }
+let syn_flags = { syn = true; ack = false; fin = false }
+let syn_ack_flags = { syn = true; ack = true; fin = false }
+
+let uid_counter = ref 0
+
+let make ~src ~dst ~tcp =
+  incr uid_counter;
+  { uid = !uid_counter; src; dst; size = header_bytes + tcp.len; tcp; ce = false }
+
+let is_data t = t.tcp.len > 0
+let is_pure_ack t = t.tcp.len = 0 && t.tcp.flags.ack && not t.tcp.flags.syn
+
+let pp ppf t =
+  let f = t.tcp.flags in
+  Format.fprintf ppf "#%d %a->%a c%d.%d %s seq=%d ack=%d len=%d%s"
+    t.uid Addr.pp t.src Addr.pp t.dst t.tcp.conn t.tcp.subflow
+    (if f.syn && f.ack then "SYNACK"
+     else if f.syn then "SYN"
+     else if t.tcp.len > 0 then "DATA"
+     else "ACK")
+    t.tcp.seq t.tcp.ack_seq t.tcp.len
+    (if t.ce then " CE" else "")

@@ -1,0 +1,50 @@
+(** Simulated packets.
+
+    Every packet carries a TCP segment. The segment header includes the
+    standard 5-tuple fields plus the simulation-level connection id
+    (which stands in for full connection demultiplexing state at the
+    hosts) and an optional MPTCP data-sequence mapping. *)
+
+type flags = { syn : bool; ack : bool; fin : bool }
+
+type tcp = {
+  conn : int;  (** simulation-global connection identifier *)
+  subflow : int;  (** subflow index within the connection; 0 for plain TCP *)
+  src_port : int;
+  dst_port : int;
+  seq : int;  (** subflow-level byte sequence of the first payload byte *)
+  ack_seq : int;  (** cumulative acknowledgement (valid when [flags.ack]) *)
+  len : int;  (** payload bytes *)
+  flags : flags;
+  ece : bool;  (** ECN echo (receiver -> sender, for DCTCP) *)
+  dup_seen : bool;  (** duplicate-arrival signal, a DSACK stand-in *)
+  dsn : int;  (** MPTCP data-level sequence of the payload; -1 when absent *)
+  sack : (int * int) list;
+      (** selective-acknowledgement blocks [(start, stop)] above the
+          cumulative ACK; at most 3, empty when the receiver holds no
+          out-of-order data (or SACK is unused by the sender) *)
+}
+
+type t = {
+  uid : int;  (** unique per packet, for tracing *)
+  src : Addr.t;
+  dst : Addr.t;
+  size : int;  (** bytes on the wire, header included *)
+  tcp : tcp;
+  mutable ce : bool;  (** ECN congestion-experienced mark, set by queues *)
+}
+
+val header_bytes : int
+(** Combined IP + TCP header size charged to every segment (40). *)
+
+val data_flags : flags
+val pure_ack_flags : flags
+val syn_flags : flags
+val syn_ack_flags : flags
+
+val make : src:Addr.t -> dst:Addr.t -> tcp:tcp -> t
+(** Builds a packet; [size] is [header_bytes + tcp.len]. *)
+
+val is_data : t -> bool
+val is_pure_ack : t -> bool
+val pp : Format.formatter -> t -> unit

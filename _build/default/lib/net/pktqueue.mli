@@ -1,0 +1,58 @@
+(** Drop-tail FIFO packet queue with optional ECN marking.
+
+    One queue sits in front of every link transmitter. Capacity is
+    counted in packets (matching ns-3's default [DropTailQueue]
+    configuration used in the paper's era). When an ECN threshold is
+    configured, packets that arrive to a backlog at or above the
+    threshold are CE-marked instead of (not) being dropped — the
+    standard DCTCP switch behaviour. *)
+
+type stats = {
+  mutable enqueued : int;  (** packets accepted *)
+  mutable dropped : int;  (** packets dropped (queue full) *)
+  mutable marked : int;  (** packets CE-marked *)
+  mutable bytes_enqueued : int;
+  mutable max_backlog : int;  (** high-water mark, packets *)
+}
+
+type t
+
+(** Random Early Detection parameters (Floyd & Jacobson 1993). The
+    average queue is an EWMA with gain [weight]; packets are dropped
+    (or CE-marked when [mark] is set and the packet's transport
+    supports it) with probability rising linearly from 0 at [min_th]
+    to [max_p] at [max_th], and always beyond [max_th]. *)
+type red = {
+  min_th : int;  (** packets *)
+  max_th : int;  (** packets *)
+  max_p : float;
+  weight : float;  (** EWMA gain, e.g. 0.002 *)
+  mark : bool;  (** mark instead of dropping (ECN mode) *)
+}
+
+val default_red : red
+(** min 5, max 15, max_p 0.1, weight 0.002, drop mode. *)
+
+val create :
+  ?ecn_threshold:int -> ?red:red -> capacity:int -> layer:Layer.t -> unit -> t
+(** [capacity] in packets; [ecn_threshold] in packets (step marking at
+    a fixed backlog, the DCTCP style); [red] enables RED early
+    drop/marking instead. The two are exclusive; [red] wins if both are
+    given. *)
+
+val enqueue : t -> Packet.t -> bool
+(** [false] if the packet was dropped. *)
+
+val set_drop_hook : t -> (Packet.t -> unit) option -> unit
+(** Observe dropped packets (flow monitors); [None] uninstalls. *)
+
+val dequeue : t -> Packet.t option
+val backlog_pkts : t -> int
+val backlog_bytes : t -> int
+val is_empty : t -> bool
+val capacity : t -> int
+val layer : t -> Layer.t
+val stats : t -> stats
+
+val red_average : t -> float
+(** Current RED average backlog estimate; 0 when RED is off. *)

@@ -1,0 +1,21 @@
+type t = {
+  id : int;
+  layer : Layer.t;
+  mutable route : (Packet.t -> Link.t) option;
+  mutable forwarded : int;
+}
+
+let create ~id ~layer = { id; layer; route = None; forwarded = 0 }
+
+let id t = t.id
+let layer t = t.layer
+let set_route t f = t.route <- Some f
+
+let receive t pkt =
+  match t.route with
+  | None -> failwith "Switch.receive: no routing function installed"
+  | Some route ->
+    t.forwarded <- t.forwarded + 1;
+    Link.send (route pkt) pkt
+
+let forwarded t = t.forwarded

@@ -1,0 +1,20 @@
+(** Output-queued switch.
+
+    Forwarding is a pure function from packet to output link, installed
+    by the topology builder (two-level FatTree routing with upward ECMP,
+    for instance). Forwarding latency inside the switch is folded into
+    link propagation delay, as in ns-3 point-to-point models. *)
+
+type t
+
+val create : id:int -> layer:Layer.t -> t
+
+val id : t -> int
+val layer : t -> Layer.t
+
+val set_route : t -> (Packet.t -> Link.t) -> unit
+val receive : t -> Packet.t -> unit
+(** Forward a packet. Raises [Failure] if no routing function is
+    installed. *)
+
+val forwarded : t -> int

@@ -1,0 +1,91 @@
+module Time = Sim_engine.Sim_time
+module Scheduler = Sim_engine.Scheduler
+
+type link_spec = {
+  rate_bps : float;
+  delay : Time.t;
+  queue_capacity : int;
+  ecn_threshold : int option;
+  red : Pktqueue.red option;
+  jitter : Time.t;
+}
+
+let default_link_spec =
+  {
+    rate_bps = 100e6;
+    delay = Time.of_us 20.;
+    queue_capacity = 100;
+    ecn_threshold = None;
+    red = None;
+    jitter = Time.of_us 5.;
+  }
+
+type t = {
+  sched : Scheduler.t;
+  name : string;
+  hosts : Host.t array;
+  switches : Switch.t array;
+  links : Link.t array;
+  path_count : Addr.t -> Addr.t -> int;
+}
+
+let host t i = t.hosts.(i)
+let host_count t = Array.length t.hosts
+
+let layer_links t layer =
+  Array.to_list t.links
+  |> List.filter (fun l -> Layer.equal (Pktqueue.layer (Link.queue l)) layer)
+
+let layer_loss_rate t layer =
+  let offered = ref 0 and dropped = ref 0 in
+  List.iter
+    (fun l ->
+      let st = Pktqueue.stats (Link.queue l) in
+      offered := !offered + st.Pktqueue.enqueued + st.Pktqueue.dropped;
+      dropped := !dropped + st.Pktqueue.dropped)
+    (layer_links t layer);
+  if !offered = 0 then 0. else float_of_int !dropped /. float_of_int !offered
+
+let layer_utilisation t layer =
+  let links = layer_links t layer in
+  match links with
+  | [] -> 0.
+  | _ ->
+    let now = Scheduler.now t.sched in
+    let sum =
+      List.fold_left (fun acc l -> acc +. Link.utilisation l ~now) 0. links
+    in
+    sum /. float_of_int (List.length links)
+
+let total_drops t =
+  Array.fold_left
+    (fun acc l -> acc + (Pktqueue.stats (Link.queue l)).Pktqueue.dropped)
+    0 t.links
+
+module Builder = struct
+  type b = {
+    sched : Scheduler.t;
+    mutable links_rev : Link.t list;
+    mutable next_id : int;
+  }
+
+  let create sched = { sched; links_rev = []; next_id = 0 }
+  let sched b = b.sched
+
+  let make_link b ~spec ~layer =
+    let queue =
+      Pktqueue.create ?ecn_threshold:spec.ecn_threshold ?red:spec.red
+        ~capacity:spec.queue_capacity ~layer ()
+    in
+    let link =
+      Link.create ~jitter:spec.jitter ~sched:b.sched ~rate_bps:spec.rate_bps
+        ~delay:spec.delay ~queue ~id:b.next_id ()
+    in
+    b.next_id <- b.next_id + 1;
+    b.links_rev <- link :: b.links_rev;
+    link
+
+  let links b = Array.of_list (List.rev b.links_rev)
+  let to_switch link sw = Link.attach link (Switch.receive sw)
+  let to_host link h = Link.attach link (Host.receive h)
+end

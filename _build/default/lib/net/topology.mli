@@ -1,0 +1,66 @@
+(** Assembled networks.
+
+    A topology bundles the hosts, switches and links of a built network
+    together with a path-count oracle (the number of equal-cost paths
+    ECMP can use between two hosts — the quantity MMPTCP's
+    topology-aware dup-ACK heuristic derives from FatTree addressing). *)
+
+module Time = Sim_engine.Sim_time
+
+type link_spec = {
+  rate_bps : float;
+  delay : Time.t;
+  queue_capacity : int;  (** packets *)
+  ecn_threshold : int option;  (** packets; [None] disables marking *)
+  red : Pktqueue.red option;  (** RED discipline; [None] = drop tail *)
+  jitter : Time.t;  (** per-packet propagation jitter bound, see {!Link.create} *)
+}
+
+val default_link_spec : link_spec
+(** 100 Mb/s, 20 us delay, 100-packet drop-tail queue, no ECN, 5 us
+    propagation jitter — the base data-centre link. *)
+
+type t = {
+  sched : Sim_engine.Scheduler.t;
+  name : string;
+  hosts : Host.t array;
+  switches : Switch.t array;
+  links : Link.t array;
+  path_count : Addr.t -> Addr.t -> int;
+}
+
+val host : t -> int -> Host.t
+val host_count : t -> int
+
+(** {1 Aggregate statistics} *)
+
+val layer_links : t -> Layer.t -> Link.t list
+(** Links transmitted into by devices of the given layer. *)
+
+val layer_loss_rate : t -> Layer.t -> float
+(** Dropped / offered packets across the layer's queues; 0 if idle. *)
+
+val layer_utilisation : t -> Layer.t -> float
+(** Mean transmitter busy fraction over the layer's links at the
+    current simulation time. *)
+
+val total_drops : t -> int
+
+(** {1 Building blocks for topology constructors} *)
+
+module Builder : sig
+  type b
+
+  val create : Sim_engine.Scheduler.t -> b
+  val sched : b -> Sim_engine.Scheduler.t
+
+  val make_link : b -> spec:link_spec -> layer:Layer.t -> Link.t
+  (** A fresh unattached link with a fresh id and its own queue. *)
+
+  val links : b -> Link.t array
+
+  val to_switch : Link.t -> Switch.t -> unit
+  (** Attach the link's receive side to a switch. *)
+
+  val to_host : Link.t -> Host.t -> unit
+end

@@ -1,0 +1,164 @@
+type params = {
+  aggs : int;
+  intermediates : int;
+  tors : int;
+  hosts_per_tor : int;
+  host_spec : Topology.link_spec;
+  fabric_spec : Topology.link_spec;
+}
+
+let default_params ?(aggs = 4) ?(intermediates = 4) ?(tors = 16)
+    ?(hosts_per_tor = 4) () =
+  {
+    aggs;
+    intermediates;
+    tors;
+    hosts_per_tor;
+    host_spec = Topology.default_link_spec;
+    fabric_spec = Topology.default_link_spec;
+  }
+
+let validate p =
+  if p.aggs < 2 then invalid_arg "Vl2: need >= 2 aggregation switches";
+  if p.intermediates < 1 then invalid_arg "Vl2: need >= 1 intermediate switch";
+  if p.tors < 2 then invalid_arg "Vl2: need >= 2 ToRs";
+  if p.hosts_per_tor < 1 then invalid_arg "Vl2: need >= 1 host per ToR"
+
+let host_count p = p.tors * p.hosts_per_tor
+
+(* The two aggregation switches a ToR is homed to. *)
+let aggs_of_tor p tor = (tor mod p.aggs, (tor + 1) mod p.aggs)
+
+let create ~sched p =
+  validate p;
+  let n_hosts = host_count p in
+  let open Topology in
+  let b = Builder.create sched in
+  let hosts =
+    Array.init n_hosts (fun i -> Host.create ~sched ~addr:(Addr.of_int i))
+  in
+  let next_sw = ref 0 in
+  let fresh_switch layer =
+    let sw = Switch.create ~id:!next_sw ~layer in
+    incr next_sw;
+    sw
+  in
+  let tor = Array.init p.tors (fun _ -> fresh_switch Layer.Edge_layer) in
+  let agg = Array.init p.aggs (fun _ -> fresh_switch Layer.Agg_layer) in
+  let inter = Array.init p.intermediates (fun _ -> fresh_switch Layer.Core_layer) in
+
+  let tor_of_host h = h / p.hosts_per_tor in
+
+  (* Host <-> ToR. *)
+  let tor_down =
+    Array.init p.tors (fun t ->
+        Array.init p.hosts_per_tor (fun i ->
+            let h = (t * p.hosts_per_tor) + i in
+            let down = Builder.make_link b ~spec:p.host_spec ~layer:Layer.Edge_layer in
+            Builder.to_host down hosts.(h);
+            let up = Builder.make_link b ~spec:p.host_spec ~layer:Layer.Host_layer in
+            Builder.to_switch up tor.(t);
+            Host.add_nic hosts.(h) up;
+            down))
+  in
+  (* ToR <-> its two aggs. *)
+  let tor_up =
+    Array.init p.tors (fun t ->
+        let a1, a2 = aggs_of_tor p t in
+        Array.map
+          (fun a ->
+            let l = Builder.make_link b ~spec:p.fabric_spec ~layer:Layer.Edge_layer in
+            Builder.to_switch l agg.(a);
+            l)
+          [| a1; a2 |])
+  in
+  let agg_down_to_tor =
+    (* agg_down.(a) : tor -> link option *)
+    Array.init p.aggs (fun _ -> Hashtbl.create 16)
+  in
+  Array.iteri
+    (fun t _ ->
+      let a1, a2 = aggs_of_tor p t in
+      List.iter
+        (fun a ->
+          let l = Builder.make_link b ~spec:p.fabric_spec ~layer:Layer.Agg_layer in
+          Builder.to_switch l tor.(t);
+          Hashtbl.replace agg_down_to_tor.(a) t l)
+        (if a1 = a2 then [ a1 ] else [ a1; a2 ]))
+    tor;
+  (* Agg <-> intermediates: complete bipartite. *)
+  let agg_up =
+    Array.init p.aggs (fun _a ->
+        Array.init p.intermediates (fun i ->
+            let l = Builder.make_link b ~spec:p.fabric_spec ~layer:Layer.Agg_layer in
+            Builder.to_switch l inter.(i);
+            l))
+  in
+  let inter_down =
+    Array.init p.intermediates (fun _i ->
+        Array.init p.aggs (fun a ->
+            let l = Builder.make_link b ~spec:p.fabric_spec ~layer:Layer.Core_layer in
+            Builder.to_switch l agg.(a);
+            l))
+  in
+
+  (* Routing. *)
+  Array.iteri
+    (fun t sw ->
+      let salt = Switch.id sw in
+      Switch.set_route sw (fun pkt ->
+          let d = Addr.to_int pkt.Packet.dst in
+          let dt = tor_of_host d in
+          if dt = t then tor_down.(t).(d mod p.hosts_per_tor)
+          else tor_up.(t).(Ecmp.select pkt ~salt ~n:2)))
+    tor;
+  Array.iteri
+    (fun a sw ->
+      let salt = Switch.id sw in
+      Switch.set_route sw (fun pkt ->
+          let d = Addr.to_int pkt.Packet.dst in
+          let dt = tor_of_host d in
+          match Hashtbl.find_opt agg_down_to_tor.(a) dt with
+          | Some l -> l
+          | None -> agg_up.(a).(Ecmp.select pkt ~salt ~n:p.intermediates)))
+    agg;
+  Array.iteri
+    (fun i sw ->
+      let salt = Switch.id sw in
+      Switch.set_route sw (fun pkt ->
+          let d = Addr.to_int pkt.Packet.dst in
+          let dt = tor_of_host d in
+          let a1, a2 = aggs_of_tor p dt in
+          let a =
+            if a1 = a2 then a1
+            else if Ecmp.select pkt ~salt:(salt + 31) ~n:2 = 0 then a1
+            else a2
+          in
+          inter_down.(i).(a)))
+    inter;
+
+  let path_count a bb =
+    if Addr.equal a bb then 0
+    else begin
+      let ta = Addr.to_int a / p.hosts_per_tor
+      and tb = Addr.to_int bb / p.hosts_per_tor in
+      if ta = tb then 1
+      else begin
+        (* Up-agg choice x intermediate choice x down-agg choice, minus
+           the shortcut when the two ToRs share an agg (2-hop path). *)
+        let a1, a2 = aggs_of_tor p ta and b1, b2 = aggs_of_tor p tb in
+        let shared = List.exists (fun x -> x = b1 || x = b2) [ a1; a2 ] in
+        let up = if a1 = a2 then 1 else 2 in
+        let down = if b1 = b2 then 1 else 2 in
+        (up * p.intermediates * down) + (if shared then 1 else 0)
+      end
+    end
+  in
+  {
+    sched;
+    name = Printf.sprintf "vl2-a%d-i%d-t%d" p.aggs p.intermediates p.tors;
+    hosts;
+    switches = Array.concat [ tor; agg; inter ];
+    links = Builder.links b;
+    path_count;
+  }

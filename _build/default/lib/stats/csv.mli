@@ -1,0 +1,12 @@
+(** Minimal CSV writing (RFC 4180 quoting) for exporting figure data
+    series to external plotting tools. *)
+
+val escape : string -> string
+(** Quote a cell if it contains commas, quotes or newlines. *)
+
+val to_string : header:string list -> string list list -> string
+
+val write : path:string -> header:string list -> string list list -> unit
+(** Raises [Sys_error] on unwritable paths. *)
+
+val float_cell : float -> string

@@ -1,0 +1,20 @@
+(** Fixed-width histograms (for FCT distributions à la Figure 1(b/c)). *)
+
+type t
+
+val create : lo:float -> hi:float -> buckets:int -> t
+(** Values below [lo] land in the first bucket, values at or above
+    [hi] in a dedicated overflow bucket. *)
+
+val add : t -> float -> unit
+val count : t -> int
+val bucket_counts : t -> int array
+(** [buckets + 1] entries; the last is the overflow bucket. *)
+
+val bucket_bounds : t -> int -> float * float
+(** Bounds of bucket [i]; the overflow bucket is [(hi, infinity)]. *)
+
+val overflow : t -> int
+
+val render : ?width:int -> t -> string
+(** ASCII rendering, one line per non-empty bucket. *)

@@ -1,0 +1,22 @@
+(** Aligned-column text tables for benchmark output. *)
+
+type t
+
+val create : columns:string list -> t
+val add_row : t -> string list -> unit
+(** Raises [Invalid_argument] on arity mismatch. *)
+
+val render : t -> string
+val print : t -> unit
+
+(** {1 Cell formatting helpers} *)
+
+val fms : float -> string
+(** Milliseconds with 1 decimal. *)
+
+val fnum : float -> string
+val pct : float -> string
+(** Fraction rendered as a percentage with 3 decimals. *)
+
+val mbps : float -> string
+(** Bits/s rendered as Mb/s. *)

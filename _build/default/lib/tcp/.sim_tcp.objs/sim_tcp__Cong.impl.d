@@ -1,0 +1,1 @@
+lib/tcp/cong.ml: Float Sim_engine

@@ -1,0 +1,1 @@
+lib/tcp/cong.mli: Sim_engine

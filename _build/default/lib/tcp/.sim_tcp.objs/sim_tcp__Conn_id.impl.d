@@ -1,0 +1,1 @@
+lib/tcp/conn_id.ml:

@@ -1,0 +1,1 @@
+lib/tcp/flow.ml: Conn_id Intervals Reno Sim_engine Sim_net Tcp_params Tcp_rx Tcp_tx

@@ -1,0 +1,1 @@
+lib/tcp/flow.mli: Cong Sim_engine Sim_net Tcp_params Tcp_rx Tcp_tx

@@ -1,0 +1,1 @@
+lib/tcp/rtt_estimator.ml: Float Int64 Sim_engine Tcp_params

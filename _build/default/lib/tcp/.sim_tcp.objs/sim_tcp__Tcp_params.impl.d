@@ -1,0 +1,1 @@
+lib/tcp/tcp_params.ml: Format Sim_engine

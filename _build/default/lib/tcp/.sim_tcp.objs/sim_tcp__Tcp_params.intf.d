@@ -1,0 +1,1 @@
+lib/tcp/tcp_params.mli: Format Sim_engine

@@ -1,0 +1,1 @@
+lib/tcp/tcp_rx.ml: Intervals List Sim_engine Sim_net Tcp_params

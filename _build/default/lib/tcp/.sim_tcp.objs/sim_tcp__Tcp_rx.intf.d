@@ -1,0 +1,1 @@
+lib/tcp/tcp_rx.mli: Sim_net Tcp_params

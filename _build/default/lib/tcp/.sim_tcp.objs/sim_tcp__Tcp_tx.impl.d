@@ -1,0 +1,1 @@
+lib/tcp/tcp_tx.ml: Cong Float List Queue Rtt_estimator Sim_engine Sim_net Tcp_params

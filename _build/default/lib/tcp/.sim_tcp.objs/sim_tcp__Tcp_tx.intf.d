@@ -1,0 +1,1 @@
+lib/tcp/tcp_tx.mli: Cong Sim_engine Sim_net Tcp_params

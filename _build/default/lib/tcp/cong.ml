@@ -1,0 +1,44 @@
+type window = {
+  get_cwnd : unit -> float;
+  set_cwnd : float -> unit;
+  get_ssthresh : unit -> float;
+  set_ssthresh : float -> unit;
+  flight : unit -> int;
+  mss : int;
+  srtt : unit -> Sim_engine.Sim_time.t option;
+}
+
+type loss_kind = Fast_retransmit | Timeout
+
+type t = {
+  name : string;
+  on_ack : acked:int -> ece:bool -> unit;
+  on_loss : loss_kind -> unit;
+}
+
+let reno_on_loss w kind =
+  let mss = float_of_int w.mss in
+  (* RFC 5681 FlightSize, clamped to cwnd: NewReno window inflation can
+     leave more data outstanding than cwnd, and halving from that
+     inflated figure would let ssthresh ratchet upwards across
+     consecutive recoveries. *)
+  let flight = Float.min (float_of_int (w.flight ())) (w.get_cwnd ()) in
+  let ssthresh = Float.max (flight /. 2.) (2. *. mss) in
+  w.set_ssthresh ssthresh;
+  match kind with
+  | Fast_retransmit -> w.set_cwnd ssthresh
+  | Timeout -> w.set_cwnd mss
+
+(* Byte-counted slow start without a per-ACK cap: a cumulative ACK
+   covering n segments grows cwnd by n segments, exactly like
+   per-segment ACKing would. Capping at one MSS per ACK would stall
+   senders whose ACK stream is aggregated by reordering — which is the
+   normal regime for the packet-scatter phase. *)
+let slow_start_increase w ~acked = w.set_cwnd (w.get_cwnd () +. float_of_int acked)
+
+let congestion_avoidance_increase w ~acked =
+  let mss = float_of_int w.mss in
+  let cwnd = w.get_cwnd () in
+  let inc = mss *. mss /. cwnd *. (float_of_int acked /. mss) in
+  (* Cap the per-ACK increase at one MSS, as byte-counted AIMD does. *)
+  w.set_cwnd (cwnd +. Float.min inc mss)

@@ -1,0 +1,45 @@
+(** Pluggable congestion control.
+
+    The sender exposes a {!window} view of its mutable state; a
+    congestion-control algorithm is a record of callbacks over that
+    view. This indirection is what lets MPTCP's Linked-Increase
+    algorithm couple the windows of several subflows: the MPTCP
+    connection builds one {!t} per subflow whose callbacks read every
+    subflow's window. *)
+
+type window = {
+  get_cwnd : unit -> float;  (** congestion window, bytes *)
+  set_cwnd : float -> unit;
+  get_ssthresh : unit -> float;  (** slow-start threshold, bytes *)
+  set_ssthresh : float -> unit;
+  flight : unit -> int;  (** unacknowledged bytes *)
+  mss : int;
+  srtt : unit -> Sim_engine.Sim_time.t option;  (** smoothed RTT *)
+}
+
+type loss_kind = Fast_retransmit | Timeout
+
+type t = {
+  name : string;
+  on_ack : acked:int -> ece:bool -> unit;
+      (** Called for every ACK that advances the cumulative
+          acknowledgement outside of loss recovery. [acked] is the
+          number of newly acknowledged bytes; [ece] is the ECN echo
+          flag (consumed by DCTCP, ignored by Reno/LIA). *)
+  on_loss : loss_kind -> unit;
+      (** Must set ssthresh and the post-loss cwnd. The sender applies
+          NewReno window inflation/deflation mechanics on top. *)
+}
+
+val reno_on_loss : window -> loss_kind -> unit
+(** Standard multiplicative decrease: ssthresh = max(flight/2, 2*mss);
+    cwnd = ssthresh after fast retransmit, 1 MSS after a timeout.
+    Shared by Reno, DCTCP (timeout path) and LIA. *)
+
+val slow_start_increase : window -> acked:int -> unit
+(** cwnd += acked (uncapped byte counting): identical to classic
+    per-ACK slow start when ACKs are not aggregated, and robust to the
+    cumulative-ACK jumps that reordering produces. *)
+
+val congestion_avoidance_increase : window -> acked:int -> unit
+(** cwnd += mss*mss/cwnd per full-MSS ACK (byte-counted AIMD). *)

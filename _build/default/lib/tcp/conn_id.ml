@@ -1,0 +1,7 @@
+let counter = ref 0
+
+let fresh () =
+  incr counter;
+  !counter
+
+let reset () = counter := 0

@@ -1,0 +1,8 @@
+(** Simulation-global connection identifiers.
+
+    Stand-in for full (addr, port) connection lookup at hosts: each
+    transport connection gets a unique id carried in every packet. *)
+
+val fresh : unit -> int
+val reset : unit -> unit
+(** Restart numbering (test isolation). *)

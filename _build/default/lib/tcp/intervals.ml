@@ -1,0 +1,51 @@
+(* A sorted list of disjoint, non-adjacent [start, stop) ranges. The
+   receive path keeps the prefix merged into the head range, so lists
+   stay short (bounded by the number of concurrent reorder holes). *)
+
+type t = { mutable spans : (int * int) list; mutable total : int }
+
+let create () = { spans = []; total = 0 }
+
+let total t = t.total
+
+let add t ~start ~stop =
+  if stop < start then invalid_arg "Intervals.add: stop < start";
+  if stop = start then 0
+  else begin
+    (* Walk the list, accumulating ranges before the insertion point,
+       merging every range that overlaps or touches [start, stop). *)
+    let rec go acc s e covered = function
+      | [] -> (List.rev ((s, e) :: acc), covered)
+      | (rs, re) :: rest ->
+        if re < s then go ((rs, re) :: acc) s e covered rest
+        else if rs > e then (List.rev_append acc ((s, e) :: (rs, re) :: rest), covered)
+        else begin
+          (* Overlap or adjacency: merge, and count the overlap. *)
+          let overlap = max 0 (min e re - max s rs) in
+          go acc (min s rs) (max e re) (covered + overlap) rest
+        end
+    in
+    let spans, covered = go [] start stop 0 t.spans in
+    let added = stop - start - covered in
+    t.spans <- spans;
+    t.total <- t.total + added;
+    added
+  end
+
+let contiguous_from t x =
+  let rec find = function
+    | [] -> x
+    | (s, e) :: rest ->
+      if s <= x && x < e then e
+      else if s > x then x
+      else find rest
+  in
+  find t.spans
+
+let is_covered t ~start ~stop =
+  if stop <= start then true
+  else
+    List.exists (fun (s, e) -> s <= start && stop <= e) t.spans
+
+let spans t = t.spans
+let span_count t = List.length t.spans

@@ -1,0 +1,9 @@
+(** TCP NewReno congestion control (increase side).
+
+    Slow start below ssthresh, byte-counted congestion avoidance above
+    it. Loss response is the shared {!Cong.reno_on_loss}. This is the
+    single-path congestion control the paper's PS phase runs ("a single
+    congestion window"), and the per-subflow control MPTCP's LIA
+    replaces on the increase side only. *)
+
+val make : Cong.window -> Cong.t

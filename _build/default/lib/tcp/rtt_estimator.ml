@@ -1,0 +1,39 @@
+module Time = Sim_engine.Sim_time
+
+type t = {
+  params : Tcp_params.t;
+  mutable srtt_ns : float;
+  mutable rttvar_ns : float;
+  mutable samples : int;
+}
+
+let create ~params = { params; srtt_ns = 0.; rttvar_ns = 0.; samples = 0 }
+
+let observe t sample =
+  let r = Int64.to_float (Time.to_ns sample) in
+  if t.samples = 0 then begin
+    t.srtt_ns <- r;
+    t.rttvar_ns <- r /. 2.
+  end
+  else begin
+    t.rttvar_ns <- (0.75 *. t.rttvar_ns) +. (0.25 *. Float.abs (t.srtt_ns -. r));
+    t.srtt_ns <- (0.875 *. t.srtt_ns) +. (0.125 *. r)
+  end;
+  t.samples <- t.samples + 1
+
+let srtt t =
+  if t.samples = 0 then None else Some (Time.of_ns (Int64.of_float t.srtt_ns))
+
+let rttvar t =
+  if t.samples = 0 then None else Some (Time.of_ns (Int64.of_float t.rttvar_ns))
+
+let rto t =
+  if t.samples = 0 then t.params.Tcp_params.initial_rto
+  else begin
+    let raw = t.srtt_ns +. Float.max 1.0 (4. *. t.rttvar_ns) in
+    let raw_t = Time.of_ns (Int64.of_float raw) in
+    Time.min t.params.Tcp_params.max_rto
+      (Time.max t.params.Tcp_params.min_rto raw_t)
+  end
+
+let samples t = t.samples

@@ -1,0 +1,33 @@
+module Time = Sim_engine.Sim_time
+
+type t = {
+  mss : int;
+  initial_window : int;
+  min_rto : Time.t;
+  initial_rto : Time.t;
+  max_rto : Time.t;
+  dupack_threshold : int;
+  max_syn_retries : int;
+  delayed_ack : int;
+  delack_timeout : Time.t;
+  sack : bool;
+}
+
+let default =
+  {
+    mss = 1400;
+    initial_window = 4;
+    min_rto = Time.of_ms 200.;
+    initial_rto = Time.of_ms 200.;
+    max_rto = Time.of_sec 60.;
+    dupack_threshold = 3;
+    max_syn_retries = 8;
+    delayed_ack = 1;
+    delack_timeout = Time.of_ms 40.;
+    sack = false;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "mss=%d iw=%d min_rto=%a initial_rto=%a dupack=%d" t.mss t.initial_window
+    Time.pp t.min_rto Time.pp t.initial_rto t.dupack_threshold

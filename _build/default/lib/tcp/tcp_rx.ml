@@ -1,0 +1,135 @@
+module Time = Sim_engine.Sim_time
+module Scheduler = Sim_engine.Scheduler
+module Packet = Sim_net.Packet
+module Host = Sim_net.Host
+module Addr = Sim_net.Addr
+
+type t = {
+  host : Host.t;
+  peer : Addr.t;
+  conn : int;
+  subflow : int;
+  params : Tcp_params.t;
+  received : Intervals.t;
+  mutable rcv_nxt : int;
+  on_data : dsn:int -> len:int -> unit;
+  mutable acks_sent : int;
+  mutable dup_segments : int;
+  (* Delayed-ACK state. *)
+  mutable pending : int;  (* in-order segments not yet acknowledged *)
+  mutable pending_ece : bool;
+  mutable reply_ports : (int * int) option;  (* (src, dst) of our ACKs *)
+  mutable delack_timer : Scheduler.handle option;
+}
+
+let create ?(params = Tcp_params.default) ~host ~peer ~conn ~subflow ~on_data () =
+  {
+    host;
+    peer;
+    conn;
+    subflow;
+    params;
+    received = Intervals.create ();
+    rcv_nxt = 0;
+    on_data;
+    acks_sent = 0;
+    dup_segments = 0;
+    pending = 0;
+    pending_ece = false;
+    reply_ports = None;
+    delack_timer = None;
+  }
+
+(* Up to three SACK blocks: the out-of-order spans above the
+   cumulative acknowledgement, most recently useful first (we send them
+   in ascending order; fine for a simulator receiver). *)
+let sack_blocks t =
+  Intervals.spans t.received
+  |> List.filter (fun (start, _) -> start > t.rcv_nxt)
+  |> List.filteri (fun i _ -> i < 3)
+
+let cancel_delack t =
+  match t.delack_timer with
+  | Some h ->
+    Scheduler.cancel h;
+    t.delack_timer <- None
+  | None -> ()
+
+let emit_ack t ~src_port ~dst_port ~ece ~dup_seen ~flags =
+  let tcp =
+    {
+      Packet.conn = t.conn;
+      subflow = t.subflow;
+      src_port;
+      dst_port;
+      seq = 0;
+      ack_seq = t.rcv_nxt;
+      len = 0;
+      flags;
+      ece;
+      dup_seen;
+      dsn = -1;
+      sack = sack_blocks t;
+    }
+  in
+  t.acks_sent <- t.acks_sent + 1;
+  Host.send t.host (Packet.make ~src:(Host.addr t.host) ~dst:t.peer ~tcp)
+
+let flush_ack t ~ece ~dup_seen =
+  match t.reply_ports with
+  | None -> ()
+  | Some (src_port, dst_port) ->
+    cancel_delack t;
+    t.pending <- 0;
+    t.pending_ece <- false;
+    emit_ack t ~src_port ~dst_port ~ece ~dup_seen ~flags:Packet.pure_ack_flags
+
+let on_delack_timeout t =
+  t.delack_timer <- None;
+  if t.pending > 0 then flush_ack t ~ece:t.pending_ece ~dup_seen:false
+
+let handle t pkt =
+  let tcp = pkt.Packet.tcp in
+  if tcp.Packet.flags.Packet.syn && not tcp.Packet.flags.Packet.ack then begin
+    (* Passive open (or duplicate SYN): always answer. *)
+    t.reply_ports <- Some (tcp.Packet.dst_port, tcp.Packet.src_port);
+    emit_ack t ~src_port:tcp.Packet.dst_port ~dst_port:tcp.Packet.src_port
+      ~ece:false ~dup_seen:false ~flags:Packet.syn_ack_flags
+  end
+  else if tcp.Packet.len > 0 then begin
+    let start = tcp.Packet.seq in
+    let stop = start + tcp.Packet.len in
+    let before = t.rcv_nxt in
+    let added = Intervals.add t.received ~start ~stop in
+    t.rcv_nxt <- Intervals.contiguous_from t.received 0;
+    let dup = added = 0 in
+    if dup then t.dup_segments <- t.dup_segments + 1;
+    t.on_data ~dsn:tcp.Packet.dsn ~len:tcp.Packet.len;
+    t.reply_ports <- Some (tcp.Packet.dst_port, tcp.Packet.src_port);
+    let in_order_advance = (not dup) && t.rcv_nxt > before in
+    if in_order_advance && Intervals.span_count t.received = 1 then begin
+      (* Clean in-order progress: eligible for coalescing. *)
+      t.pending <- t.pending + 1;
+      t.pending_ece <- t.pending_ece || pkt.Packet.ce;
+      if t.pending >= t.params.Tcp_params.delayed_ack then
+        flush_ack t ~ece:t.pending_ece ~dup_seen:false
+      else if t.delack_timer = None then
+        t.delack_timer <-
+          Some
+            (Scheduler.schedule_after (Host.sched t.host)
+               t.params.Tcp_params.delack_timeout (fun () -> on_delack_timeout t))
+    end
+    else begin
+      (* Out-of-order, duplicate, or hole-filling arrival: acknowledge
+         immediately (duplicate-ACK generation must not be delayed). *)
+      t.pending <- t.pending + 1;
+      t.pending_ece <- t.pending_ece || pkt.Packet.ce;
+      flush_ack t ~ece:t.pending_ece ~dup_seen:dup
+    end
+  end
+
+let rcv_nxt t = t.rcv_nxt
+let unique_bytes t = Intervals.total t.received
+let acks_sent t = t.acks_sent
+let dup_segments t = t.dup_segments
+let reorder_spans t = Intervals.span_count t.received

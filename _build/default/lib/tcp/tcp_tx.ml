@@ -1,0 +1,486 @@
+module Time = Sim_engine.Sim_time
+module Scheduler = Sim_engine.Scheduler
+module Packet = Sim_net.Packet
+module Host = Sim_net.Host
+module Addr = Sim_net.Addr
+
+type source = {
+  pull : max:int -> (int * int) option;
+  has_more : unit -> bool;
+}
+
+let fixed_size_source n =
+  if n < 0 then invalid_arg "Tcp_tx.fixed_size_source: negative size";
+  let next = ref 0 in
+  {
+    pull =
+      (fun ~max ->
+        if !next >= n then None
+        else begin
+          let len = min max (n - !next) in
+          let dsn = !next in
+          next := !next + len;
+          Some (dsn, len)
+        end);
+    has_more = (fun () -> !next < n);
+  }
+
+type stats = {
+  mutable segments_sent : int;
+  mutable segments_rtx : int;
+  mutable bytes_sent : int;
+  mutable rto_events : int;
+  mutable fast_rtx_events : int;
+  mutable acks_received : int;
+  mutable dsacks_received : int;
+  mutable syn_sent : int;
+}
+
+type state = Closed | Syn_sent | Established | Failed
+
+type recovery = Normal | Fast_recovery | Rto_recovery
+
+type seg = {
+  ssn : int;
+  len : int;
+  dsn : int;
+  mutable sent_at : Time.t;
+  mutable rtx : int;
+  mutable sacked : bool;
+  mutable rtx_rec : bool;  (* retransmitted during the current recovery *)
+}
+
+type t = {
+  sched : Scheduler.t;
+  host : Host.t;
+  peer : Addr.t;
+  conn : int;
+  subflow : int;
+  params : Tcp_params.t;
+  src_port : unit -> int;
+  dst_port : int;
+  source : source;
+  rtt : Rtt_estimator.t;
+  mutable state : state;
+  mutable cwnd : float;
+  mutable ssthresh : float;
+  mutable snd_una : int;
+  mutable snd_nxt : int;
+  segs : seg Queue.t;
+  mutable dup_acks : int;
+  mutable recovery : recovery;
+  mutable recover_point : int;
+  mutable rto_handle : Scheduler.handle option;
+  mutable backoff : int;
+  mutable syn_retries : int;
+  mutable cc : Cong.t;
+  dupack_threshold : unit -> int;
+  on_established : unit -> unit;
+  on_dsn_acked : dsn:int -> len:int -> unit;
+  on_all_acked : unit -> unit;
+  on_dsack : unit -> unit;
+  on_first_congestion : unit -> unit;
+  mutable congestion_seen : bool;
+  mutable all_acked_fired : bool;
+  mutable sacked_bytes : int;  (* bytes in [segs] currently SACKed *)
+  st : stats;
+}
+
+let noop () = ()
+let noop_dsn ~dsn:_ ~len:_ = ()
+
+let window t =
+  {
+    Cong.get_cwnd = (fun () -> t.cwnd);
+    set_cwnd = (fun c -> t.cwnd <- Float.max c (float_of_int t.params.Tcp_params.mss));
+    get_ssthresh = (fun () -> t.ssthresh);
+    set_ssthresh = (fun s -> t.ssthresh <- s);
+    flight = (fun () -> t.snd_nxt - t.snd_una);
+    mss = t.params.Tcp_params.mss;
+    srtt = (fun () -> Rtt_estimator.srtt t.rtt);
+  }
+
+let create ~host ~peer ~conn ~subflow ~params ~src_port ~dst_port ~source ~cc
+    ?dupack_threshold ?(on_established = noop) ?(on_dsn_acked = noop_dsn)
+    ?(on_all_acked = noop) ?(on_dsack = noop) ?(on_first_congestion = noop) () =
+  let threshold =
+    match dupack_threshold with
+    | Some f -> f
+    | None -> fun () -> params.Tcp_params.dupack_threshold
+  in
+  let t =
+    {
+      sched = Host.sched host;
+      host;
+      peer;
+      conn;
+      subflow;
+      params;
+      src_port;
+      dst_port;
+      source;
+      rtt = Rtt_estimator.create ~params;
+      state = Closed;
+      cwnd = float_of_int (params.Tcp_params.initial_window * params.Tcp_params.mss);
+      ssthresh = Float.max_float /. 4.;
+      snd_una = 0;
+      snd_nxt = 0;
+      segs = Queue.create ();
+      dup_acks = 0;
+      recovery = Normal;
+      recover_point = 0;
+      rto_handle = None;
+      backoff = 0;
+      syn_retries = 0;
+      cc = { Cong.name = "uninitialised"; on_ack = (fun ~acked:_ ~ece:_ -> ()); on_loss = (fun _ -> ()) };
+      dupack_threshold = threshold;
+      on_established;
+      on_dsn_acked;
+      on_all_acked;
+      on_dsack;
+      on_first_congestion;
+      congestion_seen = false;
+      all_acked_fired = false;
+      sacked_bytes = 0;
+      st =
+        {
+          segments_sent = 0;
+          segments_rtx = 0;
+          bytes_sent = 0;
+          rto_events = 0;
+          fast_rtx_events = 0;
+          acks_received = 0;
+          dsacks_received = 0;
+          syn_sent = 0;
+        };
+    }
+  in
+  t.cc <- cc (window t);
+  t
+
+let set_cc t factory = t.cc <- factory (window t)
+
+let mss t = t.params.Tcp_params.mss
+let flight t = t.snd_nxt - t.snd_una
+
+let current_rto t =
+  let base = Rtt_estimator.rto t.rtt in
+  let backed =
+    Time.scale base (Float.of_int (1 lsl min t.backoff 16))
+  in
+  Time.min backed t.params.Tcp_params.max_rto
+
+let cancel_rto t =
+  match t.rto_handle with
+  | Some h ->
+    Scheduler.cancel h;
+    t.rto_handle <- None
+  | None -> ()
+
+let emit_segment t seg =
+  let tcp =
+    {
+      Packet.conn = t.conn;
+      subflow = t.subflow;
+      src_port = t.src_port ();
+      dst_port = t.dst_port;
+      seq = seg.ssn;
+      ack_seq = 0;
+      len = seg.len;
+      flags = Packet.data_flags;
+      ece = false;
+      dup_seen = false;
+      dsn = seg.dsn; sack = [];
+    }
+  in
+  t.st.segments_sent <- t.st.segments_sent + 1;
+  t.st.bytes_sent <- t.st.bytes_sent + seg.len;
+  Host.send t.host (Packet.make ~src:(Host.addr t.host) ~dst:t.peer ~tcp)
+
+let send_syn t =
+  let tcp =
+    {
+      Packet.conn = t.conn;
+      subflow = t.subflow;
+      src_port = t.src_port ();
+      dst_port = t.dst_port;
+      seq = 0;
+      ack_seq = 0;
+      len = 0;
+      flags = Packet.syn_flags;
+      ece = false;
+      dup_seen = false;
+      dsn = -1; sack = [];
+    }
+  in
+  t.st.syn_sent <- t.st.syn_sent + 1;
+  Host.send t.host (Packet.make ~src:(Host.addr t.host) ~dst:t.peer ~tcp)
+
+let first_congestion t =
+  if not t.congestion_seen then begin
+    t.congestion_seen <- true;
+    t.on_first_congestion ()
+  end
+
+let retransmit_front t =
+  match Queue.peek_opt t.segs with
+  | None -> ()
+  | Some seg ->
+    seg.rtx <- seg.rtx + 1;
+    seg.sent_at <- Scheduler.now t.sched;
+    t.st.segments_rtx <- t.st.segments_rtx + 1;
+    emit_segment t seg
+
+(* Mark segments covered by the ACK's SACK blocks. *)
+let process_sack t blocks =
+  if t.params.Tcp_params.sack && blocks <> [] then
+    Queue.iter
+      (fun seg ->
+        if
+          (not seg.sacked)
+          && List.exists
+               (fun (s, e) -> s <= seg.ssn && seg.ssn + seg.len <= e)
+               blocks
+        then begin
+          seg.sacked <- true;
+          t.sacked_bytes <- t.sacked_bytes + seg.len
+        end)
+      t.segs
+
+(* Retransmit the earliest hole (unSACKed, un-retransmitted this
+   recovery, below the recovery point). *)
+let retransmit_next_hole t =
+  let exception Done in
+  try
+    Queue.iter
+      (fun seg ->
+        if (not seg.sacked) && (not seg.rtx_rec) && seg.ssn < t.recover_point
+        then begin
+          seg.rtx_rec <- true;
+          seg.rtx <- seg.rtx + 1;
+          seg.sent_at <- Scheduler.now t.sched;
+          t.st.segments_rtx <- t.st.segments_rtx + 1;
+          emit_segment t seg;
+          raise Done
+        end)
+      t.segs
+  with Done -> ()
+
+let clear_recovery_marks t =
+  Queue.iter (fun seg -> seg.rtx_rec <- false) t.segs
+
+let clear_sack_marks t =
+  Queue.iter (fun seg -> seg.sacked <- false) t.segs;
+  t.sacked_bytes <- 0
+
+let rec arm_rto t =
+  cancel_rto t;
+  let delay = current_rto t in
+  t.rto_handle <- Some (Scheduler.schedule_after t.sched delay (fun () -> on_rto t))
+
+and on_rto t =
+  t.rto_handle <- None;
+  match t.state with
+  | Syn_sent ->
+    t.syn_retries <- t.syn_retries + 1;
+    if t.syn_retries > t.params.Tcp_params.max_syn_retries then t.state <- Failed
+    else begin
+      t.backoff <- t.backoff + 1;
+      send_syn t;
+      arm_rto t
+    end
+  | Established when flight t > 0 ->
+    t.st.rto_events <- t.st.rto_events + 1;
+    first_congestion t;
+    t.cc.Cong.on_loss Cong.Timeout;
+    t.dup_acks <- 0;
+    t.recovery <- Rto_recovery;
+    t.recover_point <- t.snd_nxt;
+    t.backoff <- t.backoff + 1;
+    clear_recovery_marks t;
+    clear_sack_marks t;
+    retransmit_front t;
+    arm_rto t
+  | Established | Closed | Failed -> ()
+
+(* Allowed flight: the congestion window, plus one MSS per duplicate
+   ACK while still below the fast-retransmit threshold (generalised
+   limited transmit, RFC 3042): every dup ACK signals a departure, so
+   the ACK clock keeps running through reordering runs. With the
+   standard threshold of 3 this is plain limited transmit; with the
+   scatter phase's topology-derived threshold it is what keeps a
+   reordered single window from stalling. *)
+let send_allowance t =
+  match t.recovery with
+  | Normal -> t.cwnd +. float_of_int (t.dup_acks * t.params.Tcp_params.mss)
+  | Fast_recovery when t.params.Tcp_params.sack ->
+    (* Pipe accounting: SACKed bytes have left the network. *)
+    t.cwnd +. float_of_int t.sacked_bytes
+  | Fast_recovery | Rto_recovery -> t.cwnd
+
+let try_send t =
+  if t.state = Established then begin
+    let continue = ref true in
+    while !continue do
+      if float_of_int (flight t) >= send_allowance t then continue := false
+      else
+        match t.source.pull ~max:(mss t) with
+        | None -> continue := false
+        | Some (dsn, len) ->
+          assert (len > 0 && len <= mss t);
+          let seg =
+            {
+              ssn = t.snd_nxt;
+              len;
+              dsn;
+              sent_at = Scheduler.now t.sched;
+              rtx = 0;
+              sacked = false;
+              rtx_rec = false;
+            }
+          in
+          Queue.push seg t.segs;
+          t.snd_nxt <- t.snd_nxt + len;
+          emit_segment t seg;
+          if t.rto_handle = None then arm_rto t
+    done
+  end
+
+let notify_source_ready t = try_send t
+
+let connect t =
+  if t.state <> Closed then invalid_arg "Tcp_tx.connect: already started";
+  t.state <- Syn_sent;
+  send_syn t;
+  arm_rto t
+
+let check_all_acked t =
+  if
+    (not t.all_acked_fired)
+    && t.state = Established
+    && (not (t.source.has_more ()))
+    && t.snd_una = t.snd_nxt
+  then begin
+    t.all_acked_fired <- true;
+    t.on_all_acked ()
+  end
+
+let enter_fast_recovery t =
+  t.st.fast_rtx_events <- t.st.fast_rtx_events + 1;
+  first_congestion t;
+  t.cc.Cong.on_loss Cong.Fast_retransmit;
+  t.cwnd <- t.cwnd +. (3. *. float_of_int (mss t));
+  t.recover_point <- t.snd_nxt;
+  t.recovery <- Fast_recovery;
+  clear_recovery_marks t;
+  if t.params.Tcp_params.sack then retransmit_next_hole t
+  else retransmit_front t;
+  t.backoff <- 0;
+  arm_rto t
+
+let handle_new_ack t a ~ece =
+  let newly = a - t.snd_una in
+  (* Pop fully acknowledged segments, keeping the freshest candidate
+     RTT sample from a never-retransmitted segment (Karn). *)
+  let sample = ref None in
+  let continue = ref true in
+  while !continue do
+    match Queue.peek_opt t.segs with
+    | Some seg when seg.ssn + seg.len <= a ->
+      ignore (Queue.pop t.segs);
+      if seg.sacked then t.sacked_bytes <- t.sacked_bytes - seg.len;
+      if seg.rtx = 0 then sample := Some seg.sent_at;
+      t.on_dsn_acked ~dsn:seg.dsn ~len:seg.len
+    | Some _ | None -> continue := false
+  done;
+  t.snd_una <- a;
+  t.backoff <- 0;
+  (match !sample with
+   | Some sent_at ->
+     let now = Scheduler.now t.sched in
+     Rtt_estimator.observe t.rtt (Time.diff now sent_at)
+   | None -> ());
+  (match t.recovery with
+   | Fast_recovery ->
+     if a >= t.recover_point then begin
+       t.recovery <- Normal;
+       t.cwnd <- Float.max t.ssthresh (float_of_int (mss t));
+       t.dup_acks <- 0
+     end
+     else if t.params.Tcp_params.sack then retransmit_next_hole t
+     else
+       (* NewReno partial ACK: retransmit the next hole. The window
+          stays at ssthresh + 3 MSS for the whole recovery (no
+          inflation/deflation pair): under heavy loss the classic
+          inflating variant degenerates into permanent 1-in-1-out
+          conservation that pins the bottleneck queue full; holding
+          the window lets the pipe drain and recovery terminate. *)
+       retransmit_front t
+   | Rto_recovery ->
+     t.cc.Cong.on_ack ~acked:newly ~ece;
+     if a >= t.recover_point then begin
+       t.recovery <- Normal;
+       t.dup_acks <- 0
+     end
+     else retransmit_front t
+   | Normal ->
+     t.dup_acks <- 0;
+     t.cc.Cong.on_ack ~acked:newly ~ece);
+  if flight t = 0 then cancel_rto t else arm_rto t;
+  try_send t;
+  check_all_acked t
+
+let handle_dup_ack t =
+  match t.recovery with
+  | Fast_recovery when t.params.Tcp_params.sack ->
+    (* SACK information identifies further holes: repair them and keep
+       the pipe full under the cwnd + sacked allowance. *)
+    retransmit_next_hole t;
+    try_send t
+  | Fast_recovery ->
+    (* No window inflation (see the partial-ACK comment); new data
+       flows again once enough of the pre-loss flight has drained. *)
+    ()
+  | Rto_recovery -> ()
+  | Normal ->
+    t.dup_acks <- t.dup_acks + 1;
+    if t.dup_acks >= t.dupack_threshold () then enter_fast_recovery t
+    else try_send t
+
+let handle t pkt =
+  let tcp = pkt.Packet.tcp in
+  let f = tcp.Packet.flags in
+  if f.Packet.syn && f.Packet.ack then begin
+    (* SYN-ACK: establish (duplicates ignored). *)
+    match t.state with
+    | Syn_sent ->
+      t.state <- Established;
+      t.backoff <- 0;
+      cancel_rto t;
+      t.on_established ();
+      try_send t;
+      (* A zero-length flow completes immediately. *)
+      check_all_acked t
+    | Closed | Established | Failed -> ()
+  end
+  else if f.Packet.ack && t.state = Established then begin
+    t.st.acks_received <- t.st.acks_received + 1;
+    if tcp.Packet.dup_seen then begin
+      t.st.dsacks_received <- t.st.dsacks_received + 1;
+      t.on_dsack ()
+    end;
+    process_sack t tcp.Packet.sack;
+    let a = tcp.Packet.ack_seq in
+    if a > t.snd_una then handle_new_ack t a ~ece:tcp.Packet.ece
+    else if a = t.snd_una && flight t > 0 then handle_dup_ack t
+  end
+
+let state t = t.state
+let cwnd t = t.cwnd
+let ssthresh t = t.ssthresh
+let snd_una t = t.snd_una
+let snd_nxt t = t.snd_nxt
+let in_recovery t = t.recovery <> Normal
+let srtt t = Rtt_estimator.srtt t.rtt
+let rto t = current_rto t
+let stats t = t.st

@@ -1,0 +1,105 @@
+(** TCP sender endpoint (one subflow).
+
+    A NewReno sender over an abstract data source. The source
+    abstraction is what makes the sender reusable across the three
+    stacks in this repository:
+
+    - plain TCP pulls a fixed-size sequential byte range;
+    - each MPTCP subflow pulls data-level chunks from the connection
+      scheduler and carries the DSN mapping in its segments;
+    - MMPTCP's packet-scatter subflow additionally randomises the
+      source port per transmitted packet (via [src_port]) and uses a
+      topology-derived dup-ACK threshold (via [dupack_threshold]).
+
+    Loss recovery: fast retransmit / NewReno fast recovery with partial
+    ACKs, and RTO with exponential backoff followed by ACK-clocked
+    retransmission of the remaining holes (no SACK, matching the
+    paper-era ns-3 models). Karn's algorithm guards RTT samples. *)
+
+module Time = Sim_engine.Sim_time
+
+(** {1 Data sources} *)
+
+type source = {
+  pull : max:int -> (int * int) option;
+      (** [pull ~max] allocates the next chunk to this subflow as
+          [(dsn, len)] with [0 < len <= max], or [None] when nothing is
+          available right now. *)
+  has_more : unit -> bool;
+      (** Whether the source may ever yield data again; [false] means
+          the subflow is done once everything in flight is ACKed. *)
+}
+
+val fixed_size_source : int -> source
+(** Sequential source of exactly [n] bytes (plain TCP: DSN = sequence
+    number). *)
+
+(** {1 Sender} *)
+
+type stats = {
+  mutable segments_sent : int;  (** data segments, including rtx *)
+  mutable segments_rtx : int;
+  mutable bytes_sent : int;
+  mutable rto_events : int;
+  mutable fast_rtx_events : int;
+  mutable acks_received : int;
+  mutable dsacks_received : int;
+  mutable syn_sent : int;
+}
+
+type state = Closed | Syn_sent | Established | Failed
+
+type t
+
+val create :
+  host:Sim_net.Host.t ->
+  peer:Sim_net.Addr.t ->
+  conn:int ->
+  subflow:int ->
+  params:Tcp_params.t ->
+  src_port:(unit -> int) ->
+  dst_port:int ->
+  source:source ->
+  cc:(Cong.window -> Cong.t) ->
+  ?dupack_threshold:(unit -> int) ->
+  ?on_established:(unit -> unit) ->
+  ?on_dsn_acked:(dsn:int -> len:int -> unit) ->
+  ?on_all_acked:(unit -> unit) ->
+  ?on_dsack:(unit -> unit) ->
+  ?on_first_congestion:(unit -> unit) ->
+  unit ->
+  t
+(** [on_first_congestion] fires on the first fast retransmit or RTO —
+    the trigger for MMPTCP's congestion-event switching strategy.
+    [dupack_threshold] is sampled on every duplicate ACK, so it may be
+    time-varying (adaptive thresholds). *)
+
+val connect : t -> unit
+(** Send the SYN and start the handshake. *)
+
+val handle : t -> Sim_net.Packet.t -> unit
+(** Process an incoming (SYN-)ACK for this subflow. *)
+
+val notify_source_ready : t -> unit
+(** Poke the sender after its source gained data (multipath schedulers
+    call this when capacity frees up elsewhere). *)
+
+(** {1 Introspection} *)
+
+val state : t -> state
+val cwnd : t -> float
+val ssthresh : t -> float
+val flight : t -> int
+val snd_una : t -> int
+val snd_nxt : t -> int
+val in_recovery : t -> bool
+val srtt : t -> Time.t option
+val rto : t -> Time.t
+val stats : t -> stats
+val window : t -> Cong.window
+(** The window view handed to congestion control (shared mutable
+    state; used by MPTCP to build coupled controllers). *)
+
+val set_cc : t -> (Cong.window -> Cong.t) -> unit
+(** Swap the congestion controller (MMPTCP re-links subflows when the
+    phase switches). *)

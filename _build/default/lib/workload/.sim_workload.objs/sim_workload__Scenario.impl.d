@@ -1,0 +1,1 @@
+lib/workload/scenario.ml: Array Float List Mmptcp Option Printf Sim_dctcp Sim_engine Sim_mptcp Sim_net Sim_tcp Traffic_matrix

@@ -1,0 +1,1 @@
+lib/workload/scenario.mli: Mmptcp Sim_engine Sim_net Sim_tcp Traffic_matrix

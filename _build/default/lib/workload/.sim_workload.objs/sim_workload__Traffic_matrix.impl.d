@@ -1,0 +1,1 @@
+lib/workload/traffic_matrix.ml: Array Fun List Printf Sim_engine

@@ -1,0 +1,1 @@
+lib/workload/traffic_matrix.mli: Sim_engine

@@ -1,0 +1,310 @@
+module Time = Sim_engine.Sim_time
+module Scheduler = Sim_engine.Scheduler
+module Rng = Sim_engine.Rng
+module Topology = Sim_net.Topology
+module Host = Sim_net.Host
+
+type protocol =
+  | Tcp_proto
+  | Dctcp_proto
+  | Mptcp_proto of { subflows : int; coupled : bool }
+  | Mmptcp_proto of Mmptcp.Strategy.t
+
+type topology_kind =
+  | Fattree_topo of Sim_net.Fattree.params
+  | Multihomed_topo of Sim_net.Multihomed.params
+  | Vl2_topo of Sim_net.Vl2.params
+  | Dumbbell_topo of { pairs : int; bottleneck : Sim_net.Topology.link_spec }
+
+type config = {
+  topo : topology_kind;
+  protocol : protocol;
+  seed : int;
+  tm : Traffic_matrix.kind;
+  long_fraction : float;
+  long_size : int;
+  short_size : int;
+  short_flows : int;
+  short_rate : float;
+  horizon : Time.t;
+  params : Sim_tcp.Tcp_params.t;
+}
+
+(* Link configuration for the paper experiments: 100 Mb/s with
+   50-packet drop-tail queues. Shallower than ns-3's 100-packet
+   default — at 100 Mb/s a full 100-packet queue adds 12 ms of skew,
+   deeper than the shared-memory switches of the paper's era; 50
+   packets keeps queueing delay in the regime where the paper's
+   observed FCT distributions (most shorts < 100 ms) are achievable. *)
+let paper_link_spec =
+  { Sim_net.Topology.default_link_spec with queue_capacity = 50 }
+
+let paper_fattree ?(k = 4) ?(oversub = 4) () =
+  {
+    (Sim_net.Fattree.default_params ~k ~oversub ()) with
+    Sim_net.Fattree.host_spec = paper_link_spec;
+    fabric_spec = paper_link_spec;
+  }
+
+let default_config =
+  {
+    topo = Fattree_topo (paper_fattree ());
+    protocol = Mptcp_proto { subflows = 8; coupled = true };
+    seed = 1;
+    tm = Traffic_matrix.Permutation;
+    long_fraction = 1. /. 3.;
+    long_size = 1_000_000_000;
+    short_size = 70_000;
+    short_flows = 1_000;
+    short_rate = 25.;
+    horizon = Time.of_sec 20.;
+    params = Sim_tcp.Tcp_params.default;
+  }
+
+let protocol_name = function
+  | Tcp_proto -> "tcp"
+  | Dctcp_proto -> "dctcp"
+  | Mptcp_proto { subflows; coupled } ->
+    Printf.sprintf "mptcp-%d%s" subflows (if coupled then "" else "-uncoupled")
+  | Mmptcp_proto s ->
+    Printf.sprintf "mmptcp-%d[%s]" s.Mmptcp.Strategy.subflows
+      (Mmptcp.Strategy.switch_to_string s.Mmptcp.Strategy.switch)
+
+type flow_result = {
+  id : int;
+  src : int;
+  dst : int;
+  flow_size : int;
+  is_long : bool;
+  start : Time.t;
+  fct : Time.t option;
+  rtos : int;
+  fast_rtxs : int;
+  bytes_received : int;
+}
+
+type result = {
+  config : config;
+  shorts : flow_result array;
+  longs : flow_result array;
+  net : Sim_net.Topology.t;
+  events : int;
+  duration : Time.t;
+}
+
+(* A live flow: how to read its outcome after the run. *)
+type live = {
+  l_src : int;
+  l_dst : int;
+  l_size : int;
+  l_long : bool;
+  l_start : Time.t;
+  l_fct : unit -> Time.t option;
+  l_rtos : unit -> int;
+  l_frtx : unit -> int;
+  l_bytes : unit -> int;
+}
+
+let build_topology ~sched = function
+  | Fattree_topo p -> Sim_net.Fattree.create ~sched p
+  | Multihomed_topo p -> Sim_net.Multihomed.create ~sched p
+  | Vl2_topo p -> Sim_net.Vl2.create ~sched p
+  | Dumbbell_topo { pairs; bottleneck } ->
+    Sim_net.Dumbbell.create ~sched ~bottleneck_spec:bottleneck ~pairs ()
+
+let start_flow cfg ~net ~rng ~src_id ~dst_id ~size ~is_long =
+  let sched = net.Topology.sched in
+  let src = Topology.host net src_id and dst = Topology.host net dst_id in
+  let start = Scheduler.now sched in
+  match cfg.protocol with
+  | Tcp_proto ->
+    let f = Sim_tcp.Flow.start ~src ~dst ~size ~params:cfg.params () in
+    {
+      l_src = src_id;
+      l_dst = dst_id;
+      l_size = size;
+      l_long = is_long;
+      l_start = start;
+      l_fct = (fun () -> Sim_tcp.Flow.fct f);
+      l_rtos = (fun () -> (Sim_tcp.Tcp_tx.stats (Sim_tcp.Flow.tx f)).Sim_tcp.Tcp_tx.rto_events);
+      l_frtx = (fun () -> (Sim_tcp.Tcp_tx.stats (Sim_tcp.Flow.tx f)).Sim_tcp.Tcp_tx.fast_rtx_events);
+      l_bytes = (fun () -> Sim_tcp.Flow.bytes_received f);
+    }
+  | Dctcp_proto ->
+    let f =
+      Sim_tcp.Flow.start ~src ~dst ~size ~params:cfg.params
+        ~cc:(fun w -> Sim_dctcp.Dctcp.make w)
+        ()
+    in
+    {
+      l_src = src_id;
+      l_dst = dst_id;
+      l_size = size;
+      l_long = is_long;
+      l_start = start;
+      l_fct = (fun () -> Sim_tcp.Flow.fct f);
+      l_rtos = (fun () -> (Sim_tcp.Tcp_tx.stats (Sim_tcp.Flow.tx f)).Sim_tcp.Tcp_tx.rto_events);
+      l_frtx = (fun () -> (Sim_tcp.Tcp_tx.stats (Sim_tcp.Flow.tx f)).Sim_tcp.Tcp_tx.fast_rtx_events);
+      l_bytes = (fun () -> Sim_tcp.Flow.bytes_received f);
+    }
+  | Mptcp_proto { subflows; coupled } ->
+    let c =
+      Sim_mptcp.Mptcp_conn.start ~src ~dst ~size ~subflows ~params:cfg.params
+        ~coupled ()
+    in
+    {
+      l_src = src_id;
+      l_dst = dst_id;
+      l_size = size;
+      l_long = is_long;
+      l_start = start;
+      l_fct = (fun () -> Sim_mptcp.Mptcp_conn.fct c);
+      l_rtos = (fun () -> Sim_mptcp.Mptcp_conn.rto_events c);
+      l_frtx = (fun () -> Sim_mptcp.Mptcp_conn.fast_rtx_events c);
+      l_bytes = (fun () -> Sim_mptcp.Mptcp_conn.bytes_received c);
+    }
+  | Mmptcp_proto strategy ->
+    let paths =
+      net.Topology.path_count (Host.addr src) (Host.addr dst)
+    in
+    let c =
+      Mmptcp.Mmptcp_conn.start ~src ~dst ~size ~rng:(Rng.split rng) ~strategy
+        ~params:cfg.params ~paths ()
+    in
+    {
+      l_src = src_id;
+      l_dst = dst_id;
+      l_size = size;
+      l_long = is_long;
+      l_start = start;
+      l_fct = (fun () -> Mmptcp.Mmptcp_conn.fct c);
+      l_rtos = (fun () -> Mmptcp.Mmptcp_conn.rto_events c);
+      l_frtx = (fun () -> Mmptcp.Mmptcp_conn.fast_rtx_events c);
+      l_bytes = (fun () -> Mmptcp.Mmptcp_conn.bytes_received c);
+    }
+
+let run ?(progress = fun _ -> ()) cfg =
+  Sim_tcp.Conn_id.reset ();
+  let sched = Scheduler.create () in
+  let rng = Rng.create ~seed:cfg.seed in
+  let net = build_topology ~sched cfg.topo in
+  let n = Topology.host_count net in
+  let tm = Traffic_matrix.create ~rng:(Rng.split rng) ~hosts:n cfg.tm in
+  (* Role assignment: shuffle, take the first fraction as long hosts.
+     Incast matrices constrain short senders to the fan-in set. *)
+  let ids = Array.init n (fun i -> i) in
+  Rng.shuffle rng ids;
+  let long_count =
+    int_of_float (Float.round (cfg.long_fraction *. float_of_int n))
+  in
+  let long_hosts = Array.sub ids 0 long_count in
+  let short_hosts =
+    match Traffic_matrix.incast_senders tm with
+    | [] -> Array.sub ids long_count (n - long_count)
+    | senders ->
+      Array.of_list
+        (List.filter (fun s -> not (Array.exists (( = ) s) long_hosts)) senders)
+  in
+  let lives = ref [] in
+  let note l = lives := l :: !lives in
+  (* Long background flows start near t=0 with a little jitter so their
+     slow starts do not synchronise. *)
+  Array.iter
+    (fun h ->
+      let jitter = Time.of_us (Rng.float rng 10_000.) in
+      ignore
+        (Scheduler.schedule_after sched jitter (fun () ->
+             let dst = Traffic_matrix.dest tm ~src:h in
+             note
+               (start_flow cfg ~net ~rng ~src_id:h ~dst_id:dst
+                  ~size:cfg.long_size ~is_long:true))))
+    long_hosts;
+  (* Short flows: Poisson process per short host; the global flow
+     budget is spread evenly across hosts. *)
+  let num_short = Array.length short_hosts in
+  if cfg.short_flows > 0 && num_short = 0 then
+    invalid_arg "Scenario.run: no short hosts available";
+  if cfg.short_flows > 0 then begin
+    let base = cfg.short_flows / num_short in
+    let extra = cfg.short_flows mod num_short in
+    Array.iteri
+      (fun idx h ->
+        let flows = base + (if idx < extra then 1 else 0) in
+        let t = ref Time.zero in
+        for _ = 1 to flows do
+          let gap = Rng.exponential rng ~mean:(1. /. cfg.short_rate) in
+          t := Time.add !t (Time.of_sec gap);
+          ignore
+            (Scheduler.schedule_at sched !t (fun () ->
+                 let dst = Traffic_matrix.dest tm ~src:h in
+                 note
+                   (start_flow cfg ~net ~rng ~src_id:h ~dst_id:dst
+                      ~size:cfg.short_size ~is_long:false)))
+        done)
+      short_hosts
+  end;
+  progress
+    (Printf.sprintf "scenario: %s on %s, %d hosts (%d long, %d short senders)"
+       (protocol_name cfg.protocol) net.Topology.name n long_count num_short);
+  Scheduler.run ~until:cfg.horizon sched;
+  let collect l =
+    {
+      id = 0;
+      src = l.l_src;
+      dst = l.l_dst;
+      flow_size = l.l_size;
+      is_long = l.l_long;
+      start = l.l_start;
+      fct = l.l_fct ();
+      rtos = l.l_rtos ();
+      fast_rtxs = l.l_frtx ();
+      bytes_received = l.l_bytes ();
+    }
+  in
+  let all = List.rev_map collect !lives in
+  let by_start a b = Time.compare a.start b.start in
+  let shorts =
+    List.filter (fun f -> not f.is_long) all |> List.sort by_start
+    |> List.mapi (fun i f -> { f with id = i })
+    |> Array.of_list
+  in
+  let longs =
+    List.filter (fun f -> f.is_long) all |> List.sort by_start
+    |> List.mapi (fun i f -> { f with id = i })
+    |> Array.of_list
+  in
+  {
+    config = cfg;
+    shorts;
+    longs;
+    net;
+    events = Scheduler.events_processed sched;
+    duration = Scheduler.now sched;
+  }
+
+let short_fcts_ms r =
+  Array.to_list r.shorts
+  |> List.filter_map (fun f -> Option.map Time.to_ms f.fct)
+  |> Array.of_list
+
+let incomplete_shorts r =
+  Array.fold_left (fun acc f -> if f.fct = None then acc + 1 else acc) 0 r.shorts
+
+let shorts_with_rto r =
+  Array.fold_left (fun acc f -> if f.rtos > 0 then acc + 1 else acc) 0 r.shorts
+
+let long_goodput_mbps r =
+  Array.map
+    (fun f ->
+      let active =
+        match f.fct with
+        | Some t -> Time.to_sec t
+        | None -> Time.to_sec (Time.diff r.duration f.start)
+      in
+      if active <= 0. then 0.
+      else float_of_int f.bytes_received *. 8. /. active /. 1e6)
+    r.longs
+
+let core_loss r = Topology.layer_loss_rate r.net Sim_net.Layer.Core_layer
+let agg_loss r = Topology.layer_loss_rate r.net Sim_net.Layer.Agg_layer
+let core_utilisation r = Topology.layer_utilisation r.net Sim_net.Layer.Core_layer

@@ -1,0 +1,85 @@
+(** Experiment driver: topology + roles + traffic + one transport.
+
+    Reproduces the paper's Figure 1 setup: a fraction of hosts run
+    long (background) flows; the rest emit fixed-size short flows
+    scheduled by a Poisson process; everyone follows a traffic matrix;
+    a single transport protocol serves the whole data centre. *)
+
+module Time = Sim_engine.Sim_time
+
+type protocol =
+  | Tcp_proto
+  | Dctcp_proto  (** requires ECN-enabled link specs in the topology *)
+  | Mptcp_proto of { subflows : int; coupled : bool }
+  | Mmptcp_proto of Mmptcp.Strategy.t
+
+type topology_kind =
+  | Fattree_topo of Sim_net.Fattree.params
+  | Multihomed_topo of Sim_net.Multihomed.params
+  | Vl2_topo of Sim_net.Vl2.params
+  | Dumbbell_topo of { pairs : int; bottleneck : Sim_net.Topology.link_spec }
+
+type config = {
+  topo : topology_kind;
+  protocol : protocol;
+  seed : int;
+  tm : Traffic_matrix.kind;
+  long_fraction : float;  (** fraction of hosts running background flows *)
+  long_size : int;  (** bytes; large enough never to finish *)
+  short_size : int;  (** bytes per short flow (paper: 70 KB) *)
+  short_flows : int;  (** total short flows to schedule *)
+  short_rate : float;  (** Poisson arrival rate per short host, flows/s *)
+  horizon : Time.t;  (** hard stop *)
+  params : Sim_tcp.Tcp_params.t;
+}
+
+val paper_link_spec : Sim_net.Topology.link_spec
+(** 100 Mb/s, 20 us delay, 50-packet drop-tail queues — the calibrated
+    configuration all paper experiments run on. *)
+
+val paper_fattree : ?k:int -> ?oversub:int -> unit -> Sim_net.Fattree.params
+(** FatTree parameters using {!paper_link_spec} everywhere. *)
+
+val default_config : config
+(** k=4 oversub=4 FatTree on {!paper_link_spec}, MPTCP 8 subflows,
+    permutation TM, 1/3 long hosts, 70 KB shorts. *)
+
+val protocol_name : protocol -> string
+
+type flow_result = {
+  id : int;  (** ordinal by start time within its class *)
+  src : int;
+  dst : int;
+  flow_size : int;
+  is_long : bool;
+  start : Time.t;
+  fct : Time.t option;  (** completion time, [None] if unfinished *)
+  rtos : int;
+  fast_rtxs : int;
+  bytes_received : int;
+}
+
+type result = {
+  config : config;
+  shorts : flow_result array;  (** sorted by start time *)
+  longs : flow_result array;
+  net : Sim_net.Topology.t;
+  events : int;
+  duration : Time.t;  (** simulated time actually elapsed *)
+}
+
+val run : ?progress:(string -> unit) -> config -> result
+
+(** {1 Result accessors} *)
+
+val short_fcts_ms : result -> float array
+(** FCTs of completed short flows, milliseconds, in start order. *)
+
+val incomplete_shorts : result -> int
+val shorts_with_rto : result -> int
+val long_goodput_mbps : result -> float array
+(** Per long flow: received bytes over its active time, Mb/s. *)
+
+val core_loss : result -> float
+val agg_loss : result -> float
+val core_utilisation : result -> float

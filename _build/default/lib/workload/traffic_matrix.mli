@@ -1,0 +1,32 @@
+(** Traffic matrices: who talks to whom.
+
+    The paper's Figure 1 uses a permutation matrix (every host has one
+    fixed partner, nobody sends to itself); the Roadmap adds hotspot
+    matrices. All matrices are deterministic given the generator. *)
+
+type kind =
+  | Permutation  (** random derangement over all hosts *)
+  | Random  (** fresh uniform non-self destination per flow *)
+  | Stride of int  (** host [i] sends to [(i + s) mod n] *)
+  | Hotspot of { targets : int; fraction : float }
+      (** [fraction] of senders all pick partners among [targets]
+          randomly-chosen hot hosts; the rest follow a permutation. *)
+  | Incast of { target : int; fanin : int }
+      (** [fanin] distinct senders all send to [target]. *)
+
+type t
+
+val create : rng:Sim_engine.Rng.t -> hosts:int -> kind -> t
+
+val dest : t -> src:int -> int
+(** Destination for a new flow from [src]. [Permutation]/[Stride]
+    always answer the same host; [Random] redraws per call. Raises
+    [Invalid_argument] for a 1-host network or an [Incast] source
+    outside the fan-in set. *)
+
+val kind : t -> kind
+
+val incast_senders : t -> int list
+(** For [Incast]: the selected senders, in id order; [] otherwise. *)
+
+val kind_to_string : kind -> string

@@ -1,0 +1,1 @@
+test/test_dctcp.ml: Alcotest Array Option Printf Sim_dctcp Sim_engine Sim_net Sim_tcp

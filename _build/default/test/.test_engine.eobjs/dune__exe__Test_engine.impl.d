@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Float Fun Int64 List QCheck QCheck_alcotest Sim_engine

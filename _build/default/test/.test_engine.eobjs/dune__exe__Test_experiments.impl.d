@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Gen List QCheck QCheck_alcotest Sim_engine Sim_experiments Sim_net Sim_workload

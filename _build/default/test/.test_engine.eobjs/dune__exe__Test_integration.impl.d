@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Hashtbl List Mmptcp Printf Sim_engine Sim_stats Sim_workload

@@ -1,0 +1,1 @@
+test/test_mmptcp.ml: Alcotest Array Hashtbl Mmptcp QCheck QCheck_alcotest Sim_engine Sim_net Sim_tcp

@@ -1,0 +1,1 @@
+test/test_mptcp.ml: Alcotest Array Float Option QCheck QCheck_alcotest Sim_engine Sim_mptcp Sim_net Sim_tcp

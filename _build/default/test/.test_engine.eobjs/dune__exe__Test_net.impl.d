@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array List Option Printf QCheck QCheck_alcotest Sim_engine Sim_net Sim_tcp

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Filename Fun Gen List QCheck QCheck_alcotest Sim_stats String Sys

@@ -1,0 +1,1 @@
+test/test_tcp.ml: Alcotest Array Float Hashtbl List Option Printf QCheck QCheck_alcotest Sim_engine Sim_net Sim_tcp

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array List QCheck QCheck_alcotest Sim_engine Sim_net

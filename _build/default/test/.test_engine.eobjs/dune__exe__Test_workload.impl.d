@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Float Fun List Mmptcp QCheck QCheck_alcotest Sim_engine Sim_net Sim_workload String

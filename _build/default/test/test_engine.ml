@@ -1,0 +1,345 @@
+(* Unit and property tests for the discrete-event engine. *)
+
+module Time = Sim_engine.Sim_time
+module Event_heap = Sim_engine.Event_heap
+module Scheduler = Sim_engine.Scheduler
+module Rng = Sim_engine.Rng
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Sim_time *)
+
+let test_time_constructors () =
+  check_int "1us in ns" 1000 (Int64.to_int (Time.to_ns (Time.of_us 1.)));
+  check_int "1ms in ns" 1_000_000 (Int64.to_int (Time.to_ns (Time.of_ms 1.)));
+  check_int "1s in ns" 1_000_000_000 (Int64.to_int (Time.to_ns (Time.of_sec 1.)));
+  Alcotest.(check (float 1e-9)) "round trip sec" 2.5 (Time.to_sec (Time.of_sec 2.5))
+
+let test_time_arithmetic () =
+  let a = Time.of_ms 5. and b = Time.of_ms 3. in
+  Alcotest.(check (float 1e-9)) "add" 8. (Time.to_ms (Time.add a b));
+  Alcotest.(check (float 1e-9)) "diff" 2. (Time.to_ms (Time.diff a b));
+  check_bool "lt" true Time.(b < a);
+  check_bool "le refl" true Time.(a <= a);
+  Alcotest.check_raises "negative diff" (Invalid_argument "Sim_time.diff: negative result")
+    (fun () -> ignore (Time.diff b a))
+
+let test_time_scale () =
+  Alcotest.(check (float 1e-9)) "double" 10.
+    (Time.to_ms (Time.scale (Time.of_ms 5.) 2.));
+  Alcotest.check_raises "negative scale"
+    (Invalid_argument "Sim_time.scale: negative factor") (fun () ->
+      ignore (Time.scale (Time.of_ms 1.) (-1.)))
+
+let test_time_negative_rejected () =
+  Alcotest.check_raises "of_ns negative" (Invalid_argument "Sim_time.of_ns: negative")
+    (fun () -> ignore (Time.of_ns (-1L)))
+
+let test_time_pp () =
+  Alcotest.(check string) "ns" "500ns" (Time.to_string (Time.of_ns 500L));
+  Alcotest.(check string) "ms" "1.500ms" (Time.to_string (Time.of_ms 1.5))
+
+(* ------------------------------------------------------------------ *)
+(* Event_heap *)
+
+let test_heap_ordering () =
+  let h = Event_heap.create () in
+  Event_heap.push h ~time:30L ~seq:0 "c";
+  Event_heap.push h ~time:10L ~seq:1 "a";
+  Event_heap.push h ~time:20L ~seq:2 "b";
+  let pop () =
+    match Event_heap.pop h with Some (_, _, v) -> v | None -> "?"
+  in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c" ] [ first; second; third ]
+
+let test_heap_fifo_ties () =
+  let h = Event_heap.create () in
+  for i = 0 to 9 do
+    Event_heap.push h ~time:5L ~seq:i i
+  done;
+  let order = List.init 10 (fun _ ->
+      match Event_heap.pop h with Some (_, _, v) -> v | None -> -1)
+  in
+  Alcotest.(check (list int)) "insertion order on tie" (List.init 10 Fun.id) order
+
+let test_heap_empty () =
+  let h = Event_heap.create () in
+  check_bool "empty" true (Event_heap.is_empty h);
+  check_bool "pop none" true (Event_heap.pop h = None);
+  check_bool "peek none" true (Event_heap.peek_time h = None)
+
+let test_heap_clear () =
+  let h = Event_heap.create () in
+  Event_heap.push h ~time:1L ~seq:0 ();
+  Event_heap.clear h;
+  check_int "cleared" 0 (Event_heap.length h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops in (time, seq) order" ~count:200
+    QCheck.(list (int_bound 1000))
+    (fun times ->
+      let h = Event_heap.create () in
+      List.iteri (fun i t -> Event_heap.push h ~time:(Int64.of_int t) ~seq:i t) times;
+      let rec drain acc =
+        match Event_heap.pop h with
+        | None -> List.rev acc
+        | Some (t, _, _) -> drain (t :: acc)
+      in
+      let popped = drain [] in
+      popped = List.sort compare popped
+      && List.length popped = List.length times)
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler *)
+
+let test_scheduler_order_and_clock () =
+  let s = Scheduler.create () in
+  let log = ref [] in
+  let note tag () = log := (tag, Time.to_ms (Scheduler.now s)) :: !log in
+  ignore (Scheduler.schedule_after s (Time.of_ms 2.) (note "b"));
+  ignore (Scheduler.schedule_after s (Time.of_ms 1.) (note "a"));
+  ignore (Scheduler.schedule_after s (Time.of_ms 3.) (note "c"));
+  Scheduler.run s;
+  Alcotest.(check (list (pair string (float 1e-6))))
+    "events fire in order at their times"
+    [ ("a", 1.); ("b", 2.); ("c", 3.) ]
+    (List.rev !log)
+
+let test_scheduler_same_time_fifo () =
+  let s = Scheduler.create () in
+  let log = ref [] in
+  for i = 0 to 4 do
+    ignore (Scheduler.schedule_after s (Time.of_ms 1.) (fun () -> log := i :: !log))
+  done;
+  Scheduler.run s;
+  Alcotest.(check (list int)) "fifo" [ 0; 1; 2; 3; 4 ] (List.rev !log)
+
+let test_scheduler_cancel () =
+  let s = Scheduler.create () in
+  let fired = ref false in
+  let h = Scheduler.schedule_after s (Time.of_ms 1.) (fun () -> fired := true) in
+  Scheduler.cancel h;
+  Scheduler.run s;
+  check_bool "cancelled did not fire" false !fired;
+  check_bool "not pending" false (Scheduler.is_pending h)
+
+let test_scheduler_until () =
+  let s = Scheduler.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    ignore
+      (Scheduler.schedule_after s (Time.of_ms (float_of_int i)) (fun () -> incr count))
+  done;
+  Scheduler.run ~until:(Time.of_ms 5.) s;
+  check_int "only events <= 5ms" 5 !count;
+  Alcotest.(check (float 1e-6)) "clock at horizon" 5. (Time.to_ms (Scheduler.now s));
+  Scheduler.run s;
+  check_int "rest fire on resume" 10 !count
+
+let test_scheduler_nested_scheduling () =
+  let s = Scheduler.create () in
+  let log = ref [] in
+  ignore
+    (Scheduler.schedule_after s (Time.of_ms 1.) (fun () ->
+         log := "outer" :: !log;
+         ignore
+           (Scheduler.schedule_after s (Time.of_ms 1.) (fun () ->
+                log := "inner" :: !log))));
+  Scheduler.run s;
+  Alcotest.(check (list string)) "nested" [ "outer"; "inner" ] (List.rev !log);
+  Alcotest.(check (float 1e-6)) "final clock" 2. (Time.to_ms (Scheduler.now s))
+
+let test_scheduler_past_rejected () =
+  let s = Scheduler.create () in
+  ignore
+    (Scheduler.schedule_after s (Time.of_ms 5.) (fun () ->
+         Alcotest.check_raises "past"
+           (Invalid_argument "Scheduler.schedule_at: time is in the past")
+           (fun () -> ignore (Scheduler.schedule_at s (Time.of_ms 1.) ignore))));
+  Scheduler.run s
+
+let test_scheduler_max_events () =
+  let s = Scheduler.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    ignore
+      (Scheduler.schedule_after s (Time.of_ms (float_of_int i)) (fun () -> incr count))
+  done;
+  Scheduler.run ~max_events:3 s;
+  check_int "bounded" 3 !count
+
+let test_scheduler_counts () =
+  let s = Scheduler.create () in
+  ignore (Scheduler.schedule_after s Time.zero ignore);
+  ignore (Scheduler.schedule_after s Time.zero ignore);
+  check_int "pending" 2 (Scheduler.pending_events s);
+  Scheduler.run s;
+  check_int "processed" 2 (Scheduler.events_processed s)
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_determinism () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  let da = List.init 100 (fun _ -> Rng.int a 1000) in
+  let db = List.init 100 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" da db
+
+let test_rng_seeds_differ () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  let da = List.init 20 (fun _ -> Rng.int a 1_000_000) in
+  let db = List.init 20 (fun _ -> Rng.int b 1_000_000) in
+  check_bool "different seeds diverge" true (da <> db)
+
+let test_rng_split_independent () =
+  let parent = Rng.create ~seed:7 in
+  let child = Rng.split parent in
+  let c1 = List.init 10 (fun _ -> Rng.int child 1000) in
+  (* Draining the parent must not change what an identically created
+     child would have produced. *)
+  let parent2 = Rng.create ~seed:7 in
+  let child2 = Rng.split parent2 in
+  ignore (List.init 50 (fun _ -> Rng.int parent2 10));
+  let c2 = List.init 10 (fun _ -> Rng.int child2 1000) in
+  Alcotest.(check (list int)) "split streams reproducible" c1 c2
+
+let prop_rng_int_bounds =
+  QCheck.Test.make ~name:"Rng.int within bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 10_000))
+    (fun (seed, bound) ->
+      let r = Rng.create ~seed in
+      let v = Rng.int r bound in
+      v >= 0 && v < bound)
+
+let prop_rng_float_bounds =
+  QCheck.Test.make ~name:"Rng.float within bounds" ~count:500 QCheck.small_int
+    (fun seed ->
+      let r = Rng.create ~seed in
+      let v = Rng.float r 3.5 in
+      v >= 0. && v < 3.5)
+
+let test_rng_exponential_mean () =
+  let r = Rng.create ~seed:11 in
+  let n = 20_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential r ~mean:4.0
+  done;
+  let mean = !sum /. float_of_int n in
+  check_bool "empirical mean within 5%" true (Float.abs (mean -. 4.0) < 0.2)
+
+let prop_rng_shuffle_permutes =
+  QCheck.Test.make ~name:"shuffle is a permutation" ~count:200
+    QCheck.(pair small_int (list small_int))
+    (fun (seed, l) ->
+      let r = Rng.create ~seed in
+      let a = Array.of_list l in
+      Rng.shuffle r a;
+      List.sort compare (Array.to_list a) = List.sort compare l)
+
+let prop_rng_derangement =
+  QCheck.Test.make ~name:"derangement has no fixed point" ~count:200
+    QCheck.(pair small_int (int_range 2 200))
+    (fun (seed, n) ->
+      let r = Rng.create ~seed in
+      let d = Rng.derangement r n in
+      let no_fixed = Array.for_all Fun.id (Array.mapi (fun i v -> i <> v) d) in
+      let is_perm = List.sort compare (Array.to_list d) = List.init n Fun.id in
+      no_fixed && is_perm)
+
+let test_rng_int_in () =
+  let r = Rng.create ~seed:3 in
+  for _ = 1 to 100 do
+    let v = Rng.int_in r 5 9 in
+    check_bool "in range" true (v >= 5 && v <= 9)
+  done
+
+let test_rng_bad_args () =
+  let r = Rng.create ~seed:1 in
+  Alcotest.check_raises "int 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0));
+  Alcotest.check_raises "exp mean" (Invalid_argument "Rng.exponential: mean must be positive")
+    (fun () -> ignore (Rng.exponential r ~mean:0.))
+
+(* ------------------------------------------------------------------ *)
+(* Trace *)
+
+module Trace = Sim_engine.Trace
+
+let test_trace_levels () =
+  Trace.set_level None;
+  check_bool "disabled by default" false (Trace.enabled Trace.Error);
+  Trace.set_level (Some Trace.Warn);
+  check_bool "error visible at warn" true (Trace.enabled Trace.Error);
+  check_bool "warn visible at warn" true (Trace.enabled Trace.Warn);
+  check_bool "info hidden at warn" false (Trace.enabled Trace.Info);
+  check_bool "debug hidden at warn" false (Trace.enabled Trace.Debug);
+  Trace.set_level (Some Trace.Debug);
+  check_bool "debug visible at debug" true (Trace.enabled Trace.Debug);
+  Trace.set_level None;
+  check_bool "level read back" true (Trace.level () = None)
+
+let test_trace_disabled_is_silent () =
+  Trace.set_level None;
+  (* Must not raise and must not print (we cannot capture stderr here,
+     but the ifprintf path is exercised). *)
+  Trace.debugf ~component:"test" "invisible %d" 42;
+  Trace.errorf ~component:"test" "also invisible %s" "x";
+  check_bool "survived" true true
+
+let qt = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "sim_engine"
+    [
+      ( "sim_time",
+        [
+          Alcotest.test_case "constructors" `Quick test_time_constructors;
+          Alcotest.test_case "arithmetic" `Quick test_time_arithmetic;
+          Alcotest.test_case "scale" `Quick test_time_scale;
+          Alcotest.test_case "negative rejected" `Quick test_time_negative_rejected;
+          Alcotest.test_case "pretty printing" `Quick test_time_pp;
+        ] );
+      ( "event_heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "empty" `Quick test_heap_empty;
+          Alcotest.test_case "clear" `Quick test_heap_clear;
+          qt prop_heap_sorts;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "order and clock" `Quick test_scheduler_order_and_clock;
+          Alcotest.test_case "same-time fifo" `Quick test_scheduler_same_time_fifo;
+          Alcotest.test_case "cancel" `Quick test_scheduler_cancel;
+          Alcotest.test_case "run until" `Quick test_scheduler_until;
+          Alcotest.test_case "nested scheduling" `Quick test_scheduler_nested_scheduling;
+          Alcotest.test_case "past rejected" `Quick test_scheduler_past_rejected;
+          Alcotest.test_case "max events" `Quick test_scheduler_max_events;
+          Alcotest.test_case "counters" `Quick test_scheduler_counts;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "int_in range" `Quick test_rng_int_in;
+          Alcotest.test_case "bad arguments" `Quick test_rng_bad_args;
+          qt prop_rng_int_bounds;
+          qt prop_rng_float_bounds;
+          qt prop_rng_shuffle_permutes;
+          qt prop_rng_derangement;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "levels" `Quick test_trace_levels;
+          Alcotest.test_case "disabled silent" `Quick test_trace_disabled_is_silent;
+        ] );
+    ]

@@ -1,0 +1,137 @@
+(* Integration tests: the paper's qualitative claims at miniature
+   scale. These run full mixed workloads (tens of seconds of simulated
+   time each) and assert the *shapes* the paper reports, not absolute
+   numbers. Seeds are fixed; results are deterministic. *)
+
+module Time = Sim_engine.Sim_time
+module Scenario = Sim_workload.Scenario
+module Summary = Sim_stats.Summary
+
+let check_bool = Alcotest.(check bool)
+
+let config protocol =
+  {
+    Scenario.default_config with
+    Scenario.protocol;
+    short_flows = 150;
+    seed = 7;
+    horizon = Time.of_sec 6.;
+  }
+
+(* Cache scenario runs: several tests interrogate the same three
+   simulations. *)
+let run_cached =
+  let cache = Hashtbl.create 4 in
+  fun name protocol ->
+    match Hashtbl.find_opt cache name with
+    | Some r -> r
+    | None ->
+      let r = Scenario.run (config protocol) in
+      Hashtbl.replace cache name r;
+      r
+
+let mptcp1 () = run_cached "mptcp1" (Scenario.Mptcp_proto { subflows = 1; coupled = true })
+let mptcp8 () = run_cached "mptcp8" (Scenario.Mptcp_proto { subflows = 8; coupled = true })
+let mmptcp () = run_cached "mmptcp" (Scenario.Mmptcp_proto Mmptcp.Strategy.default)
+
+let stats r = Summary.of_array (Scenario.short_fcts_ms r)
+
+(* Figure 1(a) shape: more subflows, more RTO-bound short flows and a
+   larger mean completion time. *)
+let test_fig1a_shape () =
+  let r1 = mptcp1 () and r8 = mptcp8 () in
+  let s1 = stats r1 and s8 = stats r8 in
+  check_bool
+    (Printf.sprintf "rto flows grow with subflows (%d -> %d)"
+       (Scenario.shorts_with_rto r1) (Scenario.shorts_with_rto r8))
+    true
+    (Scenario.shorts_with_rto r8 > Scenario.shorts_with_rto r1);
+  check_bool
+    (Printf.sprintf "mean grows with subflows (%.1f -> %.1f)" s1.Summary.mean
+       s8.Summary.mean)
+    true
+    (s8.Summary.mean > s1.Summary.mean)
+
+(* Figure 1(b) vs 1(c): MMPTCP suffers far fewer RTO-bound short flows
+   than MPTCP-8 and improves the mean. *)
+let test_fig1bc_shape () =
+  let r8 = mptcp8 () and rm = mmptcp () in
+  let s8 = stats r8 and sm = stats rm in
+  check_bool
+    (Printf.sprintf "fewer rto flows (%d vs %d)" (Scenario.shorts_with_rto rm)
+       (Scenario.shorts_with_rto r8))
+    true
+    (2 * Scenario.shorts_with_rto rm < Scenario.shorts_with_rto r8);
+  check_bool
+    (Printf.sprintf "mean improves (%.1f vs %.1f)" sm.Summary.mean s8.Summary.mean)
+    true
+    (sm.Summary.mean < s8.Summary.mean)
+
+(* Both protocols finish the workload. *)
+let test_everything_completes () =
+  List.iter
+    (fun r ->
+      check_bool "few incomplete shorts" true (Scenario.incomplete_shorts r <= 2))
+    [ mptcp8 (); mmptcp () ]
+
+(* The paper: "both protocols achieve the same average throughput for
+   long flows and overall network utilisation". *)
+let long_mean r =
+  let g = Scenario.long_goodput_mbps r in
+  if Array.length g = 0 then 0. else Summary.mean g
+
+let test_long_flows_unhurt () =
+  let g8 = long_mean (mptcp8 ()) in
+  let gm = long_mean (mmptcp ()) in
+  check_bool
+    (Printf.sprintf "long goodput level (%.1f vs %.1f Mb/s)" gm g8)
+    true
+    (gm > 0.8 *. g8 && gm < 1.25 *. g8)
+
+(* MMPTCP's worst case must not be dramatically worse than MPTCP's:
+   the tail collapses or at least does not explode. *)
+let test_tail_not_worse () =
+  let s8 = stats (mptcp8 ()) and sm = stats (mmptcp ()) in
+  check_bool
+    (Printf.sprintf "p99 comparable or better (%.1f vs %.1f)" sm.Summary.p99
+       s8.Summary.p99)
+    true
+    (sm.Summary.p99 < 1.5 *. s8.Summary.p99)
+
+(* Short MMPTCP flows (70 KB < 100 KB threshold) must all have finished
+   inside the scatter phase: no short flow should ever have opened
+   subflows. This is checked indirectly: scatter-only flows never pay
+   subflow handshakes, so their minimum FCT stays at the TCP level. *)
+let test_mmptcp_shorts_stay_scatter () =
+  let rm = mmptcp () in
+  let sm = stats rm in
+  check_bool "fast flows exist (scatter phase, no handshake penalty)" true
+    (sm.Summary.min < 30.)
+
+let run_seeded seed =
+  let cfg =
+    { (config (Scenario.Mmptcp_proto Mmptcp.Strategy.default)) with Scenario.seed }
+  in
+  let r = Scenario.run cfg in
+  Array.fold_left ( +. ) 0. (Scenario.short_fcts_ms r)
+
+(* Full-stack determinism: identical seeds give identical results for
+   the complete MMPTCP scenario (scatter randomisation included). *)
+let test_full_determinism () =
+  Alcotest.(check (float 1e-9)) "deterministic" (run_seeded 123) (run_seeded 123)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "paper-shapes",
+        [
+          Alcotest.test_case "fig1a shape" `Slow test_fig1a_shape;
+          Alcotest.test_case "fig1b vs 1c shape" `Slow test_fig1bc_shape;
+          Alcotest.test_case "workload completes" `Slow test_everything_completes;
+          Alcotest.test_case "long flows unhurt" `Slow test_long_flows_unhurt;
+          Alcotest.test_case "tail not worse" `Slow test_tail_not_worse;
+          Alcotest.test_case "shorts stay in scatter" `Slow test_mmptcp_shorts_stay_scatter;
+        ] );
+      ( "determinism",
+        [ Alcotest.test_case "full stack" `Slow test_full_determinism ] );
+    ]

@@ -1,0 +1,801 @@
+(* TCP stack tests: interval sets, RTT estimation, sources, and full
+   sender/receiver behaviour over an instrumented two-host link with
+   deterministic loss injection. *)
+
+module Time = Sim_engine.Sim_time
+module Scheduler = Sim_engine.Scheduler
+module Packet = Sim_net.Packet
+module Host = Sim_net.Host
+module Link = Sim_net.Link
+module Topology = Sim_net.Topology
+module Dumbbell = Sim_net.Dumbbell
+module Intervals = Sim_tcp.Intervals
+module Rtt_estimator = Sim_tcp.Rtt_estimator
+module Tcp_params = Sim_tcp.Tcp_params
+module Tcp_tx = Sim_tcp.Tcp_tx
+module Tcp_rx = Sim_tcp.Tcp_rx
+module Flow = Sim_tcp.Flow
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Intervals *)
+
+let test_intervals_basic () =
+  let t = Intervals.create () in
+  check_int "add fresh" 10 (Intervals.add t ~start:0 ~stop:10);
+  check_int "duplicate" 0 (Intervals.add t ~start:0 ~stop:10);
+  check_int "extend" 5 (Intervals.add t ~start:10 ~stop:15);
+  check_int "total" 15 (Intervals.total t);
+  check_int "contiguous" 15 (Intervals.contiguous_from t 0)
+
+let test_intervals_gap_and_fill () =
+  let t = Intervals.create () in
+  ignore (Intervals.add t ~start:0 ~stop:10);
+  ignore (Intervals.add t ~start:20 ~stop:30);
+  check_int "two spans" 2 (Intervals.span_count t);
+  check_int "stops at gap" 10 (Intervals.contiguous_from t 0);
+  check_int "fill merges" 10 (Intervals.add t ~start:10 ~stop:20);
+  check_int "one span" 1 (Intervals.span_count t);
+  check_int "contiguous to end" 30 (Intervals.contiguous_from t 0)
+
+let test_intervals_partial_overlap () =
+  let t = Intervals.create () in
+  ignore (Intervals.add t ~start:5 ~stop:15);
+  check_int "left overlap adds left part" 5 (Intervals.add t ~start:0 ~stop:10);
+  check_int "right overlap adds right part" 5 (Intervals.add t ~start:10 ~stop:20);
+  check_int "total" 20 (Intervals.total t)
+
+let test_intervals_covering_add () =
+  let t = Intervals.create () in
+  ignore (Intervals.add t ~start:10 ~stop:20);
+  ignore (Intervals.add t ~start:30 ~stop:40);
+  check_int "covers both plus gaps" 30 (Intervals.add t ~start:0 ~stop:50);
+  check_int "single span" 1 (Intervals.span_count t)
+
+let test_intervals_is_covered () =
+  let t = Intervals.create () in
+  ignore (Intervals.add t ~start:10 ~stop:20);
+  check_bool "inside" true (Intervals.is_covered t ~start:12 ~stop:18);
+  check_bool "exact" true (Intervals.is_covered t ~start:10 ~stop:20);
+  check_bool "outside" false (Intervals.is_covered t ~start:5 ~stop:12);
+  check_bool "empty range" true (Intervals.is_covered t ~start:3 ~stop:3)
+
+let test_intervals_bad_range () =
+  let t = Intervals.create () in
+  Alcotest.check_raises "stop < start" (Invalid_argument "Intervals.add: stop < start")
+    (fun () -> ignore (Intervals.add t ~start:5 ~stop:4))
+
+(* Reference model: a bool array. *)
+let prop_intervals_match_reference =
+  QCheck.Test.make ~name:"intervals match boolean-array reference" ~count:300
+    QCheck.(list (pair (int_bound 80) (int_bound 20)))
+    (fun ranges ->
+      let t = Intervals.create () in
+      let reference = Array.make 101 false in
+      List.for_all
+        (fun (start, width) ->
+          let stop = start + width in
+          let expected = ref 0 in
+          for i = start to stop - 1 do
+            if not reference.(i) then begin
+              incr expected;
+              reference.(i) <- true
+            end
+          done;
+          let added = Intervals.add t ~start ~stop in
+          let total_ref =
+            Array.fold_left (fun a b -> if b then a + 1 else a) 0 reference
+          in
+          added = !expected && Intervals.total t = total_ref)
+        ranges)
+
+let prop_intervals_contiguous_matches_reference =
+  QCheck.Test.make ~name:"contiguous_from matches reference" ~count:300
+    QCheck.(pair (list (pair (int_bound 50) (int_bound 10))) (int_bound 60))
+    (fun (ranges, x) ->
+      let t = Intervals.create () in
+      let reference = Array.make 72 false in
+      List.iter
+        (fun (start, width) ->
+          ignore (Intervals.add t ~start ~stop:(start + width));
+          for i = start to start + width - 1 do
+            reference.(i) <- true
+          done)
+        ranges;
+      let y = ref x in
+      while !y < 71 && reference.(!y) do
+        incr y
+      done;
+      Intervals.contiguous_from t x = !y)
+
+(* ------------------------------------------------------------------ *)
+(* RTT estimator *)
+
+let test_rtt_first_sample () =
+  let e = Rtt_estimator.create ~params:Tcp_params.default in
+  check_bool "no estimate" true (Rtt_estimator.srtt e = None);
+  Alcotest.(check (float 1e-6)) "initial rto is param" 200.
+    (Time.to_ms (Rtt_estimator.rto e));
+  Rtt_estimator.observe e (Time.of_ms 10.);
+  (match Rtt_estimator.srtt e with
+   | Some s -> Alcotest.(check (float 1e-6)) "srtt = first sample" 10. (Time.to_ms s)
+   | None -> Alcotest.fail "expected estimate");
+  (* rto = srtt + 4*rttvar = 10 + 4*5 = 30ms, floored at 200ms. *)
+  Alcotest.(check (float 1e-6)) "rto floored" 200. (Time.to_ms (Rtt_estimator.rto e))
+
+let test_rtt_smoothing_converges () =
+  let e = Rtt_estimator.create ~params:Tcp_params.default in
+  for _ = 1 to 100 do
+    Rtt_estimator.observe e (Time.of_ms 50.)
+  done;
+  (match Rtt_estimator.srtt e with
+   | Some s -> Alcotest.(check (float 0.5)) "converged" 50. (Time.to_ms s)
+   | None -> Alcotest.fail "expected estimate");
+  check_int "samples" 100 (Rtt_estimator.samples e)
+
+let test_rtt_floor_and_cap () =
+  let params =
+    { Tcp_params.default with min_rto = Time.of_ms 1.; max_rto = Time.of_ms 5. }
+  in
+  let e = Rtt_estimator.create ~params in
+  Rtt_estimator.observe e (Time.of_ms 100.);
+  Alcotest.(check (float 1e-6)) "capped" 5. (Time.to_ms (Rtt_estimator.rto e))
+
+let test_rtt_var_tracks_jitter () =
+  let e =
+    Rtt_estimator.create
+      ~params:{ Tcp_params.default with min_rto = Time.of_ns 1L }
+  in
+  List.iter
+    (fun ms -> Rtt_estimator.observe e (Time.of_ms ms))
+    [ 10.; 30.; 10.; 30.; 10.; 30. ];
+  match Rtt_estimator.rttvar e with
+  | Some v -> check_bool "positive variance" true (Time.to_ms v > 1.)
+  | None -> Alcotest.fail "expected variance"
+
+(* ------------------------------------------------------------------ *)
+(* Sources *)
+
+let test_fixed_source_sequential () =
+  let s = Tcp_tx.fixed_size_source 3000 in
+  Alcotest.(check (option (pair int int))) "first" (Some (0, 1400)) (s.Tcp_tx.pull ~max:1400);
+  Alcotest.(check (option (pair int int))) "second" (Some (1400, 1400)) (s.Tcp_tx.pull ~max:1400);
+  Alcotest.(check (option (pair int int))) "tail" (Some (2800, 200)) (s.Tcp_tx.pull ~max:1400);
+  Alcotest.(check (option (pair int int))) "exhausted" None (s.Tcp_tx.pull ~max:1400);
+  check_bool "has_more false" false (s.Tcp_tx.has_more ())
+
+let test_fixed_source_respects_max () =
+  let s = Tcp_tx.fixed_size_source 1000 in
+  Alcotest.(check (option (pair int int))) "clipped" (Some (0, 100)) (s.Tcp_tx.pull ~max:100)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end over an instrumented direct link *)
+
+(* The direct topology's links: index 0 delivers to host 1 (data
+   direction), index 1 delivers to host 0 (ACK direction). A filter
+   re-attaches the data link through a predicate for loss injection. *)
+type rig = {
+  sched : Scheduler.t;
+  src : Host.t;
+  dst : Host.t;
+}
+
+let make_rig ?spec ?data_filter () =
+  let sched = Scheduler.create () in
+  let net = Dumbbell.direct ~sched ?spec () in
+  let src = Topology.host net 0 and dst = Topology.host net 1 in
+  (match data_filter with
+   | Some keep ->
+     Link.attach net.Topology.links.(0) (fun pkt ->
+         if keep pkt then Host.receive dst pkt)
+   | None -> ());
+  { sched; src; dst }
+
+let run_flow ?(size = 70_000) ?params ?dupack_threshold ?until rig =
+  let f =
+    Flow.start ~src:rig.src ~dst:rig.dst ~size ?params ?dupack_threshold ()
+  in
+  let horizon = match until with Some u -> u | None -> Time.of_sec 30. in
+  Scheduler.run ~until:horizon rig.sched;
+  f
+
+let test_flow_completes () =
+  let rig = make_rig () in
+  let f = run_flow rig in
+  check_bool "complete" true (Flow.is_complete f);
+  check_int "all bytes" 70_000 (Flow.bytes_received f);
+  check_int "no rto" 0 (Flow.rto_events f)
+
+let test_flow_fct_reasonable () =
+  (* 70 KB over 100 Mb/s with 20us one-way delay: serialisation alone
+     is 5.7ms; handshake + slow start add a few RTTs. *)
+  let rig = make_rig () in
+  let f = run_flow rig in
+  match Flow.fct f with
+  | Some t ->
+    check_bool "above line-rate bound" true (Time.to_ms t > 5.6);
+    check_bool "below 15ms" true (Time.to_ms t < 15.)
+  | None -> Alcotest.fail "flow did not complete"
+
+let test_large_flow_near_line_rate () =
+  let rig = make_rig () in
+  let f = run_flow ~size:1_000_000 rig in
+  match Flow.fct f with
+  | Some t ->
+    (* 1 MB -> 8 Mb / 100 Mb/s = 80 ms minimum on payload alone. *)
+    check_bool "not faster than link" true (Time.to_ms t > 80.);
+    check_bool "at least 70% efficient" true (Time.to_ms t < 120.)
+  | None -> Alcotest.fail "flow did not complete"
+
+let test_flow_zero_bytes () =
+  let rig = make_rig () in
+  let f = run_flow ~size:0 rig in
+  check_bool "complete" true (Flow.is_complete f)
+
+let test_flow_one_byte () =
+  let rig = make_rig () in
+  let f = run_flow ~size:1 rig in
+  check_bool "complete" true (Flow.is_complete f);
+  check_int "one byte" 1 (Flow.bytes_received f)
+
+let test_slow_start_growth () =
+  let rig = make_rig () in
+  let f = Flow.start ~src:rig.src ~dst:rig.dst ~size:1_000_000 () in
+  Scheduler.run ~until:(Time.of_ms 3.) rig.sched;
+  let tx = Flow.tx f in
+  let mss = Tcp_params.default.Tcp_params.mss in
+  check_bool "cwnd grew beyond IW" true
+    (Tcp_tx.cwnd tx
+     > float_of_int (Tcp_params.default.Tcp_params.initial_window * mss))
+
+let test_fast_retransmit_on_single_loss () =
+  (* Drop exactly one mid-stream data segment once; the window around
+     it is large enough to generate 3 dup ACKs, so recovery must use
+     fast retransmit, not an RTO. *)
+  let dropped = ref false in
+  let keep pkt =
+    if (not !dropped) && Packet.is_data pkt && pkt.Packet.tcp.Packet.seq = 14_000
+    then begin
+      dropped := true;
+      false
+    end
+    else true
+  in
+  let rig = make_rig ~data_filter:keep () in
+  let f = run_flow ~size:70_000 rig in
+  check_bool "complete" true (Flow.is_complete f);
+  check_bool "dropped once" true !dropped;
+  let st = Tcp_tx.stats (Flow.tx f) in
+  check_int "fast rtx" 1 st.Tcp_tx.fast_rtx_events;
+  check_int "no rto" 0 st.Tcp_tx.rto_events
+
+let test_rto_on_tail_loss () =
+  (* Drop the very last segment: no later data means no dup ACKs, so
+     only the retransmission timer can recover - the pathology behind
+     the paper's Figure 1(b). *)
+  let mss = Tcp_params.default.Tcp_params.mss in
+  let size = 4 * mss in
+  let last_seq = 3 * mss in
+  let dropped = ref false in
+  let keep pkt =
+    if (not !dropped) && Packet.is_data pkt && pkt.Packet.tcp.Packet.seq = last_seq
+    then begin
+      dropped := true;
+      false
+    end
+    else true
+  in
+  let rig = make_rig ~data_filter:keep () in
+  let f = run_flow ~size rig in
+  check_bool "complete" true (Flow.is_complete f);
+  let st = Tcp_tx.stats (Flow.tx f) in
+  check_int "recovered by rto" 1 st.Tcp_tx.rto_events;
+  match Flow.fct f with
+  | Some t -> check_bool "fct includes min_rto stall" true (Time.to_ms t >= 200.)
+  | None -> Alcotest.fail "no fct"
+
+let test_high_dupack_threshold_forces_rto () =
+  (* Same mid-stream loss as the fast-retransmit test, but with a
+     threshold too high to ever fire: the sender must fall back to an
+     RTO. This is exactly the failure mode that hurts subflows with
+     tiny windows in Figure 1(b). *)
+  let dropped = ref false in
+  let keep pkt =
+    if (not !dropped) && Packet.is_data pkt && pkt.Packet.tcp.Packet.seq = 14_000
+    then begin
+      dropped := true;
+      false
+    end
+    else true
+  in
+  let rig = make_rig ~data_filter:keep () in
+  let f =
+    Flow.start ~src:rig.src ~dst:rig.dst ~size:70_000
+      ~dupack_threshold:(fun () -> 1_000) ()
+  in
+  Scheduler.run ~until:(Time.of_sec 30.) rig.sched;
+  check_bool "complete" true (Flow.is_complete f);
+  let st = Tcp_tx.stats (Flow.tx f) in
+  check_int "no fast rtx" 0 st.Tcp_tx.fast_rtx_events;
+  check_int "rto instead" 1 st.Tcp_tx.rto_events
+
+let test_syn_loss_recovered () =
+  let dropped = ref false in
+  let keep pkt =
+    if (not !dropped) && pkt.Packet.tcp.Packet.flags.Packet.syn then begin
+      dropped := true;
+      false
+    end
+    else true
+  in
+  let rig = make_rig ~data_filter:keep () in
+  let f = run_flow ~size:7_000 rig in
+  check_bool "complete" true (Flow.is_complete f);
+  let st = Tcp_tx.stats (Flow.tx f) in
+  check_bool "syn retried" true (st.Tcp_tx.syn_sent >= 2);
+  match Flow.fct f with
+  | Some t -> check_bool "paid initial rto" true (Time.to_ms t >= 200.)
+  | None -> Alcotest.fail "no fct"
+
+let test_burst_loss_recovered () =
+  (* Drop a contiguous burst of 5 segments once: NewReno partial ACKs
+     must retransmit them one per RTT and finish without deadlock. *)
+  let mss = Tcp_params.default.Tcp_params.mss in
+  let to_drop = Hashtbl.create 8 in
+  List.iter (fun i -> Hashtbl.replace to_drop (i * mss) true) [ 10; 11; 12; 13; 14 ];
+  let keep pkt =
+    if Packet.is_data pkt && Hashtbl.mem to_drop pkt.Packet.tcp.Packet.seq then begin
+      Hashtbl.remove to_drop pkt.Packet.tcp.Packet.seq;
+      false
+    end
+    else true
+  in
+  let rig = make_rig ~data_filter:keep () in
+  let f = run_flow ~size:70_000 rig in
+  check_bool "complete despite burst loss" true (Flow.is_complete f);
+  check_int "all bytes delivered" 70_000 (Flow.bytes_received f)
+
+let test_random_loss_delivery =
+  QCheck.Test.make ~name:"flow completes under random loss" ~count:25
+    QCheck.(pair small_int (int_range 1 15))
+    (fun (seed, percent) ->
+      let rng = Sim_engine.Rng.create ~seed in
+      let keep pkt =
+        (* Handshake losses are covered separately; dropping only data
+           keeps the property fast. *)
+        if Packet.is_data pkt then Sim_engine.Rng.int rng 100 >= percent
+        else true
+      in
+      let rig = make_rig ~data_filter:keep () in
+      let f = run_flow ~size:30_000 ~until:(Time.of_sec 120.) rig in
+      Flow.is_complete f && Flow.bytes_received f = 30_000)
+
+let test_receiver_dup_seen_flag () =
+  (* Deliver the same segment twice through a raw receiver and check
+     the DSACK-style signal on the second ACK. *)
+  let sched = Scheduler.create () in
+  let net = Dumbbell.direct ~sched () in
+  let src = Topology.host net 0 and dst = Topology.host net 1 in
+  let acks = ref [] in
+  Host.bind src ~conn:42 (fun pkt -> acks := pkt :: !acks);
+  let rx =
+    Tcp_rx.create ~host:dst ~peer:(Host.addr src) ~conn:42 ~subflow:0
+      ~on_data:(fun ~dsn:_ ~len:_ -> ())
+      ()
+  in
+  Host.bind dst ~conn:42 (Tcp_rx.handle rx);
+  let make_seg () =
+    Packet.make ~src:(Host.addr src) ~dst:(Host.addr dst)
+      ~tcp:
+        {
+          Packet.conn = 42;
+          subflow = 0;
+          src_port = 1;
+          dst_port = 2;
+          seq = 0;
+          ack_seq = 0;
+          len = 1000;
+          flags = Packet.data_flags;
+          ece = false;
+          dup_seen = false;
+          dsn = 0; sack = [];
+        }
+  in
+  Host.send src (make_seg ());
+  Scheduler.run sched;
+  Host.send src (make_seg ());
+  Scheduler.run sched;
+  match List.rev_map (fun p -> p.Packet.tcp.Packet.dup_seen) !acks with
+  | [ first; second ] ->
+    check_bool "first ack clean" false first;
+    check_bool "second ack flags duplicate" true second;
+    check_int "rx dup count" 1 (Tcp_rx.dup_segments rx)
+  | _ -> Alcotest.fail "expected exactly two ACKs"
+
+let test_receiver_reordering () =
+  let sched = Scheduler.create () in
+  let net = Dumbbell.direct ~sched () in
+  let src = Topology.host net 0 and dst = Topology.host net 1 in
+  let acks = ref [] in
+  Host.bind src ~conn:43 (fun pkt -> acks := pkt.Packet.tcp.Packet.ack_seq :: !acks);
+  let rx =
+    Tcp_rx.create ~host:dst ~peer:(Host.addr src) ~conn:43 ~subflow:0
+      ~on_data:(fun ~dsn:_ ~len:_ -> ())
+      ()
+  in
+  Host.bind dst ~conn:43 (Tcp_rx.handle rx);
+  let seg seq =
+    Packet.make ~src:(Host.addr src) ~dst:(Host.addr dst)
+      ~tcp:
+        {
+          Packet.conn = 43;
+          subflow = 0;
+          src_port = 1;
+          dst_port = 2;
+          seq;
+          ack_seq = 0;
+          len = 100;
+          flags = Packet.data_flags;
+          ece = false;
+          dup_seen = false;
+          dsn = seq; sack = [];
+        }
+  in
+  (* Arrivals: 0, 200 (hole at 100), 100 (fills). Cumulative ACKs must
+     be 100, 100 (dup), 300. *)
+  Host.send src (seg 0);
+  Scheduler.run sched;
+  Host.send src (seg 200);
+  Scheduler.run sched;
+  check_int "held back by hole" 2 (Tcp_rx.reorder_spans rx);
+  Host.send src (seg 100);
+  Scheduler.run sched;
+  Alcotest.(check (list int)) "cumulative acks" [ 100; 100; 300 ] (List.rev !acks);
+  check_int "rcv_nxt" 300 (Tcp_rx.rcv_nxt rx)
+
+let test_receiver_echoes_ecn () =
+  let sched = Scheduler.create () in
+  let net = Dumbbell.direct ~sched () in
+  let src = Topology.host net 0 and dst = Topology.host net 1 in
+  let ece = ref None in
+  Host.bind src ~conn:44 (fun pkt -> ece := Some pkt.Packet.tcp.Packet.ece);
+  let rx =
+    Tcp_rx.create ~host:dst ~peer:(Host.addr src) ~conn:44 ~subflow:0
+      ~on_data:(fun ~dsn:_ ~len:_ -> ())
+      ()
+  in
+  Host.bind dst ~conn:44 (Tcp_rx.handle rx);
+  let seg =
+    Packet.make ~src:(Host.addr src) ~dst:(Host.addr dst)
+      ~tcp:
+        {
+          Packet.conn = 44;
+          subflow = 0;
+          src_port = 1;
+          dst_port = 2;
+          seq = 0;
+          ack_seq = 0;
+          len = 100;
+          flags = Packet.data_flags;
+          ece = false;
+          dup_seen = false;
+          dsn = 0; sack = [];
+        }
+  in
+  seg.Packet.ce <- true;
+  Host.send src seg;
+  Scheduler.run sched;
+  Alcotest.(check (option bool)) "ECE echoed" (Some true) !ece
+
+
+(* ------------------------------------------------------------------ *)
+(* SACK *)
+
+let sack_params = { Tcp_params.default with Tcp_params.sack = true }
+
+let drop_burst_filter segs =
+  let to_drop = Hashtbl.create 8 in
+  let mss = Tcp_params.default.Tcp_params.mss in
+  List.iter (fun i -> Hashtbl.replace to_drop (i * mss) true) segs;
+  fun pkt ->
+    if Packet.is_data pkt && Hashtbl.mem to_drop pkt.Packet.tcp.Packet.seq then begin
+      Hashtbl.remove to_drop pkt.Packet.tcp.Packet.seq;
+      false
+    end
+    else true
+
+let test_sack_flow_completes_clean () =
+  let rig = make_rig () in
+  let f =
+    Flow.start ~src:rig.src ~dst:rig.dst ~size:70_000 ~params:sack_params ()
+  in
+  Scheduler.run ~until:(Time.of_sec 10.) rig.sched;
+  check_bool "complete" true (Flow.is_complete f);
+  check_int "no rtx at all" 0 (Tcp_tx.stats (Flow.tx f)).Tcp_tx.segments_rtx
+
+let test_sack_recovers_burst_in_one_recovery () =
+  (* A 5-segment burst loss: NewReno needs one RTT per hole; SACK
+     repairs all holes within a single fast-recovery episode and
+     without any RTO. A 2 ms propagation delay makes the per-hole RTT
+     cost visible. *)
+  let spec = { Topology.default_link_spec with Topology.delay = Time.of_ms 2. } in
+  let run params =
+    let rig =
+      make_rig ~spec ~data_filter:(drop_burst_filter [ 10; 11; 12; 13; 14 ]) ()
+    in
+    let f = Flow.start ~src:rig.src ~dst:rig.dst ~size:140_000 ~params () in
+    Scheduler.run ~until:(Time.of_sec 30.) rig.sched;
+    check_bool "complete" true (Flow.is_complete f);
+    let st = Tcp_tx.stats (Flow.tx f) in
+    (Option.get (Flow.fct f), st.Tcp_tx.rto_events, st.Tcp_tx.fast_rtx_events)
+  in
+  let fct_sack, rto_sack, fr_sack = run sack_params in
+  let fct_newreno, _, _ = run Tcp_params.default in
+  check_int "no rto with sack" 0 rto_sack;
+  check_int "single recovery episode" 1 fr_sack;
+  check_bool
+    (Printf.sprintf "sack faster than newreno (%.1f vs %.1f ms)"
+       (Time.to_ms fct_sack) (Time.to_ms fct_newreno))
+    true
+    (Time.to_ms fct_sack < Time.to_ms fct_newreno)
+
+let test_sack_random_loss_property =
+  QCheck.Test.make ~name:"sack flow completes under random loss" ~count:20
+    QCheck.(pair small_int (int_range 1 15))
+    (fun (seed, percent) ->
+      let rng = Sim_engine.Rng.create ~seed in
+      let keep pkt =
+        if Packet.is_data pkt then Sim_engine.Rng.int rng 100 >= percent
+        else true
+      in
+      let rig = make_rig ~data_filter:keep () in
+      let f =
+        Flow.start ~src:rig.src ~dst:rig.dst ~size:50_000 ~params:sack_params ()
+      in
+      Scheduler.run ~until:(Time.of_sec 120.) rig.sched;
+      Flow.is_complete f && Flow.bytes_received f = 50_000)
+
+let test_receiver_advertises_sack_blocks () =
+  let sched = Scheduler.create () in
+  let net = Dumbbell.direct ~sched () in
+  let src = Topology.host net 0 and dst = Topology.host net 1 in
+  let sacks = ref [] in
+  Host.bind src ~conn:45 (fun pkt -> sacks := pkt.Packet.tcp.Packet.sack :: !sacks);
+  let rx =
+    Tcp_rx.create ~host:dst ~peer:(Host.addr src) ~conn:45 ~subflow:0
+      ~on_data:(fun ~dsn:_ ~len:_ -> ())
+      ()
+  in
+  Host.bind dst ~conn:45 (Tcp_rx.handle rx);
+  let seg seq =
+    Packet.make ~src:(Host.addr src) ~dst:(Host.addr dst)
+      ~tcp:
+        {
+          Packet.conn = 45;
+          subflow = 0;
+          src_port = 1;
+          dst_port = 2;
+          seq;
+          ack_seq = 0;
+          len = 100;
+          flags = Packet.data_flags;
+          ece = false;
+          dup_seen = false;
+          dsn = seq;
+          sack = [];
+        }
+  in
+  Host.send src (seg 0);
+  Scheduler.run sched;
+  Host.send src (seg 200);
+  Scheduler.run sched;
+  Host.send src (seg 400);
+  Scheduler.run sched;
+  (match !sacks with
+   | last :: _ ->
+     Alcotest.(check (list (pair int int))) "two blocks" [ (200, 300); (400, 500) ] last
+   | [] -> Alcotest.fail "no acks");
+  match List.rev !sacks with
+  | first :: _ ->
+    Alcotest.(check (list (pair int int))) "in-order ack has no blocks" [] first
+  | [] -> Alcotest.fail "no acks"
+
+(* ------------------------------------------------------------------ *)
+(* Delayed ACKs *)
+
+let delack_params = { Tcp_params.default with Tcp_params.delayed_ack = 2 }
+
+let test_delack_halves_acks () =
+  let run params =
+    let rig = make_rig () in
+    let f = Flow.start ~src:rig.src ~dst:rig.dst ~size:70_000 ~params () in
+    Scheduler.run ~until:(Time.of_sec 10.) rig.sched;
+    check_bool "complete" true (Flow.is_complete f);
+    Tcp_rx.acks_sent (Flow.rx f)
+  in
+  let immediate = run Tcp_params.default in
+  let delayed = run delack_params in
+  check_bool
+    (Printf.sprintf "fewer acks when delayed (%d vs %d)" delayed immediate)
+    true
+    (delayed * 3 < immediate * 2)
+
+let test_delack_timer_flushes_single_segment () =
+  let sched = Scheduler.create () in
+  let net = Dumbbell.direct ~sched () in
+  let src = Topology.host net 0 and dst = Topology.host net 1 in
+  let ack_times = ref [] in
+  Host.bind src ~conn:46 (fun _ -> ack_times := Scheduler.now sched :: !ack_times);
+  let rx =
+    Tcp_rx.create ~params:delack_params ~host:dst ~peer:(Host.addr src)
+      ~conn:46 ~subflow:0
+      ~on_data:(fun ~dsn:_ ~len:_ -> ())
+      ()
+  in
+  Host.bind dst ~conn:46 (Tcp_rx.handle rx);
+  let seg =
+    Packet.make ~src:(Host.addr src) ~dst:(Host.addr dst)
+      ~tcp:
+        {
+          Packet.conn = 46;
+          subflow = 0;
+          src_port = 1;
+          dst_port = 2;
+          seq = 0;
+          ack_seq = 0;
+          len = 100;
+          flags = Packet.data_flags;
+          ece = false;
+          dup_seen = false;
+          dsn = 0;
+          sack = [];
+        }
+  in
+  Host.send src seg;
+  Scheduler.run sched;
+  match !ack_times with
+  | [ t ] ->
+    (* Withheld until the ~40ms delack timer. *)
+    check_bool "flushed by timer" true (Time.to_ms t >= 40.)
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 ack, got %d" (List.length l))
+
+let test_delack_out_of_order_still_immediate () =
+  let sched = Scheduler.create () in
+  let net = Dumbbell.direct ~sched () in
+  let src = Topology.host net 0 and dst = Topology.host net 1 in
+  let acks = ref 0 in
+  Host.bind src ~conn:47 (fun _ -> incr acks);
+  let rx =
+    Tcp_rx.create ~params:delack_params ~host:dst ~peer:(Host.addr src)
+      ~conn:47 ~subflow:0
+      ~on_data:(fun ~dsn:_ ~len:_ -> ())
+      ()
+  in
+  Host.bind dst ~conn:47 (Tcp_rx.handle rx);
+  let seg seq =
+    Packet.make ~src:(Host.addr src) ~dst:(Host.addr dst)
+      ~tcp:
+        {
+          Packet.conn = 47;
+          subflow = 0;
+          src_port = 1;
+          dst_port = 2;
+          seq;
+          ack_seq = 0;
+          len = 100;
+          flags = Packet.data_flags;
+          ece = false;
+          dup_seen = false;
+          dsn = seq;
+          sack = [];
+        }
+  in
+  (* A gap: the out-of-order segment must be ACKed instantly, well
+     before any delack timer. *)
+  Host.send src (seg 200);
+  Scheduler.run ~until:(Time.of_ms 10.) sched;
+  Alcotest.(check int) "immediate dup-ack path" 1 !acks
+
+let test_delack_flow_still_completes () =
+  let rig = make_rig () in
+  let f =
+    Flow.start ~src:rig.src ~dst:rig.dst ~size:200_000 ~params:delack_params ()
+  in
+  Scheduler.run ~until:(Time.of_sec 10.) rig.sched;
+  check_bool "complete" true (Flow.is_complete f);
+  check_int "all bytes" 200_000 (Flow.bytes_received f)
+
+let test_two_flows_share_link_fairly () =
+  let sched = Scheduler.create () in
+  let net = Dumbbell.create ~sched ~pairs:2 () in
+  let f1 =
+    Flow.start ~src:(Topology.host net 0) ~dst:(Topology.host net 2)
+      ~size:1_000_000 ()
+  in
+  let f2 =
+    Flow.start ~src:(Topology.host net 1) ~dst:(Topology.host net 3)
+      ~size:1_000_000 ()
+  in
+  Scheduler.run ~until:(Time.of_sec 10.) sched;
+  check_bool "both complete" true (Flow.is_complete f1 && Flow.is_complete f2);
+  let t1 = Time.to_ms (Option.get (Flow.fct f1)) in
+  let t2 = Time.to_ms (Option.get (Flow.fct f2)) in
+  (* 2 MB total through a 100 Mb/s bottleneck: the later finisher
+     cannot beat ~160 ms, and neither flow can beat its own 1 MB
+     serialisation time. *)
+  check_bool "capacity bound" true (Float.max t1 t2 > 155.);
+  check_bool "f1 above serialisation bound" true (t1 > 80.);
+  check_bool "f2 above serialisation bound" true (t2 > 80.)
+
+let qt = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "sim_tcp"
+    [
+      ( "intervals",
+        [
+          Alcotest.test_case "basic" `Quick test_intervals_basic;
+          Alcotest.test_case "gap and fill" `Quick test_intervals_gap_and_fill;
+          Alcotest.test_case "partial overlap" `Quick test_intervals_partial_overlap;
+          Alcotest.test_case "covering add" `Quick test_intervals_covering_add;
+          Alcotest.test_case "is_covered" `Quick test_intervals_is_covered;
+          Alcotest.test_case "bad range" `Quick test_intervals_bad_range;
+          qt prop_intervals_match_reference;
+          qt prop_intervals_contiguous_matches_reference;
+        ] );
+      ( "rtt",
+        [
+          Alcotest.test_case "first sample" `Quick test_rtt_first_sample;
+          Alcotest.test_case "smoothing converges" `Quick test_rtt_smoothing_converges;
+          Alcotest.test_case "floor and cap" `Quick test_rtt_floor_and_cap;
+          Alcotest.test_case "variance tracks jitter" `Quick test_rtt_var_tracks_jitter;
+        ] );
+      ( "source",
+        [
+          Alcotest.test_case "sequential" `Quick test_fixed_source_sequential;
+          Alcotest.test_case "respects max" `Quick test_fixed_source_respects_max;
+        ] );
+      ( "flow",
+        [
+          Alcotest.test_case "completes" `Quick test_flow_completes;
+          Alcotest.test_case "fct reasonable" `Quick test_flow_fct_reasonable;
+          Alcotest.test_case "near line rate" `Quick test_large_flow_near_line_rate;
+          Alcotest.test_case "zero bytes" `Quick test_flow_zero_bytes;
+          Alcotest.test_case "one byte" `Quick test_flow_one_byte;
+          Alcotest.test_case "slow start growth" `Quick test_slow_start_growth;
+        ] );
+      ( "loss-recovery",
+        [
+          Alcotest.test_case "fast retransmit" `Quick test_fast_retransmit_on_single_loss;
+          Alcotest.test_case "rto on tail loss" `Quick test_rto_on_tail_loss;
+          Alcotest.test_case "high threshold forces rto" `Quick
+            test_high_dupack_threshold_forces_rto;
+          Alcotest.test_case "syn loss" `Quick test_syn_loss_recovered;
+          Alcotest.test_case "burst loss" `Quick test_burst_loss_recovered;
+          qt test_random_loss_delivery;
+        ] );
+      ( "receiver",
+        [
+          Alcotest.test_case "dup_seen flag" `Quick test_receiver_dup_seen_flag;
+          Alcotest.test_case "reordering" `Quick test_receiver_reordering;
+          Alcotest.test_case "echoes ECN" `Quick test_receiver_echoes_ecn;
+        ] );
+      ( "sack",
+        [
+          Alcotest.test_case "clean flow" `Quick test_sack_flow_completes_clean;
+          Alcotest.test_case "burst in one recovery" `Quick test_sack_recovers_burst_in_one_recovery;
+          Alcotest.test_case "receiver advertises blocks" `Quick test_receiver_advertises_sack_blocks;
+          qt test_sack_random_loss_property;
+        ] );
+      ( "delayed-ack",
+        [
+          Alcotest.test_case "halves acks" `Quick test_delack_halves_acks;
+          Alcotest.test_case "timer flushes" `Quick test_delack_timer_flushes_single_segment;
+          Alcotest.test_case "out of order immediate" `Quick test_delack_out_of_order_still_immediate;
+          Alcotest.test_case "flow completes" `Quick test_delack_flow_still_completes;
+        ] );
+      ( "fairness",
+        [ Alcotest.test_case "two flows share" `Quick test_two_flows_share_link_fairly ] );
+    ]

@@ -1,0 +1,380 @@
+(* Structural and forwarding tests for the topology builders. *)
+
+module Time = Sim_engine.Sim_time
+module Scheduler = Sim_engine.Scheduler
+module Addr = Sim_net.Addr
+module Packet = Sim_net.Packet
+module Topology = Sim_net.Topology
+module Fattree = Sim_net.Fattree
+module Multihomed = Sim_net.Multihomed
+module Dumbbell = Sim_net.Dumbbell
+module Host = Sim_net.Host
+module Layer = Sim_net.Layer
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let probe ?(conn = 999) ?(sport = 1234) net ~src ~dst =
+  (* Send one raw data packet from host [src] to host [dst]; return
+     whether it arrived within 10 ms of simulated time. *)
+  let sched = net.Topology.sched in
+  let arrived = ref false in
+  let dst_host = Topology.host net dst in
+  Host.bind dst_host ~conn (fun _ -> arrived := true);
+  let tcp =
+    {
+      Packet.conn;
+      subflow = 0;
+      src_port = sport;
+      dst_port = 80;
+      seq = 0;
+      ack_seq = 0;
+      len = 100;
+      flags = Packet.data_flags;
+      ece = false;
+      dup_seen = false;
+      dsn = -1; sack = [];
+    }
+  in
+  let src_host = Topology.host net src in
+  Host.send src_host
+    (Packet.make ~src:(Host.addr src_host) ~dst:(Host.addr dst_host) ~tcp);
+  Scheduler.run ~until:(Time.add (Scheduler.now sched) (Time.of_ms 10.)) sched;
+  Host.unbind dst_host ~conn;
+  !arrived
+
+(* ------------------------------------------------------------------ *)
+(* FatTree structure *)
+
+let test_fattree_counts () =
+  (* k=4, oversub=1: the textbook fat-tree — 16 hosts, 20 switches,
+     48 fabric links + 32 host links (directed). *)
+  let p = Fattree.default_params ~k:4 ~oversub:1 () in
+  check_int "host count formula" 16 (Fattree.host_count p);
+  let sched = Scheduler.create () in
+  let net = Fattree.create ~sched p in
+  check_int "hosts" 16 (Array.length net.Topology.hosts);
+  check_int "switches" 20 (Array.length net.Topology.switches);
+  (* Directed links: host<->edge 2*16, edge<->agg 2*(4 pods * 2 * 2),
+     agg<->core 2*(4 pods * 2 * 2). *)
+  check_int "links" (32 + 32 + 32) (Array.length net.Topology.links)
+
+let test_fattree_oversub_counts () =
+  let p = Fattree.default_params ~k:4 ~oversub:4 () in
+  check_int "4x hosts" 64 (Fattree.host_count p);
+  let p8 = Fattree.default_params ~k:8 ~oversub:4 () in
+  check_int "paper scale: 512 servers" 512 (Fattree.host_count p8)
+
+let test_fattree_position () =
+  let p = Fattree.default_params ~k:4 ~oversub:2 () in
+  (* hosts_per_edge = 4, hosts_per_pod = 8. *)
+  Alcotest.(check (triple int int int)) "host 0" (0, 0, 0)
+    (Fattree.position p (Addr.of_int 0));
+  Alcotest.(check (triple int int int)) "host 5" (0, 1, 1)
+    (Fattree.position p (Addr.of_int 5));
+  Alcotest.(check (triple int int int)) "host 13" (1, 1, 1)
+    (Fattree.position p (Addr.of_int 13))
+
+let test_fattree_path_count () =
+  let p = Fattree.default_params ~k:4 ~oversub:2 () in
+  let pc a b = Fattree.paths_between p (Addr.of_int a) (Addr.of_int b) in
+  check_int "same host" 0 (pc 3 3);
+  check_int "same edge" 1 (pc 0 1);
+  check_int "same pod" 2 (pc 0 5);
+  check_int "cross pod" 4 (pc 0 13)
+
+let test_fattree_path_count_k8 () =
+  let p = Fattree.default_params ~k:8 ~oversub:1 () in
+  (* hosts_per_edge = 4, hosts_per_pod = 16. *)
+  let pc a b = Fattree.paths_between p (Addr.of_int a) (Addr.of_int b) in
+  check_int "same pod k8" 4 (pc 0 8);
+  check_int "cross pod k8" 16 (pc 0 100)
+
+let test_fattree_invalid () =
+  Alcotest.check_raises "odd k" (Invalid_argument "Fattree: k must be even and >= 2")
+    (fun () ->
+      ignore
+        (Fattree.create ~sched:(Scheduler.create ())
+           (Fattree.default_params ~k:3 ())))
+
+(* ------------------------------------------------------------------ *)
+(* FatTree forwarding *)
+
+let test_fattree_delivers_same_edge () =
+  let sched = Scheduler.create () in
+  let net = Fattree.create ~sched (Fattree.default_params ~k:4 ~oversub:2 ()) in
+  check_bool "same edge" true (probe net ~src:0 ~dst:1)
+
+let test_fattree_delivers_same_pod () =
+  let sched = Scheduler.create () in
+  let net = Fattree.create ~sched (Fattree.default_params ~k:4 ~oversub:2 ()) in
+  check_bool "same pod" true (probe net ~src:0 ~dst:5)
+
+let test_fattree_delivers_cross_pod () =
+  let sched = Scheduler.create () in
+  let net = Fattree.create ~sched (Fattree.default_params ~k:4 ~oversub:2 ()) in
+  check_bool "cross pod" true (probe net ~src:0 ~dst:13)
+
+let prop_fattree_all_pairs_deliver =
+  QCheck.Test.make ~name:"fattree delivers between random pairs" ~count:60
+    QCheck.(triple (int_range 0 63) (int_range 0 63) small_int)
+    (fun (a, b, sport) ->
+      QCheck.assume (a <> b);
+      let sched = Scheduler.create () in
+      let net = Fattree.create ~sched (Fattree.default_params ~k:4 ~oversub:4 ()) in
+      probe net ~src:a ~dst:b ~sport:(1000 + sport))
+
+let test_fattree_scatter_uses_all_uplinks () =
+  (* Many packets with random source ports from one host to a cross-pod
+     destination must traverse every agg uplink of the source edge
+     switch: the PS phase's requirement. *)
+  let sched = Scheduler.create () in
+  let net = Fattree.create ~sched (Fattree.default_params ~k:4 ~oversub:2 ()) in
+  let dst_host = Topology.host net 13 in
+  Host.bind dst_host ~conn:1 ignore;
+  let src_host = Topology.host net 0 in
+  for sport = 1 to 200 do
+    let tcp =
+      {
+        Packet.conn = 1;
+        subflow = 0;
+        src_port = sport * 7919;
+        dst_port = 80;
+        seq = 0;
+        ack_seq = 0;
+        len = 100;
+        flags = Packet.data_flags;
+        ece = false;
+        dup_seen = false;
+        dsn = -1; sack = [];
+      }
+    in
+    Host.send src_host
+      (Packet.make ~src:(Host.addr src_host) ~dst:(Host.addr dst_host) ~tcp)
+  done;
+  Scheduler.run sched;
+  (* Count how many distinct edge-layer fabric links carried traffic
+     out of pod 0's edge 0 (they are the links with edge layer and
+     nonzero tx, excluding host downlinks which carry none here). *)
+  let used =
+    Topology.layer_links net Layer.Edge_layer
+    |> List.filter (fun l -> (Sim_net.Link.stats l).Sim_net.Link.tx_packets > 0)
+    |> List.length
+  in
+  check_bool "both uplinks used" true (used >= 2)
+
+(* ------------------------------------------------------------------ *)
+(* Multihomed *)
+
+let test_multihomed_structure () =
+  let p = Multihomed.default_params ~k:4 ~oversub:2 () in
+  check_int "hosts" 32 (Multihomed.host_count p);
+  let sched = Scheduler.create () in
+  let net = Multihomed.create ~sched p in
+  Array.iter
+    (fun h -> check_int "dual homed" 2 (Host.nic_count h))
+    net.Topology.hosts
+
+let prop_multihomed_delivers =
+  QCheck.Test.make ~name:"multihomed delivers between random pairs" ~count:40
+    QCheck.(triple (int_range 0 31) (int_range 0 31) small_int)
+    (fun (a, b, sport) ->
+      QCheck.assume (a <> b);
+      let sched = Scheduler.create () in
+      let net =
+        Multihomed.create ~sched (Multihomed.default_params ~k:4 ~oversub:2 ())
+      in
+      probe net ~src:a ~dst:b ~sport:(1000 + sport))
+
+let test_multihomed_more_paths () =
+  let pf = Fattree.default_params ~k:4 ~oversub:2 () in
+  let pm = Multihomed.default_params ~k:4 ~oversub:2 () in
+  let sched = Scheduler.create () in
+  let nf = Fattree.create ~sched pf in
+  let sched2 = Scheduler.create () in
+  let nm = Multihomed.create ~sched:sched2 pm in
+  let a = Addr.of_int 0 and b = Addr.of_int 13 in
+  check_bool "multi-homing multiplies path diversity" true
+    (nm.Topology.path_count a b > nf.Topology.path_count a b)
+
+(* ------------------------------------------------------------------ *)
+(* VL2 *)
+
+module Vl2 = Sim_net.Vl2
+
+let test_vl2_structure () =
+  let p = Vl2.default_params () in
+  check_int "hosts" 64 (Vl2.host_count p);
+  let sched = Scheduler.create () in
+  let net = Vl2.create ~sched p in
+  check_int "hosts built" 64 (Array.length net.Topology.hosts);
+  (* 16 ToRs + 4 aggs + 4 intermediates. *)
+  check_int "switches" 24 (Array.length net.Topology.switches)
+
+let test_vl2_path_count () =
+  let sched = Scheduler.create () in
+  let net = Vl2.create ~sched (Vl2.default_params ()) in
+  let pc a b = net.Topology.path_count (Addr.of_int a) (Addr.of_int b) in
+  check_int "same host" 0 (pc 0 0);
+  check_int "same tor" 1 (pc 0 1);
+  (* Distinct ToRs, 4 intermediates, 2 up-aggs x 2 down-aggs: >= 16. *)
+  check_bool "cross tor rich" true (pc 0 32 >= 16)
+
+let prop_vl2_delivers =
+  QCheck.Test.make ~name:"vl2 delivers between random pairs" ~count:40
+    QCheck.(triple (int_range 0 63) (int_range 0 63) small_int)
+    (fun (a, b, sport) ->
+      QCheck.assume (a <> b);
+      let sched = Scheduler.create () in
+      let net = Vl2.create ~sched (Vl2.default_params ()) in
+      probe net ~src:a ~dst:b ~sport:(1000 + sport))
+
+let test_vl2_scatter_spreads_intermediates () =
+  let sched = Scheduler.create () in
+  let net = Vl2.create ~sched (Vl2.default_params ()) in
+  let dst_host = Topology.host net 63 in
+  Host.bind dst_host ~conn:1 ignore;
+  let src_host = Topology.host net 0 in
+  for sport = 1 to 300 do
+    let tcp =
+      {
+        Packet.conn = 1;
+        subflow = 0;
+        src_port = sport * 6151;
+        dst_port = 80;
+        seq = 0;
+        ack_seq = 0;
+        len = 100;
+        flags = Packet.data_flags;
+        ece = false;
+        dup_seen = false;
+        dsn = -1; sack = [];
+      }
+    in
+    Host.send src_host
+      (Packet.make ~src:(Host.addr src_host) ~dst:(Host.addr dst_host) ~tcp)
+  done;
+  Scheduler.run sched;
+  (* All intermediate downlinks towards the destination agg pair should
+     see traffic: scatter exercises the whole valiant core. *)
+  let used =
+    Topology.layer_links net Layer.Core_layer
+    |> List.filter (fun l -> (Sim_net.Link.stats l).Sim_net.Link.tx_packets > 0)
+    |> List.length
+  in
+  check_bool "several intermediate downlinks used" true (used >= 4)
+
+(* ------------------------------------------------------------------ *)
+(* Dumbbell / direct / parking lot *)
+
+let test_direct_delivers () =
+  let sched = Scheduler.create () in
+  let net = Dumbbell.direct ~sched () in
+  check_bool "0 -> 1" true (probe net ~src:0 ~dst:1)
+
+let test_dumbbell_delivers_both_ways () =
+  let sched = Scheduler.create () in
+  let net = Dumbbell.create ~sched ~pairs:3 () in
+  check_bool "left to right" true (probe net ~src:0 ~dst:3);
+  let sched2 = Scheduler.create () in
+  let net2 = Dumbbell.create ~sched:sched2 ~pairs:3 () in
+  check_bool "right to left" true (probe net2 ~src:4 ~dst:1)
+
+let test_dumbbell_bottleneck_layer () =
+  let sched = Scheduler.create () in
+  let net = Dumbbell.create ~sched ~pairs:2 () in
+  check_int "two core (bottleneck) links" 2
+    (List.length (Topology.layer_links net Layer.Core_layer))
+
+let test_parking_lot_delivers () =
+  let sched = Scheduler.create () in
+  let net = Dumbbell.parking_lot ~sched ~hops:3 () in
+  check_bool "0 -> end" true (probe net ~src:0 ~dst:3);
+  let sched2 = Scheduler.create () in
+  let net2 = Dumbbell.parking_lot ~sched:sched2 ~hops:3 () in
+  check_bool "middle -> end" true (probe net2 ~src:1 ~dst:3)
+
+(* ------------------------------------------------------------------ *)
+(* Layer statistics *)
+
+let test_layer_loss_rate_counts_drops () =
+  let sched = Scheduler.create () in
+  let spec = { Topology.default_link_spec with queue_capacity = 1 } in
+  let net = Dumbbell.create ~sched ~bottleneck_spec:spec ~pairs:2 () in
+  (* Blast packets from both left hosts to the right so the 1-packet
+     bottleneck queue drops. *)
+  List.iter
+    (fun (src, dst, conn) ->
+      let dst_host = Topology.host net dst in
+      Host.bind dst_host ~conn ignore;
+      let src_host = Topology.host net src in
+      for i = 0 to 30 do
+        let tcp =
+          {
+            Packet.conn;
+            subflow = 0;
+            src_port = 1000 + i;
+            dst_port = 80;
+            seq = 0;
+            ack_seq = 0;
+            len = 1400;
+            flags = Packet.data_flags;
+            ece = false;
+            dup_seen = false;
+            dsn = -1; sack = [];
+          }
+        in
+        Host.send src_host
+          (Packet.make ~src:(Host.addr src_host) ~dst:(Host.addr dst_host) ~tcp)
+      done)
+    [ (0, 2, 50); (1, 3, 51) ];
+  Scheduler.run sched;
+  check_bool "bottleneck dropped" true
+    (Topology.layer_loss_rate net Layer.Core_layer > 0.);
+  check_bool "total drops positive" true (Topology.total_drops net > 0)
+
+let qt = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "sim_net_topology"
+    [
+      ( "fattree-structure",
+        [
+          Alcotest.test_case "counts" `Quick test_fattree_counts;
+          Alcotest.test_case "oversubscription" `Quick test_fattree_oversub_counts;
+          Alcotest.test_case "position" `Quick test_fattree_position;
+          Alcotest.test_case "path count" `Quick test_fattree_path_count;
+          Alcotest.test_case "path count k8" `Quick test_fattree_path_count_k8;
+          Alcotest.test_case "invalid params" `Quick test_fattree_invalid;
+        ] );
+      ( "fattree-forwarding",
+        [
+          Alcotest.test_case "same edge" `Quick test_fattree_delivers_same_edge;
+          Alcotest.test_case "same pod" `Quick test_fattree_delivers_same_pod;
+          Alcotest.test_case "cross pod" `Quick test_fattree_delivers_cross_pod;
+          Alcotest.test_case "scatter uses uplinks" `Quick test_fattree_scatter_uses_all_uplinks;
+          qt prop_fattree_all_pairs_deliver;
+        ] );
+      ( "multihomed",
+        [
+          Alcotest.test_case "structure" `Quick test_multihomed_structure;
+          Alcotest.test_case "more paths" `Quick test_multihomed_more_paths;
+          qt prop_multihomed_delivers;
+        ] );
+      ( "vl2",
+        [
+          Alcotest.test_case "structure" `Quick test_vl2_structure;
+          Alcotest.test_case "path count" `Quick test_vl2_path_count;
+          Alcotest.test_case "scatter spreads" `Quick test_vl2_scatter_spreads_intermediates;
+          qt prop_vl2_delivers;
+        ] );
+      ( "reference-topologies",
+        [
+          Alcotest.test_case "direct" `Quick test_direct_delivers;
+          Alcotest.test_case "dumbbell both ways" `Quick test_dumbbell_delivers_both_ways;
+          Alcotest.test_case "bottleneck tagging" `Quick test_dumbbell_bottleneck_layer;
+          Alcotest.test_case "parking lot" `Quick test_parking_lot_delivers;
+        ] );
+      ( "layer-stats",
+        [ Alcotest.test_case "loss accounting" `Quick test_layer_loss_rate_counts_drops ] );
+    ]

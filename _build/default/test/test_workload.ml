@@ -1,0 +1,257 @@
+(* Workload tests: traffic matrices and small scenario runs. *)
+
+module Time = Sim_engine.Sim_time
+module Rng = Sim_engine.Rng
+module Traffic_matrix = Sim_workload.Traffic_matrix
+module Scenario = Sim_workload.Scenario
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Traffic matrices *)
+
+let test_permutation_is_derangement () =
+  let tm =
+    Traffic_matrix.create ~rng:(Rng.create ~seed:1) ~hosts:50
+      Traffic_matrix.Permutation
+  in
+  let dests = List.init 50 (fun src -> Traffic_matrix.dest tm ~src) in
+  List.iteri (fun src d -> check_bool "no self" true (src <> d)) dests;
+  check_int "is a permutation" 50
+    (List.length (List.sort_uniq compare dests))
+
+let test_permutation_stable () =
+  let tm =
+    Traffic_matrix.create ~rng:(Rng.create ~seed:2) ~hosts:20
+      Traffic_matrix.Permutation
+  in
+  check_int "same partner every time"
+    (Traffic_matrix.dest tm ~src:5)
+    (Traffic_matrix.dest tm ~src:5)
+
+let test_stride () =
+  let tm =
+    Traffic_matrix.create ~rng:(Rng.create ~seed:3) ~hosts:10
+      (Traffic_matrix.Stride 3)
+  in
+  check_int "stride" 8 (Traffic_matrix.dest tm ~src:5);
+  check_int "wraps" 2 (Traffic_matrix.dest tm ~src:9)
+
+let test_stride_self_rejected () =
+  Alcotest.check_raises "stride 0 maps to self"
+    (Invalid_argument "Traffic_matrix.create: stride maps hosts to themselves")
+    (fun () ->
+      ignore
+        (Traffic_matrix.create ~rng:(Rng.create ~seed:4) ~hosts:10
+           (Traffic_matrix.Stride 10)))
+
+let test_random_never_self () =
+  let tm =
+    Traffic_matrix.create ~rng:(Rng.create ~seed:5) ~hosts:5 Traffic_matrix.Random
+  in
+  for _ = 1 to 200 do
+    check_bool "no self" true (Traffic_matrix.dest tm ~src:2 <> 2)
+  done
+
+let test_hotspot_senders_hit_targets () =
+  let tm =
+    Traffic_matrix.create ~rng:(Rng.create ~seed:6) ~hosts:40
+      (Traffic_matrix.Hotspot { targets = 2; fraction = 1.0 })
+  in
+  (* With fraction 1.0 every non-hot host sends to a hot target. *)
+  let dests =
+    List.init 40 (fun src -> (src, Traffic_matrix.dest tm ~src))
+  in
+  let hot =
+    List.sort_uniq compare (List.map snd dests)
+  in
+  (* All destinations drawn from <= 2 + permutation fallbacks for the
+     hot hosts themselves. *)
+  check_bool "few distinct destinations" true (List.length hot <= 6);
+  List.iter (fun (src, d) -> check_bool "no self" true (src <> d)) dests
+
+let test_incast () =
+  let tm =
+    Traffic_matrix.create ~rng:(Rng.create ~seed:7) ~hosts:20
+      (Traffic_matrix.Incast { target = 3; fanin = 8 })
+  in
+  let senders = Traffic_matrix.incast_senders tm in
+  check_int "fanin" 8 (List.length senders);
+  check_bool "target not a sender" true (not (List.mem 3 senders));
+  List.iter
+    (fun s -> check_int "sends to target" 3 (Traffic_matrix.dest tm ~src:s))
+    senders
+
+let test_incast_non_sender_rejected () =
+  let tm =
+    Traffic_matrix.create ~rng:(Rng.create ~seed:8) ~hosts:20
+      (Traffic_matrix.Incast { target = 3; fanin = 5 })
+  in
+  let senders = Traffic_matrix.incast_senders tm in
+  let non_sender =
+    List.find (fun i -> i <> 3 && not (List.mem i senders)) (List.init 20 Fun.id)
+  in
+  Alcotest.check_raises "non sender"
+    (Invalid_argument "Traffic_matrix.dest: host is not an incast sender")
+    (fun () -> ignore (Traffic_matrix.dest tm ~src:non_sender))
+
+let prop_permutation_all_sizes =
+  QCheck.Test.make ~name:"permutation valid for any size" ~count:100
+    QCheck.(pair small_int (int_range 2 100))
+    (fun (seed, n) ->
+      let tm =
+        Traffic_matrix.create ~rng:(Rng.create ~seed) ~hosts:n
+          Traffic_matrix.Permutation
+      in
+      let dests = List.init n (fun src -> Traffic_matrix.dest tm ~src) in
+      List.for_all2 (fun s d -> s <> d) (List.init n Fun.id) dests
+      && List.length (List.sort_uniq compare dests) = n)
+
+let test_kind_printing () =
+  Alcotest.(check string) "permutation" "permutation"
+    (Traffic_matrix.kind_to_string Traffic_matrix.Permutation);
+  Alcotest.(check string) "incast" "incast(3<-8)"
+    (Traffic_matrix.kind_to_string (Traffic_matrix.Incast { target = 3; fanin = 8 }))
+
+(* ------------------------------------------------------------------ *)
+(* Scenario runs (small but real) *)
+
+let small_config proto =
+  {
+    Scenario.default_config with
+    Scenario.topo =
+      Scenario.Fattree_topo (Sim_net.Fattree.default_params ~k:4 ~oversub:1 ());
+    protocol = proto;
+    seed = 11;
+    short_flows = 24;
+    short_rate = 50.;
+    horizon = Time.of_sec 3.;
+  }
+
+let test_scenario_tcp_completes () =
+  let r = Scenario.run (small_config Scenario.Tcp_proto) in
+  check_int "all shorts scheduled" 24 (Array.length r.Scenario.shorts);
+  check_int "all complete" 0 (Scenario.incomplete_shorts r);
+  check_bool "longs present" true (Array.length r.Scenario.longs > 0);
+  check_bool "events processed" true (r.Scenario.events > 0)
+
+let test_scenario_records_sorted_and_ids () =
+  let r = Scenario.run (small_config Scenario.Tcp_proto) in
+  Array.iteri
+    (fun i f ->
+      check_int "sequential ids" i f.Scenario.id;
+      if i > 0 then
+        check_bool "sorted by start" true
+          (Time.compare r.Scenario.shorts.(i - 1).Scenario.start f.Scenario.start <= 0))
+    r.Scenario.shorts
+
+let test_scenario_deterministic () =
+  let fct_sum cfg =
+    let r = Scenario.run cfg in
+    Array.fold_left ( +. ) 0. (Scenario.short_fcts_ms r)
+  in
+  let a = fct_sum (small_config Scenario.Tcp_proto) in
+  let b = fct_sum (small_config Scenario.Tcp_proto) in
+  Alcotest.(check (float 1e-9)) "same seed, same result" a b
+
+let test_scenario_seed_changes_result () =
+  let r1 = Scenario.run (small_config Scenario.Tcp_proto) in
+  let r2 =
+    Scenario.run { (small_config Scenario.Tcp_proto) with Scenario.seed = 99 }
+  in
+  let s1 = Array.fold_left ( +. ) 0. (Scenario.short_fcts_ms r1) in
+  let s2 = Array.fold_left ( +. ) 0. (Scenario.short_fcts_ms r2) in
+  check_bool "different" true (Float.abs (s1 -. s2) > 1e-9)
+
+let test_scenario_mptcp () =
+  let r =
+    Scenario.run (small_config (Scenario.Mptcp_proto { subflows = 4; coupled = true }))
+  in
+  check_int "complete" 0 (Scenario.incomplete_shorts r)
+
+let test_scenario_mmptcp () =
+  let r = Scenario.run (small_config (Scenario.Mmptcp_proto Mmptcp.Strategy.default)) in
+  check_int "complete" 0 (Scenario.incomplete_shorts r)
+
+let test_scenario_vl2_topology () =
+  let cfg =
+    {
+      (small_config (Scenario.Mmptcp_proto Mmptcp.Strategy.default)) with
+      Scenario.topo =
+        Scenario.Vl2_topo (Sim_net.Vl2.default_params ~tors:8 ~hosts_per_tor:2 ());
+    }
+  in
+  let r = Scenario.run cfg in
+  check_int "complete on vl2" 0 (Scenario.incomplete_shorts r)
+
+let test_scenario_multihomed_topology () =
+  let cfg =
+    {
+      (small_config Scenario.Tcp_proto) with
+      Scenario.topo =
+        Scenario.Multihomed_topo (Sim_net.Multihomed.default_params ~k:4 ~oversub:1 ());
+    }
+  in
+  let r = Scenario.run cfg in
+  check_int "complete on dual-homed" 0 (Scenario.incomplete_shorts r)
+
+let test_scenario_flow_sizes () =
+  let r = Scenario.run (small_config Scenario.Tcp_proto) in
+  Array.iter
+    (fun f ->
+      check_int "short size" 70_000 f.Scenario.flow_size;
+      check_bool "short not long" false f.Scenario.is_long)
+    r.Scenario.shorts;
+  Array.iter
+    (fun f -> check_bool "long flagged" true f.Scenario.is_long)
+    r.Scenario.longs
+
+let test_scenario_long_goodput_positive () =
+  let r = Scenario.run (small_config Scenario.Tcp_proto) in
+  let g = Scenario.long_goodput_mbps r in
+  check_bool "some longs" true (Array.length g > 0);
+  Array.iter (fun m -> check_bool "positive goodput" true (m > 0.)) g
+
+let test_protocol_names () =
+  Alcotest.(check string) "tcp" "tcp" (Scenario.protocol_name Scenario.Tcp_proto);
+  Alcotest.(check string) "mptcp" "mptcp-8"
+    (Scenario.protocol_name (Scenario.Mptcp_proto { subflows = 8; coupled = true }));
+  check_bool "mmptcp mentions strategy" true
+    (String.length
+       (Scenario.protocol_name (Scenario.Mmptcp_proto Mmptcp.Strategy.default))
+     > 6)
+
+let qt = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "sim_workload"
+    [
+      ( "traffic-matrix",
+        [
+          Alcotest.test_case "permutation derangement" `Quick test_permutation_is_derangement;
+          Alcotest.test_case "permutation stable" `Quick test_permutation_stable;
+          Alcotest.test_case "stride" `Quick test_stride;
+          Alcotest.test_case "stride self rejected" `Quick test_stride_self_rejected;
+          Alcotest.test_case "random never self" `Quick test_random_never_self;
+          Alcotest.test_case "hotspot" `Quick test_hotspot_senders_hit_targets;
+          Alcotest.test_case "incast" `Quick test_incast;
+          Alcotest.test_case "incast non-sender" `Quick test_incast_non_sender_rejected;
+          Alcotest.test_case "kind printing" `Quick test_kind_printing;
+          qt prop_permutation_all_sizes;
+        ] );
+      ( "scenario",
+        [
+          Alcotest.test_case "tcp completes" `Slow test_scenario_tcp_completes;
+          Alcotest.test_case "sorted records" `Slow test_scenario_records_sorted_and_ids;
+          Alcotest.test_case "deterministic" `Slow test_scenario_deterministic;
+          Alcotest.test_case "seed sensitivity" `Slow test_scenario_seed_changes_result;
+          Alcotest.test_case "mptcp" `Slow test_scenario_mptcp;
+          Alcotest.test_case "mmptcp" `Slow test_scenario_mmptcp;
+          Alcotest.test_case "vl2 topology" `Slow test_scenario_vl2_topology;
+          Alcotest.test_case "multihomed topology" `Slow test_scenario_multihomed_topology;
+          Alcotest.test_case "flow metadata" `Slow test_scenario_flow_sizes;
+          Alcotest.test_case "long goodput" `Slow test_scenario_long_goodput_positive;
+          Alcotest.test_case "protocol names" `Quick test_protocol_names;
+        ] );
+    ]
