@@ -5,7 +5,11 @@
    1. Regeneration of every table and figure in the paper (DESIGN.md
       experiment index F1a, F1b, F1c, T1, E1..E6), printed in
       paper-style rows at the default benchmark scale. Pass [--full]
-      for the 512-server paper-scale configuration.
+      for the 512-server paper-scale configuration, [--tiny] for a
+      seconds-long smoke run. [--jobs N] fans each experiment's
+      independent simulations over N domains (default: recommended
+      domain count minus one); stdout is byte-identical for any N,
+      per-experiment wall-clock goes to stderr.
 
    2. A Bechamel suite with one [Test.make] per table/figure (timing
       the regeneration of that artefact's data at a tiny scale) plus
@@ -20,29 +24,38 @@ module Scenario = Sim_workload.Scenario
 
 let experiments =
   [
-    ("F1a", fun s -> Sim_experiments.Fig1a.run s);
-    ("F1b", fun s -> Sim_experiments.Fig1bc.run_fig1b s);
-    ("F1c", fun s -> Sim_experiments.Fig1bc.run_fig1c s);
-    ("T1", Sim_experiments.Summary_table.run);
-    ("E1", Sim_experiments.Ext_switching.run);
-    ("E2", Sim_experiments.Ext_load.run);
-    ("E3", Sim_experiments.Ext_hotspot.run);
-    ("E4", Sim_experiments.Ext_multihomed.run);
-    ("E5", Sim_experiments.Ext_coexist.run);
-    ("E6", Sim_experiments.Ext_dupack.run);
-    ("E7", Sim_experiments.Ext_topologies.run);
-    ("E8", Sim_experiments.Ext_matrices.run);
-    ("E9", Sim_experiments.Ext_sack.run);
+    ("F1a", fun ~jobs s -> Sim_experiments.Fig1a.run ~jobs s);
+    ("F1b", fun ~jobs s -> Sim_experiments.Fig1bc.run_fig1b ~jobs s);
+    ("F1c", fun ~jobs s -> Sim_experiments.Fig1bc.run_fig1c ~jobs s);
+    ("T1", fun ~jobs s -> Sim_experiments.Summary_table.run ~jobs s);
+    ("E1", fun ~jobs s -> Sim_experiments.Ext_switching.run ~jobs s);
+    ("E2", fun ~jobs s -> Sim_experiments.Ext_load.run ~jobs s);
+    ("E3", fun ~jobs s -> Sim_experiments.Ext_hotspot.run ~jobs s);
+    ("E4", fun ~jobs s -> Sim_experiments.Ext_multihomed.run ~jobs s);
+    ("E5", fun ~jobs s -> Sim_experiments.Ext_coexist.run ~jobs s);
+    ("E6", fun ~jobs s -> Sim_experiments.Ext_dupack.run ~jobs s);
+    ("E7", fun ~jobs s -> Sim_experiments.Ext_topologies.run ~jobs s);
+    ("E8", fun ~jobs s -> Sim_experiments.Ext_matrices.run ~jobs s);
+    ("E9", fun ~jobs s -> Sim_experiments.Ext_sack.run ~jobs s);
   ]
 
-let regenerate scale =
+(* Timing goes to stderr: stdout carries only the regenerated tables
+   and figures, which must be byte-identical whatever [jobs] is. *)
+let regenerate ~jobs scale =
+  let t_suite = Unix.gettimeofday () in
   List.iter
     (fun (id, f) ->
-      Printf.printf "\n######## experiment %s ########\n" id;
+      Printf.printf "\n######## experiment %s ########\n%!" id;
       let t0 = Unix.gettimeofday () in
-      f scale;
-      Printf.printf "[%s done in %.1fs]\n%!" id (Unix.gettimeofday () -. t0))
-    experiments
+      f ~jobs scale;
+      flush stdout;
+      Printf.eprintf "[%s done in %.1fs at jobs=%d]\n%!" id
+        (Unix.gettimeofday () -. t0)
+        jobs)
+    experiments;
+  Printf.eprintf "[full suite done in %.1fs at jobs=%d]\n%!"
+    (Unix.gettimeofday () -. t_suite)
+    jobs
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel suite *)
@@ -52,7 +65,7 @@ open Toolkit
 
 (* Tiny scale: each regeneration sample stays under a second so the
    suite finishes quickly. *)
-let tiny = { Scale.k = 4; oversub = 2; flows = 40; rate = 50.; seed = 3; horizon_s = 2. }
+let tiny = Scale.tiny
 
 let run_scenario protocol =
   let cfg = Scale.scenario_config tiny ~protocol in
@@ -120,7 +133,6 @@ let table_tests =
            ignore (Scenario.run cfg)));
     Test.make ~name:"E5:coexist-bottleneck"
       (Staged.stage (fun () ->
-           Sim_tcp.Conn_id.reset ();
            let sched = Sim_engine.Scheduler.create () in
            let net =
              Sim_net.Dumbbell.create ~sched
@@ -200,7 +212,9 @@ let micro_tests =
   in
   let rng = Sim_engine.Rng.create ~seed:1 in
   let ecmp_pkt =
-    Sim_net.Packet.make ~src:(Sim_net.Addr.of_int 1) ~dst:(Sim_net.Addr.of_int 2)
+    Sim_net.Packet.make
+      ~ctx:(Sim_engine.Sim_ctx.create ())
+      ~src:(Sim_net.Addr.of_int 1) ~dst:(Sim_net.Addr.of_int 2)
       ~tcp:
         {
           Sim_net.Packet.conn = 1;
@@ -286,12 +300,30 @@ let run_bechamel tests =
 let () =
   let args = Array.to_list Sys.argv in
   let has flag = List.mem flag args in
-  let scale = if has "--full" then Scale.full else Scale.small in
+  let jobs =
+    let rec find = function
+      | "--jobs" :: v :: _ ->
+        (match int_of_string_opt v with
+         | Some n when n >= 1 -> n
+         | Some _ | None ->
+           prerr_endline "bench: --jobs expects a positive integer";
+           exit 2)
+      | _ :: rest -> find rest
+      | [] -> Sim_experiments.Runner.default_jobs ()
+    in
+    find args
+  in
+  let scale =
+    if has "--full" then Scale.full
+    else if has "--tiny" then Scale.tiny
+    else Scale.small
+  in
   if has "--micro" then run_bechamel (micro_tests @ table_tests)
   else begin
     Printf.printf "MMPTCP reproduction benchmark suite (scale: %s)\n"
       (Format.asprintf "%a" Scale.pp scale);
-    regenerate scale;
+    Printf.eprintf "[parallel runner: jobs=%d]\n%!" jobs;
+    regenerate ~jobs scale;
     if not (has "--no-micro") then begin
       Printf.printf
         "\n######## bechamel: per-artefact regeneration + micro ########\n%!";

@@ -3,6 +3,7 @@
 
 open Cmdliner
 module Scale = Sim_experiments.Scale
+module Runner = Sim_experiments.Runner
 
 let scale_term =
   let k =
@@ -49,12 +50,31 @@ let scale_term =
   in
   Term.(const make $ k $ oversub $ flows $ rate $ seed $ horizon $ full)
 
+let jobs_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some _ -> Error (`Msg "JOBS must be >= 1")
+    | None -> Error (`Msg "expected an integer")
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let jobs_term =
+  Arg.(
+    value
+    & opt jobs_conv (Runner.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Run an experiment's independent simulations on $(docv) domains. \
+           Output is identical for any value; the default is the recommended \
+           domain count minus one.")
+
 let experiment name doc f =
-  let run scale =
-    f scale;
+  let run jobs scale =
+    f ~jobs scale;
     0
   in
-  Cmd.v (Cmd.info name ~doc) Term.(const run $ scale_term)
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ jobs_term $ scale_term)
 
 let csv_term =
   Arg.(
@@ -66,61 +86,64 @@ let csv_term =
 let fig1a_cmd =
   let lo = Arg.(value & opt int 1 & info [ "lo" ] ~doc:"Smallest subflow count.") in
   let hi = Arg.(value & opt int 9 & info [ "hi" ] ~doc:"Largest subflow count.") in
-  let run lo hi csv_dir scale =
-    Sim_experiments.Fig1a.run ~lo ~hi ?csv_dir scale;
+  let run lo hi csv_dir jobs scale =
+    Sim_experiments.Fig1a.run ~lo ~hi ?csv_dir ~jobs scale;
     0
   in
   Cmd.v
     (Cmd.info "fig1a" ~doc:"Figure 1(a): MPTCP short-flow FCT vs subflow count.")
-    Term.(const run $ lo $ hi $ csv_term $ scale_term)
+    Term.(const run $ lo $ hi $ csv_term $ jobs_term $ scale_term)
 
 let fig1bc_cmd name doc f =
-  let run csv_dir scale =
-    f ?csv_dir scale;
+  let run csv_dir jobs scale =
+    f ?csv_dir ~jobs scale;
     0
   in
-  Cmd.v (Cmd.info name ~doc) Term.(const run $ csv_term $ scale_term)
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ csv_term $ jobs_term $ scale_term)
 
 let cmds =
   [
     fig1a_cmd;
     fig1bc_cmd "fig1b" "Figure 1(b): per-flow FCT scatter, MPTCP 8 subflows."
-      Sim_experiments.Fig1bc.run_fig1b;
+      (fun ?csv_dir ~jobs s ->
+        Sim_experiments.Fig1bc.run_fig1b ?csv_dir ~jobs s);
     fig1bc_cmd "fig1c" "Figure 1(c): per-flow FCT scatter, MMPTCP."
-      Sim_experiments.Fig1bc.run_fig1c;
+      (fun ?csv_dir ~jobs s ->
+        Sim_experiments.Fig1bc.run_fig1c ?csv_dir ~jobs s);
     experiment "table1" "Text claims: MMPTCP vs MPTCP summary table."
-      Sim_experiments.Summary_table.run;
+      (fun ~jobs s -> Sim_experiments.Summary_table.run ~jobs s);
     experiment "ext-switching" "E1: phase-switching strategies."
-      Sim_experiments.Ext_switching.run;
-    experiment "ext-load" "E2: network-load sweep." Sim_experiments.Ext_load.run;
+      (fun ~jobs s -> Sim_experiments.Ext_switching.run ~jobs s);
+    experiment "ext-load" "E2: network-load sweep."
+      (fun ~jobs s -> Sim_experiments.Ext_load.run ~jobs s);
     experiment "ext-hotspot" "E3: hotspot traffic matrices."
-      Sim_experiments.Ext_hotspot.run;
+      (fun ~jobs s -> Sim_experiments.Ext_hotspot.run ~jobs s);
     experiment "ext-multihomed" "E4: dual-homed FatTree."
-      Sim_experiments.Ext_multihomed.run;
+      (fun ~jobs s -> Sim_experiments.Ext_multihomed.run ~jobs s);
     experiment "ext-coexist" "E5: co-existence fairness."
-      Sim_experiments.Ext_coexist.run;
+      (fun ~jobs s -> Sim_experiments.Ext_coexist.run ~jobs s);
     experiment "ext-dupack" "E6: dup-ACK threshold ablation."
-      Sim_experiments.Ext_dupack.run;
+      (fun ~jobs s -> Sim_experiments.Ext_dupack.run ~jobs s);
     experiment "ext-topologies" "E7: FatTree vs VL2-style Clos."
-      Sim_experiments.Ext_topologies.run;
+      (fun ~jobs s -> Sim_experiments.Ext_topologies.run ~jobs s);
     experiment "ext-matrices" "E8: traffic matrices."
-      Sim_experiments.Ext_matrices.run;
+      (fun ~jobs s -> Sim_experiments.Ext_matrices.run ~jobs s);
     experiment "ext-sack" "E9: NewReno vs SACK loss recovery."
-      Sim_experiments.Ext_sack.run;
-    experiment "all" "Run every experiment in sequence." (fun scale ->
-        Sim_experiments.Fig1a.run scale;
-        Sim_experiments.Fig1bc.run_fig1b scale;
-        Sim_experiments.Fig1bc.run_fig1c scale;
-        Sim_experiments.Summary_table.run scale;
-        Sim_experiments.Ext_switching.run scale;
-        Sim_experiments.Ext_load.run scale;
-        Sim_experiments.Ext_hotspot.run scale;
-        Sim_experiments.Ext_multihomed.run scale;
-        Sim_experiments.Ext_coexist.run scale;
-        Sim_experiments.Ext_dupack.run scale;
-        Sim_experiments.Ext_topologies.run scale;
-        Sim_experiments.Ext_matrices.run scale;
-        Sim_experiments.Ext_sack.run scale);
+      (fun ~jobs s -> Sim_experiments.Ext_sack.run ~jobs s);
+    experiment "all" "Run every experiment in sequence." (fun ~jobs scale ->
+        Sim_experiments.Fig1a.run ~jobs scale;
+        Sim_experiments.Fig1bc.run_fig1b ~jobs scale;
+        Sim_experiments.Fig1bc.run_fig1c ~jobs scale;
+        Sim_experiments.Summary_table.run ~jobs scale;
+        Sim_experiments.Ext_switching.run ~jobs scale;
+        Sim_experiments.Ext_load.run ~jobs scale;
+        Sim_experiments.Ext_hotspot.run ~jobs scale;
+        Sim_experiments.Ext_multihomed.run ~jobs scale;
+        Sim_experiments.Ext_coexist.run ~jobs scale;
+        Sim_experiments.Ext_dupack.run ~jobs scale;
+        Sim_experiments.Ext_topologies.run ~jobs scale;
+        Sim_experiments.Ext_matrices.run ~jobs scale;
+        Sim_experiments.Ext_sack.run ~jobs scale);
   ]
 
 let () =

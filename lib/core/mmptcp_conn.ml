@@ -94,7 +94,7 @@ let start ~src ~dst ~size ~rng ?(strategy = Strategy.default)
     ?(params = Sim_tcp.Tcp_params.default) ?(paths = 1)
     ?(on_complete = fun _ -> ()) ?(on_switch = fun _ -> ()) () =
   let sched = Host.sched src in
-  let conn = Sim_tcp.Conn_id.fresh () in
+  let conn = Sim_tcp.Conn_id.fresh (Scheduler.ctx sched) in
   let subflows = strategy.Strategy.subflows in
   if subflows < 1 then invalid_arg "Mmptcp_conn.start: subflows must be >= 1";
   let dupack_cap =

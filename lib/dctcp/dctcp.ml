@@ -2,18 +2,12 @@ module Cong = Sim_tcp.Cong
 
 let recommended_marking_threshold = 17
 
-(* Alpha registry keyed by controller name instance: we instead embed
-   the alpha in a ref captured by the closures and expose it through a
-   weak map from the record's physical identity. Simpler: tag the name
-   with a unique id and keep a table. *)
-let alphas : (int, float ref) Hashtbl.t = Hashtbl.create 16
-let next_id = ref 0
-
+(* The running alpha lives in a ref captured by the controller's
+   closures and is exposed through the generic [Cong.gauges] probes —
+   no process-global registry, so a controller's state dies with its
+   connection and can never bleed into a later simulation. *)
 let make ?(g = 1. /. 16.) (w : Cong.window) =
-  let id = !next_id in
-  incr next_id;
   let alpha = ref 0. in
-  Hashtbl.replace alphas id alpha;
   let bytes_acked = ref 0 in
   let bytes_marked = ref 0 in
   let window_target = ref 0. in
@@ -42,16 +36,11 @@ let make ?(g = 1. /. 16.) (w : Cong.window) =
     end
   in
   {
-    Cong.name = Printf.sprintf "dctcp#%d" id;
+    Cong.name = "dctcp";
     on_ack;
     on_loss = Cong.reno_on_loss w;
+    gauges = [ ("alpha", fun () -> !alpha) ];
   }
 
 let alpha_of (cc : Cong.t) =
-  match String.index_opt cc.Cong.name '#' with
-  | Some i when String.length cc.Cong.name > 5 && String.sub cc.Cong.name 0 5 = "dctcp" ->
-    (try
-       let id = int_of_string (String.sub cc.Cong.name (i + 1) (String.length cc.Cong.name - i - 1)) in
-       Option.map ( ! ) (Hashtbl.find_opt alphas id)
-     with _ -> None)
-  | Some _ | None -> None
+  if cc.Cong.name = "dctcp" then Cong.gauge cc "alpha" else None

@@ -1,0 +1,62 @@
+type t = {
+  mutable workers : unit Domain.t array;
+  jobs : (unit -> unit) Queue.t;
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  mutable closed : bool;
+}
+
+let recommended_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.jobs && not t.closed do
+    Condition.wait t.work_ready t.mutex
+  done;
+  match Queue.take_opt t.jobs with
+  | None ->
+    (* Queue drained and the pool is closed. *)
+    Mutex.unlock t.mutex
+  | Some job ->
+    Mutex.unlock t.mutex;
+    (* Jobs are expected to capture their own failures (par_map wraps
+       user functions in [Result]); a stray exception must not kill the
+       worker or the joining [shutdown] would hang the remaining
+       jobs. *)
+    (try job () with _ -> ());
+    worker_loop t
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Domain_pool.create: domains must be >= 1";
+  let t =
+    {
+      workers = [||];
+      jobs = Queue.create ();
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      closed = false;
+    }
+  in
+  t.workers <- Array.init domains (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let submit t job =
+  Mutex.lock t.mutex;
+  if t.closed then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Domain_pool.submit: pool is shut down"
+  end;
+  Queue.push job t.jobs;
+  Condition.signal t.work_ready;
+  Mutex.unlock t.mutex
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.closed <- true;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.mutex;
+  Array.iter Domain.join t.workers
+
+let run ~domains f =
+  let t = create ~domains in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

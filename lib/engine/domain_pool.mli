@@ -1,0 +1,32 @@
+(** Fixed pool of worker domains.
+
+    Simulations are single-threaded and self-contained (all their
+    state hangs off one {!Scheduler.t}), so independent runs are
+    embarrassingly parallel: the pool fans jobs out across OCaml 5
+    domains. Jobs are closures pulled from a shared queue; submission
+    order is dequeue order, completion order is arbitrary.
+
+    Jobs should not let exceptions escape — a stray exception is
+    swallowed so it cannot kill a worker and hang {!shutdown}; wrap
+    user code in [Result] (as {!Sim_experiments.Runner.par_map} does)
+    to observe failures. *)
+
+type t
+
+val recommended_jobs : unit -> int
+(** [max 1 (Domain.recommended_domain_count () - 1)]: keep one core
+    for the coordinating domain. *)
+
+val create : domains:int -> t
+(** Spawn [domains] workers (>= 1, [Invalid_argument] otherwise). *)
+
+val submit : t -> (unit -> unit) -> unit
+(** Enqueue a job. [Invalid_argument] after {!shutdown}. *)
+
+val shutdown : t -> unit
+(** Close the queue, let the workers drain every submitted job, and
+    join them all. Idempotent in effect; no domain is left running. *)
+
+val run : domains:int -> (t -> 'a) -> 'a
+(** [run ~domains f] creates a pool, applies [f], and shuts the pool
+    down even if [f] raises. *)

@@ -1,15 +1,28 @@
-(* Array-backed binary min-heap. Three parallel-ish arrays are avoided:
-   each slot stores an immutable cell so that [pop]'s sift-down moves a
-   single word. Ordering key is (time, seq). *)
+(* Array-backed binary min-heap. Each slot stores an immutable cell so
+   that [pop]'s sift-down moves a single word. Ordering key is
+   (time, seq).
+
+   Empty slots hold a shared sentinel cell instead of [None]: this is
+   the innermost loop of every simulation, and the [option] wrapper
+   cost an allocation per [push] plus a match per slot read. The
+   sentinel is a perfectly ordinary block whose [value] field is never
+   read (only slots below [size] are), so the single [Obj.magic]
+   below cannot escape. *)
 
 type 'a cell = { time : int64; seq : int; value : 'a }
 
+let null_repr = { time = Int64.min_int; seq = -1; value = Obj.repr () }
+let null_cell () : 'a cell = Obj.magic null_repr
+
 type 'a t = {
-  mutable cells : 'a cell option array;
+  mutable cells : 'a cell array;
   mutable size : int;
+  null : 'a cell;  (* fills slots at index >= size *)
 }
 
-let create () = { cells = Array.make 64 None; size = 0 }
+let create () =
+  let null = null_cell () in
+  { cells = Array.make 64 null; size = 0; null }
 
 let length t = t.size
 let is_empty t = t.size = 0
@@ -19,14 +32,9 @@ let cell_lt a b =
   if c <> 0 then c < 0 else a.seq < b.seq
 
 let grow t =
-  let cells = Array.make (2 * Array.length t.cells) None in
+  let cells = Array.make (2 * Array.length t.cells) t.null in
   Array.blit t.cells 0 cells 0 t.size;
   t.cells <- cells
-
-let get t i =
-  match t.cells.(i) with
-  | Some c -> c
-  | None -> assert false
 
 let push t ~time ~seq value =
   if t.size = Array.length t.cells then grow t;
@@ -37,22 +45,22 @@ let push t ~time ~seq value =
   let continue = ref true in
   while !continue && !i > 0 do
     let parent = (!i - 1) / 2 in
-    let pc = get t parent in
+    let pc = t.cells.(parent) in
     if cell_lt cell pc then begin
-      t.cells.(!i) <- Some pc;
+      t.cells.(!i) <- pc;
       i := parent
     end
     else continue := false
   done;
-  t.cells.(!i) <- Some cell
+  t.cells.(!i) <- cell
 
 let pop t =
   if t.size = 0 then None
   else begin
-    let root = get t 0 in
+    let root = t.cells.(0) in
     t.size <- t.size - 1;
-    let last = get t t.size in
-    t.cells.(t.size) <- None;
+    let last = t.cells.(t.size) in
+    t.cells.(t.size) <- t.null;
     if t.size > 0 then begin
       (* Sift the former last element down from the root. *)
       let i = ref 0 in
@@ -62,25 +70,25 @@ let pop t =
         let smallest = ref !i in
         let sc = ref last in
         if l < t.size then begin
-          let lc = get t l in
+          let lc = t.cells.(l) in
           if cell_lt lc !sc then begin
             smallest := l;
             sc := lc
           end
         end;
         if r < t.size then begin
-          let rc = get t r in
+          let rc = t.cells.(r) in
           if cell_lt rc !sc then begin
             smallest := r;
             sc := rc
           end
         end;
         if !smallest = !i then begin
-          t.cells.(!i) <- Some last;
+          t.cells.(!i) <- last;
           continue := false
         end
         else begin
-          t.cells.(!i) <- Some !sc;
+          t.cells.(!i) <- !sc;
           i := !smallest
         end
       done
@@ -88,8 +96,8 @@ let pop t =
     Some (root.time, root.seq, root.value)
   end
 
-let peek_time t = if t.size = 0 then None else Some (get t 0).time
+let peek_time t = if t.size = 0 then None else Some t.cells.(0).time
 
 let clear t =
-  Array.fill t.cells 0 t.size None;
+  Array.fill t.cells 0 t.size t.null;
   t.size <- 0

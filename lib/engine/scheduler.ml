@@ -9,12 +9,20 @@ type t = {
   mutable now : Sim_time.t;
   mutable next_seq : int;
   mutable processed : int;
+  ctx : Sim_ctx.t;
 }
 
 let create () =
-  { heap = Event_heap.create (); now = Sim_time.zero; next_seq = 0; processed = 0 }
+  {
+    heap = Event_heap.create ();
+    now = Sim_time.zero;
+    next_seq = 0;
+    processed = 0;
+    ctx = Sim_ctx.create ();
+  }
 
 let now t = t.now
+let ctx t = t.ctx
 
 let schedule_at t time action =
   if Sim_time.(time < t.now) then

@@ -21,6 +21,12 @@ val create : unit -> t
 val now : t -> Sim_time.t
 (** Current virtual time. *)
 
+val ctx : t -> Sim_ctx.t
+(** The simulation's identifier state. One scheduler = one simulation
+    instance = one {!Sim_ctx.t}; nothing identifier-related is shared
+    between schedulers, so independent simulations may run on separate
+    domains concurrently. *)
+
 val schedule_at : t -> Sim_time.t -> (unit -> unit) -> handle
 (** [schedule_at t time f] runs [f] when the clock reaches [time].
     Raises [Invalid_argument] if [time] is in the past. *)

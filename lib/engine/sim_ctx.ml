@@ -1,0 +1,19 @@
+type t = {
+  mutable next_packet_uid : int;
+  mutable next_conn_id : int;
+  mutable next_queue_id : int;
+}
+
+let create () = { next_packet_uid = 0; next_conn_id = 0; next_queue_id = 0 }
+
+let fresh_packet_uid t =
+  t.next_packet_uid <- t.next_packet_uid + 1;
+  t.next_packet_uid
+
+let fresh_conn_id t =
+  t.next_conn_id <- t.next_conn_id + 1;
+  t.next_conn_id
+
+let fresh_queue_id t =
+  t.next_queue_id <- t.next_queue_id + 1;
+  t.next_queue_id

@@ -1,0 +1,22 @@
+(** Per-simulation identifier state.
+
+    One [t] belongs to one simulation instance (the {!Scheduler}
+    carries it), so independent simulations never share counters and
+    can run concurrently on separate domains. Identical runs draw
+    identical id sequences, which keeps results reproducible and
+    independent of whatever ran earlier in the process.
+
+    All counters start at 0; the first draw of each kind is 1. *)
+
+type t
+
+val create : unit -> t
+
+val fresh_packet_uid : t -> int
+(** Next packet uid (tracing / debugging identity). *)
+
+val fresh_conn_id : t -> int
+(** Next transport connection id (host demultiplexing key). *)
+
+val fresh_queue_id : t -> int
+(** Next packet-queue id (seeds per-queue RED randomness). *)

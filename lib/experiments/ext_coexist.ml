@@ -13,10 +13,10 @@ let jain_index xs =
     if sq = 0. then 1. else s *. s /. (n *. sq)
   end
 
-let run scale =
+let run ?(jobs = 1) scale =
+  (* A single three-flow simulation: nothing to fan out. *)
+  ignore (jobs : int);
   Report.header "E5: co-existence of TCP, MPTCP and MMPTCP on one bottleneck";
-  ignore scale;
-  Sim_tcp.Conn_id.reset ();
   let sched = Scheduler.create () in
   let net =
     Dumbbell.create ~sched

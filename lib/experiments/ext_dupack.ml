@@ -10,7 +10,7 @@ let variants =
     ("static-1000 (no FR)", Strategy.Static 1_000);
   ]
 
-let run scale =
+let run ?(jobs = 1) scale =
   Report.header "E6: scatter-phase dup-ACK threshold ablation";
   Printf.printf "workload: %s\n" (Format.asprintf "%a" Scale.pp scale);
   let table =
@@ -25,13 +25,15 @@ let run scale =
           "fast-rtx(total)";
         ]
   in
-  List.iter
+  Runner.par_map ~jobs
     (fun (name, dupack) ->
       let strategy = { Strategy.default with Strategy.dupack } in
       let cfg =
         Scale.scenario_config scale ~protocol:(Scenario.Mmptcp_proto strategy)
       in
-      let r = Scenario.run cfg in
+      (name, Scenario.run cfg))
+    variants
+  |> List.iter (fun (name, r) ->
       let s = Report.fct_stats r in
       let frtx =
         Array.fold_left
@@ -46,6 +48,5 @@ let run scale =
           Table.fms s.Report.p99_ms;
           string_of_int s.Report.flows_with_rto;
           string_of_int frtx;
-        ])
-    variants;
+        ]);
   Table.print table

@@ -8,4 +8,4 @@
     retransmit disabled). Reported: FCT statistics, RTO-bound flows,
     spurious fast retransmits avoided. *)
 
-val run : Scale.t -> unit
+val run : ?jobs:int -> Scale.t -> unit

@@ -2,7 +2,7 @@ module Scenario = Sim_workload.Scenario
 module Traffic_matrix = Sim_workload.Traffic_matrix
 module Table = Sim_stats.Table
 
-let run scale =
+let run ?(jobs = 1) scale =
   Report.header "E3: hotspot traffic matrices";
   Printf.printf "workload: %s, 4 hot targets, 50%% hot senders\n"
     (Format.asprintf "%a" Scale.pp scale);
@@ -12,10 +12,16 @@ let run scale =
       ~columns:
         [ "protocol"; "mean(ms)"; "sd(ms)"; "p99(ms)"; "rto-flows"; "incomplete" ]
   in
-  List.iter
+  Runner.par_map ~jobs
     (fun (name, protocol) ->
       let cfg = { (Scale.scenario_config scale ~protocol) with Scenario.tm } in
-      let r = Scenario.run cfg in
+      (name, Scenario.run cfg))
+    [
+      ("tcp", Scenario.Tcp_proto);
+      ("mptcp-8", Scenario.Mptcp_proto { subflows = 8; coupled = true });
+      ("mmptcp", Scenario.Mmptcp_proto Mmptcp.Strategy.default);
+    ]
+  |> List.iter (fun (name, r) ->
       let s = Report.fct_stats r in
       Table.add_row table
         [
@@ -25,10 +31,5 @@ let run scale =
           Table.fms s.Report.p99_ms;
           string_of_int s.Report.flows_with_rto;
           string_of_int s.Report.incomplete;
-        ])
-    [
-      ("tcp", Scenario.Tcp_proto);
-      ("mptcp-8", Scenario.Mptcp_proto { subflows = 8; coupled = true });
-      ("mmptcp", Scenario.Mmptcp_proto Mmptcp.Strategy.default);
-    ];
+        ]);
   Table.print table

@@ -3,7 +3,7 @@ module Table = Sim_stats.Table
 
 let rates = [ 10.; 25.; 50.; 100. ]
 
-let run scale =
+let run ?(jobs = 1) scale =
   Report.header "E2: effect of network load (short-flow arrival rate)";
   Printf.printf "workload: %s (rate swept)\n" (Format.asprintf "%a" Scale.pp scale);
   let table =
@@ -18,25 +18,31 @@ let run scale =
           "rto-flows";
         ]
   in
-  List.iter
-    (fun rate ->
-      List.iter
-        (fun (name, protocol) ->
-          let cfg = Scale.scenario_config { scale with Scale.rate } ~protocol in
-          let r = Scenario.run cfg in
-          let s = Report.fct_stats r in
-          Table.add_row table
-            [
-              Printf.sprintf "%.0f" rate;
-              name;
-              Table.fms s.Report.mean_ms;
-              Table.fms s.Report.sd_ms;
-              Table.fms s.Report.p99_ms;
-              string_of_int s.Report.flows_with_rto;
-            ])
+  let entries =
+    List.concat_map
+      (fun rate ->
+        List.map
+          (fun (name, protocol) -> (rate, name, protocol))
+          [
+            ("mptcp-8", Scenario.Mptcp_proto { subflows = 8; coupled = true });
+            ("mmptcp", Scenario.Mmptcp_proto Mmptcp.Strategy.default);
+          ])
+      rates
+  in
+  Runner.par_map ~jobs
+    (fun (rate, name, protocol) ->
+      let cfg = Scale.scenario_config { scale with Scale.rate } ~protocol in
+      (rate, name, Scenario.run cfg))
+    entries
+  |> List.iter (fun (rate, name, r) ->
+      let s = Report.fct_stats r in
+      Table.add_row table
         [
-          ("mptcp-8", Scenario.Mptcp_proto { subflows = 8; coupled = true });
-          ("mmptcp", Scenario.Mmptcp_proto Mmptcp.Strategy.default);
-        ])
-    rates;
+          Printf.sprintf "%.0f" rate;
+          name;
+          Table.fms s.Report.mean_ms;
+          Table.fms s.Report.sd_ms;
+          Table.fms s.Report.p99_ms;
+          string_of_int s.Report.flows_with_rto;
+        ]);
   Table.print table

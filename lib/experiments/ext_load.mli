@@ -6,4 +6,4 @@
     (fewer RTO-bound flows, smaller tail) widens as bursts become more
     frequent. *)
 
-val run : Scale.t -> unit
+val run : ?jobs:int -> Scale.t -> unit

@@ -9,7 +9,7 @@ let matrices hosts =
     ("stride", Traffic_matrix.Stride (max 1 (hosts / 2)));
   ]
 
-let run scale =
+let run ?(jobs = 1) scale =
   Report.header "E8: traffic matrices";
   Printf.printf "workload: %s\n" (Format.asprintf "%a" Scale.pp scale);
   let hosts =
@@ -20,25 +20,31 @@ let run scale =
     Table.create
       ~columns:[ "matrix"; "protocol"; "mean(ms)"; "sd(ms)"; "p99(ms)"; "rto-flows" ]
   in
-  List.iter
-    (fun (mname, tm) ->
-      List.iter
-        (fun (pname, protocol) ->
-          let cfg = { (Scale.scenario_config scale ~protocol) with Scenario.tm } in
-          let r = Scenario.run cfg in
-          let s = Report.fct_stats r in
-          Table.add_row table
-            [
-              mname;
-              pname;
-              Table.fms s.Report.mean_ms;
-              Table.fms s.Report.sd_ms;
-              Table.fms s.Report.p99_ms;
-              string_of_int s.Report.flows_with_rto;
-            ])
+  let entries =
+    List.concat_map
+      (fun (mname, tm) ->
+        List.map
+          (fun (pname, protocol) -> (mname, tm, pname, protocol))
+          [
+            ("mptcp-8", Scenario.Mptcp_proto { subflows = 8; coupled = true });
+            ("mmptcp", Scenario.Mmptcp_proto Mmptcp.Strategy.default);
+          ])
+      (matrices hosts)
+  in
+  Runner.par_map ~jobs
+    (fun (mname, tm, pname, protocol) ->
+      let cfg = { (Scale.scenario_config scale ~protocol) with Scenario.tm } in
+      (mname, pname, Scenario.run cfg))
+    entries
+  |> List.iter (fun (mname, pname, r) ->
+      let s = Report.fct_stats r in
+      Table.add_row table
         [
-          ("mptcp-8", Scenario.Mptcp_proto { subflows = 8; coupled = true });
-          ("mmptcp", Scenario.Mmptcp_proto Mmptcp.Strategy.default);
-        ])
-    (matrices hosts);
+          mname;
+          pname;
+          Table.fms s.Report.mean_ms;
+          Table.fms s.Report.sd_ms;
+          Table.fms s.Report.p99_ms;
+          string_of_int s.Report.flows_with_rto;
+        ]);
   Table.print table

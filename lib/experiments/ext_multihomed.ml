@@ -10,7 +10,7 @@ let multihomed_topo scale =
       fabric_spec = Scenario.paper_link_spec;
     }
 
-let run scale =
+let run ?(jobs = 1) scale =
   Report.header "E4: single-homed vs dual-homed FatTree";
   Printf.printf "workload: %s\n" (Format.asprintf "%a" Scale.pp scale);
   let table =
@@ -25,32 +25,36 @@ let run scale =
           "rto-flows";
         ]
   in
-  List.iter
-    (fun (tname, topo) ->
-      List.iter
-        (fun (pname, protocol) ->
-          let cfg =
-            { (Scale.scenario_config scale ~protocol) with Scenario.topo }
-          in
-          let r = Scenario.run cfg in
-          let s = Report.fct_stats r in
-          Table.add_row table
-            [
-              tname;
-              pname;
-              Table.fms s.Report.mean_ms;
-              Table.fms s.Report.sd_ms;
-              Table.fms s.Report.p99_ms;
-              string_of_int s.Report.flows_with_rto;
-            ])
+  let entries =
+    List.concat_map
+      (fun (tname, topo) ->
+        List.map
+          (fun (pname, protocol) -> (tname, topo, pname, protocol))
+          [
+            ("mptcp-8", Scenario.Mptcp_proto { subflows = 8; coupled = true });
+            ("mmptcp", Scenario.Mmptcp_proto Mmptcp.Strategy.default);
+          ])
+      [
+        ( "fattree",
+          Scenario.Fattree_topo
+            (Scenario.paper_fattree ~k:scale.Scale.k ~oversub:scale.Scale.oversub ()) );
+        ("dual-homed", multihomed_topo scale);
+      ]
+  in
+  Runner.par_map ~jobs
+    (fun (tname, topo, pname, protocol) ->
+      let cfg = { (Scale.scenario_config scale ~protocol) with Scenario.topo } in
+      (tname, pname, Scenario.run cfg))
+    entries
+  |> List.iter (fun (tname, pname, r) ->
+      let s = Report.fct_stats r in
+      Table.add_row table
         [
-          ("mptcp-8", Scenario.Mptcp_proto { subflows = 8; coupled = true });
-          ("mmptcp", Scenario.Mmptcp_proto Mmptcp.Strategy.default);
-        ])
-    [
-      ( "fattree",
-        Scenario.Fattree_topo
-          (Scenario.paper_fattree ~k:scale.Scale.k ~oversub:scale.Scale.oversub ()) );
-      ("dual-homed", multihomed_topo scale);
-    ];
+          tname;
+          pname;
+          Table.fms s.Report.mean_ms;
+          Table.fms s.Report.sd_ms;
+          Table.fms s.Report.p99_ms;
+          string_of_int s.Report.flows_with_rto;
+        ]);
   Table.print table

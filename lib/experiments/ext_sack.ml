@@ -1,7 +1,7 @@
 module Scenario = Sim_workload.Scenario
 module Table = Sim_stats.Table
 
-let run scale =
+let run ?(jobs = 1) scale =
   Report.header "E9: NewReno vs SACK loss recovery (extension)";
   Printf.printf "workload: %s\n" (Format.asprintf "%a" Scale.pp scale);
   let table =
@@ -9,31 +9,37 @@ let run scale =
       ~columns:
         [ "recovery"; "protocol"; "mean(ms)"; "sd(ms)"; "p99(ms)"; "rto-flows" ]
   in
-  List.iter
-    (fun (rname, sack) ->
-      List.iter
-        (fun (pname, protocol) ->
-          let base = Scale.scenario_config scale ~protocol in
-          let cfg =
-            {
-              base with
-              Scenario.params = { base.Scenario.params with Sim_tcp.Tcp_params.sack };
-            }
-          in
-          let r = Scenario.run cfg in
-          let s = Report.fct_stats r in
-          Table.add_row table
-            [
-              rname;
-              pname;
-              Table.fms s.Report.mean_ms;
-              Table.fms s.Report.sd_ms;
-              Table.fms s.Report.p99_ms;
-              string_of_int s.Report.flows_with_rto;
-            ])
+  let entries =
+    List.concat_map
+      (fun (rname, sack) ->
+        List.map
+          (fun (pname, protocol) -> (rname, sack, pname, protocol))
+          [
+            ("mptcp-8", Scenario.Mptcp_proto { subflows = 8; coupled = true });
+            ("mmptcp", Scenario.Mmptcp_proto Mmptcp.Strategy.default);
+          ])
+      [ ("newreno", false); ("sack", true) ]
+  in
+  Runner.par_map ~jobs
+    (fun (rname, sack, pname, protocol) ->
+      let base = Scale.scenario_config scale ~protocol in
+      let cfg =
+        {
+          base with
+          Scenario.params = { base.Scenario.params with Sim_tcp.Tcp_params.sack };
+        }
+      in
+      (rname, pname, Scenario.run cfg))
+    entries
+  |> List.iter (fun (rname, pname, r) ->
+      let s = Report.fct_stats r in
+      Table.add_row table
         [
-          ("mptcp-8", Scenario.Mptcp_proto { subflows = 8; coupled = true });
-          ("mmptcp", Scenario.Mmptcp_proto Mmptcp.Strategy.default);
-        ])
-    [ ("newreno", false); ("sack", true) ];
+          rname;
+          pname;
+          Table.fms s.Report.mean_ms;
+          Table.fms s.Report.sd_ms;
+          Table.fms s.Report.p99_ms;
+          string_of_int s.Report.flows_with_rto;
+        ]);
   Table.print table

@@ -12,7 +12,7 @@ let strategies =
     ("never (pure PS)", Strategy.Never);
   ]
 
-let run scale =
+let run ?(jobs = 1) scale =
   Report.header "E1: MMPTCP phase-switching strategies";
   Printf.printf "workload: %s\n" (Format.asprintf "%a" Scale.pp scale);
   let table =
@@ -26,13 +26,15 @@ let run scale =
           "long goodput(Mb/s)";
         ]
   in
-  List.iter
+  Runner.par_map ~jobs
     (fun (name, switch) ->
       let strategy = { Strategy.default with Strategy.switch } in
       let cfg =
         Scale.scenario_config scale ~protocol:(Scenario.Mmptcp_proto strategy)
       in
-      let r = Scenario.run cfg in
+      (name, Scenario.run cfg))
+    strategies
+  |> List.iter (fun (name, r) ->
       let s = Report.fct_stats r in
       Table.add_row table
         [
@@ -41,6 +43,5 @@ let run scale =
           Table.fms s.Report.sd_ms;
           string_of_int s.Report.flows_with_rto;
           Printf.sprintf "%.1f" (Report.long_mean_mbps r);
-        ])
-    strategies;
+        ]);
   Table.print table

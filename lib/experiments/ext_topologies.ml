@@ -16,7 +16,7 @@ let vl2_params scale =
     fabric_spec = Scenario.paper_link_spec;
   }
 
-let run scale =
+let run ?(jobs = 1) scale =
   Report.header "E7: FatTree vs VL2-style Clos, same workload";
   Printf.printf "workload: %s\n" (Format.asprintf "%a" Scale.pp scale);
   let table =
@@ -24,32 +24,36 @@ let run scale =
       ~columns:
         [ "topology"; "protocol"; "mean(ms)"; "sd(ms)"; "p99(ms)"; "rto-flows" ]
   in
-  List.iter
-    (fun (tname, topo) ->
-      List.iter
-        (fun (pname, protocol) ->
-          let cfg =
-            { (Scale.scenario_config scale ~protocol) with Scenario.topo }
-          in
-          let r = Scenario.run cfg in
-          let s = Report.fct_stats r in
-          Table.add_row table
-            [
-              tname;
-              pname;
-              Table.fms s.Report.mean_ms;
-              Table.fms s.Report.sd_ms;
-              Table.fms s.Report.p99_ms;
-              string_of_int s.Report.flows_with_rto;
-            ])
+  let entries =
+    List.concat_map
+      (fun (tname, topo) ->
+        List.map
+          (fun (pname, protocol) -> (tname, topo, pname, protocol))
+          [
+            ("mptcp-8", Scenario.Mptcp_proto { subflows = 8; coupled = true });
+            ("mmptcp", Scenario.Mmptcp_proto Mmptcp.Strategy.default);
+          ])
+      [
+        ( "fattree",
+          Scenario.Fattree_topo
+            (Scenario.paper_fattree ~k:scale.Scale.k ~oversub:scale.Scale.oversub ()) );
+        ("vl2", Scenario.Vl2_topo (vl2_params scale));
+      ]
+  in
+  Runner.par_map ~jobs
+    (fun (tname, topo, pname, protocol) ->
+      let cfg = { (Scale.scenario_config scale ~protocol) with Scenario.topo } in
+      (tname, pname, Scenario.run cfg))
+    entries
+  |> List.iter (fun (tname, pname, r) ->
+      let s = Report.fct_stats r in
+      Table.add_row table
         [
-          ("mptcp-8", Scenario.Mptcp_proto { subflows = 8; coupled = true });
-          ("mmptcp", Scenario.Mmptcp_proto Mmptcp.Strategy.default);
-        ])
-    [
-      ( "fattree",
-        Scenario.Fattree_topo
-          (Scenario.paper_fattree ~k:scale.Scale.k ~oversub:scale.Scale.oversub ()) );
-      ("vl2", Scenario.Vl2_topo (vl2_params scale));
-    ];
+          tname;
+          pname;
+          Table.fms s.Report.mean_ms;
+          Table.fms s.Report.sd_ms;
+          Table.fms s.Report.p99_ms;
+          string_of_int s.Report.flows_with_rto;
+        ]);
   Table.print table

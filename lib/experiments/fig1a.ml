@@ -1,53 +1,63 @@
 module Scenario = Sim_workload.Scenario
 module Table = Sim_stats.Table
 
-let run ?(lo = 1) ?(hi = 9) ?csv_dir scale =
+let configs ?(lo = 1) ?(hi = 9) scale =
+  List.init
+    (max 0 (hi - lo + 1))
+    (fun i ->
+      let n = lo + i in
+      ( n,
+        Scale.scenario_config scale
+          ~protocol:(Scenario.Mptcp_proto { subflows = n; coupled = true }) ))
+
+let run ?(lo = 1) ?(hi = 9) ?csv_dir ?(jobs = 1) scale =
   Report.header "Figure 1(a): MPTCP short-flow FCT vs number of subflows";
   Printf.printf "workload: %s\n" (Format.asprintf "%a" Scale.pp scale);
+  let results =
+    Runner.par_map ~jobs
+      (fun (n, cfg) -> (n, Scenario.run cfg))
+      (configs ~lo ~hi scale)
+  in
   let table =
     Table.create
       ~columns:
         [ "#subflows"; "mean(ms)"; "stddev(ms)"; "p99(ms)"; "rto-flows"; "incomplete" ]
   in
-  let means = ref [] in
-  let csv_rows = ref [] in
-  for n = lo to hi do
-    let cfg =
-      Scale.scenario_config scale
-        ~protocol:(Scenario.Mptcp_proto { subflows = n; coupled = true })
-    in
-    let r = Scenario.run cfg in
-    let s = Report.fct_stats r in
-    means := (n, s.Report.mean_ms) :: !means;
-    csv_rows :=
-      [
-        string_of_int n;
-        Sim_stats.Csv.float_cell s.Report.mean_ms;
-        Sim_stats.Csv.float_cell s.Report.sd_ms;
-        Sim_stats.Csv.float_cell s.Report.p99_ms;
-        string_of_int s.Report.flows_with_rto;
-      ]
-      :: !csv_rows;
-    Table.add_row table
-      [
-        string_of_int n;
-        Table.fms s.Report.mean_ms;
-        Table.fms s.Report.sd_ms;
-        Table.fms s.Report.p99_ms;
-        string_of_int s.Report.flows_with_rto;
-        string_of_int s.Report.incomplete;
-      ]
-  done;
+  let rows =
+    List.map
+      (fun (n, r) ->
+        let s = Report.fct_stats r in
+        Table.add_row table
+          [
+            string_of_int n;
+            Table.fms s.Report.mean_ms;
+            Table.fms s.Report.sd_ms;
+            Table.fms s.Report.p99_ms;
+            string_of_int s.Report.flows_with_rto;
+            string_of_int s.Report.incomplete;
+          ];
+        (n, s))
+      results
+  in
   Table.print table;
   (match csv_dir with
    | Some dir ->
      let path = Filename.concat dir "fig1a.csv" in
      Sim_stats.Csv.write ~path
        ~header:[ "subflows"; "mean_ms"; "sd_ms"; "p99_ms"; "rto_flows" ]
-       (List.rev !csv_rows);
+       (List.map
+          (fun (n, s) ->
+            [
+              string_of_int n;
+              Sim_stats.Csv.float_cell s.Report.mean_ms;
+              Sim_stats.Csv.float_cell s.Report.sd_ms;
+              Sim_stats.Csv.float_cell s.Report.p99_ms;
+              string_of_int s.Report.flows_with_rto;
+            ])
+          rows);
      Printf.printf "[series written to %s]\n" path
    | None -> ());
   Report.sub_header "embedded panel (mean only)";
   List.iter
-    (fun (n, m) -> Printf.printf "  %d subflows: %6.1f ms\n" n m)
-    (List.rev !means)
+    (fun (n, s) -> Printf.printf "  %d subflows: %6.1f ms\n" n s.Report.mean_ms)
+    rows

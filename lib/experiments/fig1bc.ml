@@ -18,11 +18,18 @@ let scatter r ~max_series =
   in
   List.sort compare (stragglers @ sampled)
 
-let run_one ~title ~tag ?csv_dir ~protocol scale =
+let run_one ~title ~tag ?csv_dir ?(jobs = 1) ~protocol scale =
   Report.header title;
   Printf.printf "workload: %s\n" (Format.asprintf "%a" Scale.pp scale);
   let cfg = Scale.scenario_config scale ~protocol in
-  let r = Scenario.run cfg in
+  (* A single simulation: par_map only moves it off the calling domain,
+     but keeps the figure's interface uniform with the swept
+     experiments. *)
+  let r =
+    match Runner.par_map ~jobs Scenario.run [ cfg ] with
+    | [ r ] -> r
+    | _ -> assert false
+  in
   (match csv_dir with
    | Some dir ->
      let rows =
@@ -59,16 +66,16 @@ let run_one ~title ~tag ?csv_dir ~protocol scale =
     (fun (id, ms) -> Printf.printf "  %6d %9.1f\n" id ms)
     (scatter r ~max_series:40)
 
-let run_fig1b ?csv_dir scale =
+let run_fig1b ?csv_dir ?jobs scale =
   run_one
     ~title:"Figure 1(b): short-flow completion times, MPTCP (8 subflows)"
-    ~tag:"fig1b" ?csv_dir
+    ~tag:"fig1b" ?csv_dir ?jobs
     ~protocol:(Scenario.Mptcp_proto { subflows = 8; coupled = true })
     scale
 
-let run_fig1c ?csv_dir scale =
+let run_fig1c ?csv_dir ?jobs scale =
   run_one
     ~title:"Figure 1(c): short-flow completion times, MMPTCP (PS + 8 subflows)"
-    ~tag:"fig1c" ?csv_dir
+    ~tag:"fig1c" ?csv_dir ?jobs
     ~protocol:(Scenario.Mmptcp_proto Mmptcp.Strategy.default)
     scale

@@ -11,10 +11,11 @@
     [flow-id fct-ms] series (every flow whose FCT exceeds 500 ms plus a
     uniform sample of the rest), and summary statistics. *)
 
-val run_fig1b : ?csv_dir:string -> Scale.t -> unit
-val run_fig1c : ?csv_dir:string -> Scale.t -> unit
+val run_fig1b : ?csv_dir:string -> ?jobs:int -> Scale.t -> unit
+val run_fig1c : ?csv_dir:string -> ?jobs:int -> Scale.t -> unit
 (** [csv_dir] additionally writes the complete per-flow series to
-    [<csv_dir>/fig1b.csv] / [fig1c.csv]. *)
+    [<csv_dir>/fig1b.csv] / [fig1c.csv]. Each figure is a single
+    simulation; [jobs] only moves it onto a pool domain. *)
 
 val scatter :
   Sim_workload.Scenario.result -> max_series:int -> (int * float) list

@@ -1,0 +1,19 @@
+(** Parallel experiment execution.
+
+    Every paper artefact is regenerated from a sweep of *independent*
+    simulations; since a simulation's whole state hangs off its
+    {!Sim_engine.Scheduler.t}, the sweep is embarrassingly parallel.
+    [par_map] fans the runs out over a fixed {!Sim_engine.Domain_pool}
+    and reassembles results in input order, so an experiment's output
+    is byte-identical whatever the job count. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count () - 1], floored at 1. *)
+
+val par_map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [par_map ~jobs f xs] is [List.map f xs] computed on up to [jobs]
+    domains, preserving input order. [jobs = 1] runs sequentially on
+    the calling domain with no pool at all. If any [f x] raises, the
+    whole map raises (the exception of the earliest failed input) —
+    after every worker has been joined, so no domain is left behind.
+    [Invalid_argument] if [jobs < 1]. *)

@@ -13,6 +13,7 @@ type t = {
 (* Horizons: short-flow arrivals span well under a second at these
    rates; the rest of the horizon is tail budget for RTO-backoff
    stragglers. *)
+let tiny = { k = 4; oversub = 2; flows = 40; rate = 50.; seed = 3; horizon_s = 2. }
 let small = { k = 4; oversub = 4; flows = 500; rate = 25.; seed = 7; horizon_s = 8. }
 let full = { k = 8; oversub = 4; flows = 20_000; rate = 25.; seed = 7; horizon_s = 30. }
 

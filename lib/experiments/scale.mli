@@ -16,6 +16,9 @@ type t = {
   horizon_s : float;  (** simulation stop time *)
 }
 
+val tiny : t
+(** Seconds-per-experiment smoke scale (CI and the bechamel suite). *)
+
 val small : t
 val full : t
 val pp : Format.formatter -> t -> unit

@@ -1,23 +1,20 @@
 module Scenario = Sim_workload.Scenario
 module Table = Sim_stats.Table
 
-let row scale name protocol =
-  let cfg = Scale.scenario_config scale ~protocol in
-  let r = Scenario.run cfg in
+let row name r =
   let s = Report.fct_stats r in
-  ( name,
-    [
-      name;
-      Table.fms s.Report.mean_ms;
-      Table.fms s.Report.sd_ms;
-      string_of_int s.Report.flows_with_rto;
-      Table.pct (Scenario.core_loss r);
-      Table.pct (Scenario.agg_loss r);
-      Printf.sprintf "%.1f" (Report.long_mean_mbps r);
-      Table.pct (Scenario.core_utilisation r);
-    ] )
+  [
+    name;
+    Table.fms s.Report.mean_ms;
+    Table.fms s.Report.sd_ms;
+    string_of_int s.Report.flows_with_rto;
+    Table.pct (Scenario.core_loss r);
+    Table.pct (Scenario.agg_loss r);
+    Printf.sprintf "%.1f" (Report.long_mean_mbps r);
+    Table.pct (Scenario.core_utilisation r);
+  ]
 
-let run scale =
+let run ?(jobs = 1) scale =
   Report.header
     "Table 1: MMPTCP vs MPTCP on the paper workload (identical seed)";
   Printf.printf "workload: %s\n" (Format.asprintf "%a" Scale.pp scale);
@@ -39,12 +36,17 @@ let run scale =
           "core util";
         ]
   in
-  let _, mptcp_row =
-    row scale "mptcp-8" (Scenario.Mptcp_proto { subflows = 8; coupled = true })
+  let entries =
+    [
+      ("mptcp-8", Scenario.Mptcp_proto { subflows = 8; coupled = true });
+      ("mmptcp", Scenario.Mmptcp_proto Mmptcp.Strategy.default);
+    ]
   in
-  let _, mmptcp_row =
-    row scale "mmptcp" (Scenario.Mmptcp_proto Mmptcp.Strategy.default)
+  let results =
+    Runner.par_map ~jobs
+      (fun (name, protocol) ->
+        (name, Scenario.run (Scale.scenario_config scale ~protocol)))
+      entries
   in
-  Table.add_row table mptcp_row;
-  Table.add_row table mmptcp_row;
+  List.iter (fun (name, r) -> Table.add_row table (row name r)) results;
   Table.print table

@@ -55,4 +55,4 @@ let attach g (w : Cong.window) =
       w.Cong.set_cwnd (w.Cong.get_cwnd () +. Float.min inc mss)
     end
   in
-  { Cong.name = "lia"; on_ack; on_loss = Cong.reno_on_loss w }
+  { Cong.name = "lia"; on_ack; on_loss = Cong.reno_on_loss w; gauges = [] }

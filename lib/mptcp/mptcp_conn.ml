@@ -20,7 +20,7 @@ let start ~src ~dst ~size ~subflows ?(params = Sim_tcp.Tcp_params.default)
     ?(coupled = true) ?(on_complete = fun _ -> ()) () =
   if subflows < 1 then invalid_arg "Mptcp_conn.start: subflows must be >= 1";
   let sched = Host.sched src in
-  let conn = Sim_tcp.Conn_id.fresh () in
+  let conn = Sim_tcp.Conn_id.fresh (Scheduler.ctx sched) in
   let group = if coupled then Some (Lia.make_group ()) else None in
   let rec t =
     lazy

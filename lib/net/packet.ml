@@ -31,11 +31,9 @@ let pure_ack_flags = { syn = false; ack = true; fin = false }
 let syn_flags = { syn = true; ack = false; fin = false }
 let syn_ack_flags = { syn = true; ack = true; fin = false }
 
-let uid_counter = ref 0
-
-let make ~src ~dst ~tcp =
-  incr uid_counter;
-  { uid = !uid_counter; src; dst; size = header_bytes + tcp.len; tcp; ce = false }
+let make ~ctx ~src ~dst ~tcp =
+  let uid = Sim_engine.Sim_ctx.fresh_packet_uid ctx in
+  { uid; src; dst; size = header_bytes + tcp.len; tcp; ce = false }
 
 let is_data t = t.tcp.len > 0
 let is_pure_ack t = t.tcp.len = 0 && t.tcp.flags.ack && not t.tcp.flags.syn

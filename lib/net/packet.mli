@@ -42,8 +42,10 @@ val pure_ack_flags : flags
 val syn_flags : flags
 val syn_ack_flags : flags
 
-val make : src:Addr.t -> dst:Addr.t -> tcp:tcp -> t
-(** Builds a packet; [size] is [header_bytes + tcp.len]. *)
+val make : ctx:Sim_engine.Sim_ctx.t -> src:Addr.t -> dst:Addr.t -> tcp:tcp -> t
+(** Builds a packet; [size] is [header_bytes + tcp.len]. The [uid] is
+    drawn from the simulation's {!Sim_engine.Sim_ctx.t} so concurrent
+    simulations never share numbering. *)
 
 val is_data : t -> bool
 val is_pure_ack : t -> bool

@@ -29,10 +29,7 @@ type t = {
   st : stats;
 }
 
-(* Deterministic per-queue RED randomness: construction order seeds. *)
-let queue_counter = ref 0
-
-let create ?ecn_threshold ?red ~capacity ~layer () =
+let create ?ecn_threshold ?red ~ctx ~capacity ~layer () =
   if capacity <= 0 then invalid_arg "Pktqueue.create: capacity must be positive";
   (match red with
    | Some r ->
@@ -41,13 +38,15 @@ let create ?ecn_threshold ?red ~capacity ~layer () =
      if r.max_p < 0. || r.max_p > 1. then
        invalid_arg "Pktqueue.create: bad RED max_p"
    | None -> ());
-  incr queue_counter;
+  (* Deterministic per-queue RED randomness: construction order within
+     the simulation seeds. *)
+  let queue_id = Sim_engine.Sim_ctx.fresh_queue_id ctx in
   {
     q = Queue.create ();
     cap = capacity;
     ecn_threshold = (if red = None then ecn_threshold else None);
     red;
-    red_rng = Sim_engine.Rng.create ~seed:(0xEED + !queue_counter);
+    red_rng = Sim_engine.Rng.create ~seed:(0xEED + queue_id);
     red_avg = 0.;
     lay = layer;
     backlog_bytes = 0;

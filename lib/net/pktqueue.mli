@@ -34,11 +34,19 @@ val default_red : red
 (** min 5, max 15, max_p 0.1, weight 0.002, drop mode. *)
 
 val create :
-  ?ecn_threshold:int -> ?red:red -> capacity:int -> layer:Layer.t -> unit -> t
+  ?ecn_threshold:int ->
+  ?red:red ->
+  ctx:Sim_engine.Sim_ctx.t ->
+  capacity:int ->
+  layer:Layer.t ->
+  unit ->
+  t
 (** [capacity] in packets; [ecn_threshold] in packets (step marking at
     a fixed backlog, the DCTCP style); [red] enables RED early
     drop/marking instead. The two are exclusive; [red] wins if both are
-    given. *)
+    given. [ctx] is the owning simulation's identifier state: queues
+    constructed in the same order within a simulation draw the same
+    RED seeds, independent of any other simulation in the process. *)
 
 val enqueue : t -> Packet.t -> bool
 (** [false] if the packet was dropped. *)

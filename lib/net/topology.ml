@@ -75,7 +75,7 @@ module Builder = struct
   let make_link b ~spec ~layer =
     let queue =
       Pktqueue.create ?ecn_threshold:spec.ecn_threshold ?red:spec.red
-        ~capacity:spec.queue_capacity ~layer ()
+        ~ctx:(Scheduler.ctx b.sched) ~capacity:spec.queue_capacity ~layer ()
     in
     let link =
       Link.create ~jitter:spec.jitter ~sched:b.sched ~rate_bps:spec.rate_bps

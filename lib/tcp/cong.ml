@@ -14,7 +14,10 @@ type t = {
   name : string;
   on_ack : acked:int -> ece:bool -> unit;
   on_loss : loss_kind -> unit;
+  gauges : (string * (unit -> float)) list;
 }
+
+let gauge t key = Option.map (fun f -> f ()) (List.assoc_opt key t.gauges)
 
 let reno_on_loss w kind =
   let mss = float_of_int w.mss in

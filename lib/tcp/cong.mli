@@ -29,7 +29,18 @@ type t = {
   on_loss : loss_kind -> unit;
       (** Must set ssthresh and the post-loss cwnd. The sender applies
           NewReno window inflation/deflation mechanics on top. *)
+  gauges : (string * (unit -> float)) list;
+      (** Named introspection probes into the controller's internal
+          state (e.g. DCTCP exposes ["alpha"]). The state itself lives
+          in the controller's closures, so a controller — and
+          everything it can leak — dies with its connection; nothing
+          is registered globally. Empty for controllers with nothing
+          to expose. *)
 }
+
+val gauge : t -> string -> float option
+(** [gauge t key] reads probe [key], [None] if the controller does not
+    expose it. *)
 
 val reno_on_loss : window -> loss_kind -> unit
 (** Standard multiplicative decrease: ssthresh = max(flight/2, 2*mss);

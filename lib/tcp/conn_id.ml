@@ -1,7 +1,1 @@
-let counter = ref 0
-
-let fresh () =
-  incr counter;
-  !counter
-
-let reset () = counter := 0
+let fresh ctx = Sim_engine.Sim_ctx.fresh_conn_id ctx

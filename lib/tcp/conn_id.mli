@@ -1,8 +1,9 @@
-(** Simulation-global connection identifiers.
+(** Per-simulation connection identifiers.
 
     Stand-in for full (addr, port) connection lookup at hosts: each
-    transport connection gets a unique id carried in every packet. *)
+    transport connection gets an id carried in every packet, unique
+    within its simulation. Ids are drawn from the simulation's
+    {!Sim_engine.Sim_ctx.t}, so every run numbers its connections from
+    1 regardless of what else runs in the process. *)
 
-val fresh : unit -> int
-val reset : unit -> unit
-(** Restart numbering (test isolation). *)
+val fresh : Sim_engine.Sim_ctx.t -> int

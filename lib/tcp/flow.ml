@@ -16,7 +16,7 @@ let start ~src ~dst ~size ?(params = Tcp_params.default) ?(cc = Reno.make)
     ?dupack_threshold ?src_port ?dst_port ?(on_complete = fun _ -> ()) () =
   if size < 0 then invalid_arg "Flow.start: negative size";
   let sched = Host.sched src in
-  let conn = Conn_id.fresh () in
+  let conn = Conn_id.fresh (Scheduler.ctx sched) in
   let t =
     {
       conn;

@@ -4,4 +4,4 @@ let make (w : Cong.window) =
       Cong.slow_start_increase w ~acked
     else Cong.congestion_avoidance_increase w ~acked
   in
-  { Cong.name = "reno"; on_ack; on_loss = Cong.reno_on_loss w }
+  { Cong.name = "reno"; on_ack; on_loss = Cong.reno_on_loss w; gauges = [] }

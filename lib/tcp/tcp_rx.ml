@@ -73,7 +73,10 @@ let emit_ack t ~src_port ~dst_port ~ece ~dup_seen ~flags =
     }
   in
   t.acks_sent <- t.acks_sent + 1;
-  Host.send t.host (Packet.make ~src:(Host.addr t.host) ~dst:t.peer ~tcp)
+  Host.send t.host
+    (Packet.make
+       ~ctx:(Scheduler.ctx (Host.sched t.host))
+       ~src:(Host.addr t.host) ~dst:t.peer ~tcp)
 
 let flush_ack t ~ece ~dup_seen =
   match t.reply_ports with

@@ -132,7 +132,7 @@ let create ~host ~peer ~conn ~subflow ~params ~src_port ~dst_port ~source ~cc
       rto_handle = None;
       backoff = 0;
       syn_retries = 0;
-      cc = { Cong.name = "uninitialised"; on_ack = (fun ~acked:_ ~ece:_ -> ()); on_loss = (fun _ -> ()) };
+      cc = { Cong.name = "uninitialised"; on_ack = (fun ~acked:_ ~ece:_ -> ()); on_loss = (fun _ -> ()); gauges = [] };
       dupack_threshold = threshold;
       on_established;
       on_dsn_acked;
@@ -195,7 +195,9 @@ let emit_segment t seg =
   in
   t.st.segments_sent <- t.st.segments_sent + 1;
   t.st.bytes_sent <- t.st.bytes_sent + seg.len;
-  Host.send t.host (Packet.make ~src:(Host.addr t.host) ~dst:t.peer ~tcp)
+  Host.send t.host
+    (Packet.make ~ctx:(Scheduler.ctx t.sched) ~src:(Host.addr t.host)
+       ~dst:t.peer ~tcp)
 
 let send_syn t =
   let tcp =
@@ -214,7 +216,9 @@ let send_syn t =
     }
   in
   t.st.syn_sent <- t.st.syn_sent + 1;
-  Host.send t.host (Packet.make ~src:(Host.addr t.host) ~dst:t.peer ~tcp)
+  Host.send t.host
+    (Packet.make ~ctx:(Scheduler.ctx t.sched) ~src:(Host.addr t.host)
+       ~dst:t.peer ~tcp)
 
 let first_congestion t =
   if not t.congestion_seen then begin

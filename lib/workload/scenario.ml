@@ -184,7 +184,10 @@ let start_flow cfg ~net ~rng ~src_id ~dst_id ~size ~is_long =
     }
 
 let run ?(progress = fun _ -> ()) cfg =
-  Sim_tcp.Conn_id.reset ();
+  (* The scheduler owns all per-simulation state (clock, event heap,
+     and the Sim_ctx identifier counters), so a run is self-contained:
+     same [cfg] in, same result out, regardless of what else runs in
+     this process — or concurrently on other domains. *)
   let sched = Scheduler.create () in
   let rng = Rng.create ~seed:cfg.seed in
   let net = build_topology ~sched cfg.topo in

@@ -138,6 +138,30 @@ let test_dctcp_avoids_loss_at_bottleneck () =
     0
     (Pktqueue.stats (Link.queue net.Topology.links.(0))).Pktqueue.dropped
 
+let test_back_to_back_runs_identical () =
+  (* Regression for the old global alpha registry: a second identical
+     run must see exactly the first one's dynamics, with no state
+     carried over from the previous simulation. *)
+  let run_once () =
+    let sched = Scheduler.create () in
+    let net = Dumbbell.direct ~sched ~spec:(ecn_spec 17) () in
+    let f =
+      Flow.start ~src:(Topology.host net 0) ~dst:(Topology.host net 1)
+        ~size:1_000_000
+        ~cc:(fun w -> Dctcp.make w)
+        ()
+    in
+    Scheduler.run ~until:(Time.of_sec 10.) sched;
+    let st = Pktqueue.stats (Link.queue net.Topology.links.(0)) in
+    ( Flow.is_complete f,
+      st.Pktqueue.marked,
+      st.Pktqueue.dropped,
+      st.Pktqueue.max_backlog )
+  in
+  let r1 = run_once () in
+  let r2 = run_once () in
+  check_bool "identical marking/backlog trajectory" true (r1 = r2)
+
 let () =
   Alcotest.run "sim_dctcp"
     [
@@ -158,5 +182,7 @@ let () =
           Alcotest.test_case "completes with marking" `Quick test_dctcp_flow_completes_with_marking;
           Alcotest.test_case "keeps queue short" `Quick test_dctcp_keeps_queue_short;
           Alcotest.test_case "avoids loss" `Quick test_dctcp_avoids_loss_at_bottleneck;
+          Alcotest.test_case "back-to-back runs identical" `Quick
+            test_back_to_back_runs_identical;
         ] );
     ]

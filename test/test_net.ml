@@ -13,6 +13,10 @@ module Host = Sim_net.Host
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 
+(* Hand-built packets/queues in these tests sit outside any one
+   simulation; a file-level context supplies their ids. *)
+let ctx = Sim_engine.Sim_ctx.create ()
+
 let mk_tcp ?(conn = 1) ?(subflow = 0) ?(src_port = 1000) ?(dst_port = 2000)
     ?(seq = 0) ?(ack_seq = 0) ?(len = 0) ?(flags = Packet.data_flags) () =
   {
@@ -30,7 +34,7 @@ let mk_tcp ?(conn = 1) ?(subflow = 0) ?(src_port = 1000) ?(dst_port = 2000)
   }
 
 let mk_pkt ?(src = 0) ?(dst = 1) ?(len = 1000) () =
-  Packet.make ~src:(Addr.of_int src) ~dst:(Addr.of_int dst)
+  Packet.make ~ctx ~src:(Addr.of_int src) ~dst:(Addr.of_int dst)
     ~tcp:(mk_tcp ~len ())
 
 (* ------------------------------------------------------------------ *)
@@ -49,7 +53,7 @@ let test_packet_classify () =
   check_bool "data" true (Packet.is_data data);
   check_bool "data not ack" false (Packet.is_pure_ack data);
   let ack =
-    Packet.make ~src:(Addr.of_int 0) ~dst:(Addr.of_int 1)
+    Packet.make ~ctx ~src:(Addr.of_int 0) ~dst:(Addr.of_int 1)
       ~tcp:(mk_tcp ~len:0 ~flags:Packet.pure_ack_flags ())
   in
   check_bool "pure ack" true (Packet.is_pure_ack ack)
@@ -80,7 +84,7 @@ let prop_ecmp_in_range =
     QCheck.(quad small_int small_int small_int (int_range 1 64))
     (fun (sport, dport, salt, n) ->
       let p =
-        Packet.make ~src:(Addr.of_int 1) ~dst:(Addr.of_int 2)
+        Packet.make ~ctx ~src:(Addr.of_int 1) ~dst:(Addr.of_int 2)
           ~tcp:(mk_tcp ~src_port:sport ~dst_port:dport ~len:10 ())
       in
       let v = Ecmp.select p ~salt ~n in
@@ -93,7 +97,7 @@ let test_ecmp_port_spread () =
   let counts = Array.make n 0 in
   for sport = 1000 to 1999 do
     let p =
-      Packet.make ~src:(Addr.of_int 1) ~dst:(Addr.of_int 2)
+      Packet.make ~ctx ~src:(Addr.of_int 1) ~dst:(Addr.of_int 2)
         ~tcp:(mk_tcp ~src_port:sport ~len:10 ())
     in
     let i = Ecmp.select p ~salt:0 ~n in
@@ -116,7 +120,7 @@ let test_ecmp_salts_decorrelate () =
 (* Pktqueue *)
 
 let test_queue_fifo () =
-  let q = Pktqueue.create ~capacity:10 ~layer:Layer.Core_layer () in
+  let q = Pktqueue.create ~ctx ~capacity:10 ~layer:Layer.Core_layer () in
   let a = mk_pkt () and b = mk_pkt () in
   check_bool "enq a" true (Pktqueue.enqueue q a);
   check_bool "enq b" true (Pktqueue.enqueue q b);
@@ -127,7 +131,7 @@ let test_queue_fifo () =
   check_bool "drained" true (Pktqueue.dequeue q = None)
 
 let test_queue_drop_tail () =
-  let q = Pktqueue.create ~capacity:2 ~layer:Layer.Core_layer () in
+  let q = Pktqueue.create ~ctx ~capacity:2 ~layer:Layer.Core_layer () in
   check_bool "1 fits" true (Pktqueue.enqueue q (mk_pkt ()));
   check_bool "2 fits" true (Pktqueue.enqueue q (mk_pkt ()));
   check_bool "3 dropped" false (Pktqueue.enqueue q (mk_pkt ()));
@@ -136,7 +140,7 @@ let test_queue_drop_tail () =
   check_int "enq counted" 2 st.Pktqueue.enqueued
 
 let test_queue_backlog_accounting () =
-  let q = Pktqueue.create ~capacity:10 ~layer:Layer.Edge_layer () in
+  let q = Pktqueue.create ~ctx ~capacity:10 ~layer:Layer.Edge_layer () in
   let p = mk_pkt ~len:960 () in
   ignore (Pktqueue.enqueue q p);
   check_int "backlog pkts" 1 (Pktqueue.backlog_pkts q);
@@ -145,7 +149,7 @@ let test_queue_backlog_accounting () =
   check_int "empty bytes" 0 (Pktqueue.backlog_bytes q)
 
 let test_queue_ecn_marks () =
-  let q = Pktqueue.create ~ecn_threshold:2 ~capacity:10 ~layer:Layer.Core_layer () in
+  let q = Pktqueue.create ~ctx ~ecn_threshold:2 ~capacity:10 ~layer:Layer.Core_layer () in
   let p1 = mk_pkt () and p2 = mk_pkt () and p3 = mk_pkt () in
   ignore (Pktqueue.enqueue q p1);
   ignore (Pktqueue.enqueue q p2);
@@ -159,7 +163,7 @@ let prop_queue_never_exceeds_capacity =
   QCheck.Test.make ~name:"queue backlog <= capacity" ~count:200
     QCheck.(pair (int_range 1 20) (list bool))
     (fun (cap, ops) ->
-      let q = Pktqueue.create ~capacity:cap ~layer:Layer.Host_layer () in
+      let q = Pktqueue.create ~ctx ~capacity:cap ~layer:Layer.Host_layer () in
       List.iter
         (fun enq ->
           if enq then ignore (Pktqueue.enqueue q (mk_pkt ()))
@@ -172,7 +176,7 @@ let prop_queue_never_exceeds_capacity =
 
 let test_red_accepts_below_min () =
   let q =
-    Pktqueue.create ~red:Pktqueue.default_red ~capacity:100
+    Pktqueue.create ~ctx ~red:Pktqueue.default_red ~capacity:100
       ~layer:Layer.Core_layer ()
   in
   for _ = 1 to 4 do
@@ -184,7 +188,7 @@ let test_red_drops_early () =
   (* Hold the instantaneous queue above max_th with a fast EWMA: RED
      must drop long before the physical capacity. *)
   let red = { Pktqueue.default_red with Pktqueue.weight = 1.0 } in
-  let q = Pktqueue.create ~red ~capacity:1_000 ~layer:Layer.Core_layer () in
+  let q = Pktqueue.create ~ctx ~red ~capacity:1_000 ~layer:Layer.Core_layer () in
   let accepted = ref 0 in
   for _ = 1 to 100 do
     if Pktqueue.enqueue q (mk_pkt ()) then incr accepted
@@ -194,7 +198,7 @@ let test_red_drops_early () =
 
 let test_red_mark_mode_marks_instead () =
   let red = { Pktqueue.default_red with Pktqueue.weight = 1.0; mark = true } in
-  let q = Pktqueue.create ~red ~capacity:1_000 ~layer:Layer.Core_layer () in
+  let q = Pktqueue.create ~ctx ~red ~capacity:1_000 ~layer:Layer.Core_layer () in
   for _ = 1 to 100 do
     ignore (Pktqueue.enqueue q (mk_pkt ()))
   done;
@@ -203,7 +207,7 @@ let test_red_mark_mode_marks_instead () =
 
 let test_red_average_tracks () =
   let red = { Pktqueue.default_red with Pktqueue.weight = 0.5 } in
-  let q = Pktqueue.create ~red ~capacity:1_000 ~layer:Layer.Core_layer () in
+  let q = Pktqueue.create ~ctx ~red ~capacity:1_000 ~layer:Layer.Core_layer () in
   check_bool "starts at zero" true (Pktqueue.red_average q = 0.);
   for _ = 1 to 5 do
     ignore (Pktqueue.enqueue q (mk_pkt ()))
@@ -214,7 +218,7 @@ let test_red_invalid_params () =
   Alcotest.check_raises "bad thresholds"
     (Invalid_argument "Pktqueue.create: bad RED thresholds") (fun () ->
       ignore
-        (Pktqueue.create
+        (Pktqueue.create ~ctx
            ~red:{ Pktqueue.default_red with Pktqueue.min_th = 10; max_th = 10 }
            ~capacity:100 ~layer:Layer.Core_layer ()))
 
@@ -224,7 +228,7 @@ let test_red_invalid_params () =
 (* Timing-sensitive tests use jitterless links so arrival instants are
    exact. *)
 let make_link ?(rate = 100e6) ?(delay = Time.of_us 20.) ?(cap = 10) sched =
-  let queue = Pktqueue.create ~capacity:cap ~layer:Layer.Core_layer () in
+  let queue = Pktqueue.create ~ctx ~capacity:cap ~layer:Layer.Core_layer () in
   Link.create ~jitter:Time.zero ~sched ~rate_bps:rate ~delay ~queue ~id:0 ()
 
 let test_link_delivery_time () =
@@ -291,8 +295,8 @@ let test_host_demux () =
   let h = Host.create ~sched ~addr:(Addr.of_int 9) in
   let got = ref [] in
   Host.bind h ~conn:7 (fun p -> got := p.Packet.tcp.Packet.conn :: !got);
-  let p7 = Packet.make ~src:(Addr.of_int 0) ~dst:(Addr.of_int 9) ~tcp:(mk_tcp ~conn:7 ~len:1 ()) in
-  let p8 = Packet.make ~src:(Addr.of_int 0) ~dst:(Addr.of_int 9) ~tcp:(mk_tcp ~conn:8 ~len:1 ()) in
+  let p7 = Packet.make ~ctx ~src:(Addr.of_int 0) ~dst:(Addr.of_int 9) ~tcp:(mk_tcp ~conn:7 ~len:1 ()) in
+  let p8 = Packet.make ~ctx ~src:(Addr.of_int 0) ~dst:(Addr.of_int 9) ~tcp:(mk_tcp ~conn:8 ~len:1 ()) in
   Host.receive h p7;
   Host.receive h p8;
   Alcotest.(check (list int)) "bound conn delivered" [ 7 ] !got;

@@ -1,0 +1,146 @@
+(* Determinism and parallel-runner tests: a simulation is a pure
+   function of its config (no cross-run state), par_map matches
+   List.map element-for-element at any job count, and the domain pool
+   shuts down cleanly even when jobs raise. *)
+
+module Scenario = Sim_workload.Scenario
+module Scale = Sim_experiments.Scale
+module Fig1a = Sim_experiments.Fig1a
+module Runner = Sim_experiments.Runner
+module Domain_pool = Sim_engine.Domain_pool
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Everything observable about a run except the topology handle, which
+   contains closures and cannot be compared structurally. *)
+let results_identical (a : Scenario.result) (b : Scenario.result) =
+  a.Scenario.shorts = b.Scenario.shorts
+  && a.Scenario.longs = b.Scenario.longs
+  && a.Scenario.events = b.Scenario.events
+  && a.Scenario.duration = b.Scenario.duration
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: same config + seed -> identical flow results. *)
+
+let test_back_to_back_runs_identical () =
+  let cfg =
+    Scale.scenario_config Scale.tiny
+      ~protocol:(Scenario.Mptcp_proto { subflows = 2; coupled = true })
+  in
+  let r1 = Scenario.run cfg in
+  let r2 = Scenario.run cfg in
+  check_int "same short count" (Array.length r1.Scenario.shorts)
+    (Array.length r2.Scenario.shorts);
+  check_bool "identical flow results" true (results_identical r1 r2)
+
+(* ------------------------------------------------------------------ *)
+(* par_map semantics *)
+
+let test_par_map_preserves_order () =
+  let xs = List.init 50 Fun.id in
+  Alcotest.(check (list int))
+    "squares in input order"
+    (List.map (fun x -> x * x) xs)
+    (Runner.par_map ~jobs:3 (fun x -> x * x) xs)
+
+let test_par_map_edge_cases () =
+  Alcotest.(check (list int)) "empty" [] (Runner.par_map ~jobs:4 succ []);
+  Alcotest.(check (list int)) "jobs=1" [ 2; 3 ] (Runner.par_map ~jobs:1 succ [ 1; 2 ]);
+  Alcotest.(check (list int))
+    "more jobs than items" [ 2 ]
+    (Runner.par_map ~jobs:8 succ [ 1 ]);
+  Alcotest.check_raises "jobs=0"
+    (Invalid_argument "Runner.par_map: jobs must be >= 1") (fun () ->
+      ignore (Runner.par_map ~jobs:0 succ [ 1 ]))
+
+let test_par_map_matches_sequential_fig1a () =
+  (* The acceptance check from the issue: the F1a sweep fanned over 4
+     domains is element-for-element identical to the sequential map. *)
+  let cfgs = List.map snd (Fig1a.configs ~lo:1 ~hi:2 Scale.tiny) in
+  let seq = Runner.par_map ~jobs:1 Scenario.run cfgs in
+  let par = Runner.par_map ~jobs:4 Scenario.run cfgs in
+  check_int "lengths" (List.length seq) (List.length par);
+  List.iteri
+    (fun i (a, b) ->
+      check_bool
+        (Printf.sprintf "sweep point %d identical" i)
+        true (results_identical a b))
+    (List.combine seq par)
+
+let test_par_map_propagates_exception () =
+  (match
+     Runner.par_map ~jobs:2
+       (fun x -> if x mod 2 = 0 then failwith (string_of_int x) else x)
+       [ 1; 2; 3; 4 ]
+   with
+  | _ -> Alcotest.fail "expected Failure"
+  | exception Failure m ->
+    (* Earliest failed input wins, whatever order the domains ran in. *)
+    Alcotest.(check string) "earliest failure" "2" m);
+  (* The failing map joined its pool; a fresh map works immediately. *)
+  Alcotest.(check (list int))
+    "runner usable after failure" [ 2; 4; 6 ]
+    (Runner.par_map ~jobs:2 (fun x -> 2 * x) [ 1; 2; 3 ])
+
+(* ------------------------------------------------------------------ *)
+(* Domain_pool lifecycle *)
+
+let test_pool_runs_all_jobs () =
+  let n = 100 in
+  let hits = Array.make n false in
+  Domain_pool.run ~domains:3 (fun pool ->
+      for i = 0 to n - 1 do
+        Domain_pool.submit pool (fun () -> hits.(i) <- true)
+      done);
+  check_bool "every job ran" true (Array.for_all Fun.id hits)
+
+let test_pool_clean_shutdown_on_raise () =
+  (* A job that raises must neither kill its worker nor hang shutdown:
+     later jobs still run and [run] returns. *)
+  let survived = ref false in
+  Domain_pool.run ~domains:1 (fun pool ->
+      Domain_pool.submit pool (fun () -> failwith "stray");
+      Domain_pool.submit pool (fun () -> survived := true));
+  check_bool "job after stray exception still ran" true !survived
+
+let test_pool_submit_after_shutdown () =
+  let pool = Domain_pool.create ~domains:2 in
+  Domain_pool.submit pool ignore;
+  Domain_pool.shutdown pool;
+  Alcotest.check_raises "submit after shutdown"
+    (Invalid_argument "Domain_pool.submit: pool is shut down") (fun () ->
+      Domain_pool.submit pool ignore)
+
+let test_pool_bad_domains () =
+  Alcotest.check_raises "domains=0"
+    (Invalid_argument "Domain_pool.create: domains must be >= 1") (fun () ->
+      ignore (Domain_pool.create ~domains:0))
+
+let () =
+  Alcotest.run "runner"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "back-to-back runs identical" `Slow
+            test_back_to_back_runs_identical;
+        ] );
+      ( "par_map",
+        [
+          Alcotest.test_case "preserves order" `Quick test_par_map_preserves_order;
+          Alcotest.test_case "edge cases" `Quick test_par_map_edge_cases;
+          Alcotest.test_case "matches sequential fig1a sweep" `Slow
+            test_par_map_matches_sequential_fig1a;
+          Alcotest.test_case "propagates exception" `Quick
+            test_par_map_propagates_exception;
+        ] );
+      ( "domain_pool",
+        [
+          Alcotest.test_case "runs all jobs" `Quick test_pool_runs_all_jobs;
+          Alcotest.test_case "clean shutdown on raise" `Quick
+            test_pool_clean_shutdown_on_raise;
+          Alcotest.test_case "submit after shutdown" `Quick
+            test_pool_submit_after_shutdown;
+          Alcotest.test_case "bad domains" `Quick test_pool_bad_domains;
+        ] );
+    ]

@@ -19,6 +19,10 @@ module Flow = Sim_tcp.Flow
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 
+(* Hand-built packets/queues in these tests sit outside any one
+   simulation; a file-level context supplies their ids. *)
+let ctx = Sim_engine.Sim_ctx.create ()
+
 (* ------------------------------------------------------------------ *)
 (* Intervals *)
 
@@ -387,7 +391,7 @@ let test_receiver_dup_seen_flag () =
   in
   Host.bind dst ~conn:42 (Tcp_rx.handle rx);
   let make_seg () =
-    Packet.make ~src:(Host.addr src) ~dst:(Host.addr dst)
+    Packet.make ~ctx ~src:(Host.addr src) ~dst:(Host.addr dst)
       ~tcp:
         {
           Packet.conn = 42;
@@ -427,7 +431,7 @@ let test_receiver_reordering () =
   in
   Host.bind dst ~conn:43 (Tcp_rx.handle rx);
   let seg seq =
-    Packet.make ~src:(Host.addr src) ~dst:(Host.addr dst)
+    Packet.make ~ctx ~src:(Host.addr src) ~dst:(Host.addr dst)
       ~tcp:
         {
           Packet.conn = 43;
@@ -468,7 +472,7 @@ let test_receiver_echoes_ecn () =
   in
   Host.bind dst ~conn:44 (Tcp_rx.handle rx);
   let seg =
-    Packet.make ~src:(Host.addr src) ~dst:(Host.addr dst)
+    Packet.make ~ctx ~src:(Host.addr src) ~dst:(Host.addr dst)
       ~tcp:
         {
           Packet.conn = 44;
@@ -570,7 +574,7 @@ let test_receiver_advertises_sack_blocks () =
   in
   Host.bind dst ~conn:45 (Tcp_rx.handle rx);
   let seg seq =
-    Packet.make ~src:(Host.addr src) ~dst:(Host.addr dst)
+    Packet.make ~ctx ~src:(Host.addr src) ~dst:(Host.addr dst)
       ~tcp:
         {
           Packet.conn = 45;
@@ -636,7 +640,7 @@ let test_delack_timer_flushes_single_segment () =
   in
   Host.bind dst ~conn:46 (Tcp_rx.handle rx);
   let seg =
-    Packet.make ~src:(Host.addr src) ~dst:(Host.addr dst)
+    Packet.make ~ctx ~src:(Host.addr src) ~dst:(Host.addr dst)
       ~tcp:
         {
           Packet.conn = 46;
@@ -675,7 +679,7 @@ let test_delack_out_of_order_still_immediate () =
   in
   Host.bind dst ~conn:47 (Tcp_rx.handle rx);
   let seg seq =
-    Packet.make ~src:(Host.addr src) ~dst:(Host.addr dst)
+    Packet.make ~ctx ~src:(Host.addr src) ~dst:(Host.addr dst)
       ~tcp:
         {
           Packet.conn = 47;

@@ -14,6 +14,10 @@ module Layer = Sim_net.Layer
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 
+(* Hand-built packets/queues in these tests sit outside any one
+   simulation; a file-level context supplies their ids. *)
+let ctx = Sim_engine.Sim_ctx.create ()
+
 let probe ?(conn = 999) ?(sport = 1234) net ~src ~dst =
   (* Send one raw data packet from host [src] to host [dst]; return
      whether it arrived within 10 ms of simulated time. *)
@@ -38,7 +42,7 @@ let probe ?(conn = 999) ?(sport = 1234) net ~src ~dst =
   in
   let src_host = Topology.host net src in
   Host.send src_host
-    (Packet.make ~src:(Host.addr src_host) ~dst:(Host.addr dst_host) ~tcp);
+    (Packet.make ~ctx ~src:(Host.addr src_host) ~dst:(Host.addr dst_host) ~tcp);
   Scheduler.run ~until:(Time.add (Scheduler.now sched) (Time.of_ms 10.)) sched;
   Host.unbind dst_host ~conn;
   !arrived
@@ -150,7 +154,7 @@ let test_fattree_scatter_uses_all_uplinks () =
       }
     in
     Host.send src_host
-      (Packet.make ~src:(Host.addr src_host) ~dst:(Host.addr dst_host) ~tcp)
+      (Packet.make ~ctx ~src:(Host.addr src_host) ~dst:(Host.addr dst_host) ~tcp)
   done;
   Scheduler.run sched;
   (* Count how many distinct edge-layer fabric links carried traffic
@@ -252,7 +256,7 @@ let test_vl2_scatter_spreads_intermediates () =
       }
     in
     Host.send src_host
-      (Packet.make ~src:(Host.addr src_host) ~dst:(Host.addr dst_host) ~tcp)
+      (Packet.make ~ctx ~src:(Host.addr src_host) ~dst:(Host.addr dst_host) ~tcp)
   done;
   Scheduler.run sched;
   (* All intermediate downlinks towards the destination agg pair should
@@ -325,7 +329,7 @@ let test_layer_loss_rate_counts_drops () =
           }
         in
         Host.send src_host
-          (Packet.make ~src:(Host.addr src_host) ~dst:(Host.addr dst_host) ~tcp)
+          (Packet.make ~ctx ~src:(Host.addr src_host) ~dst:(Host.addr dst_host) ~tcp)
       done)
     [ (0, 2, 50); (1, 3, 51) ];
   Scheduler.run sched;
