@@ -2,9 +2,16 @@ type t = {
   mutable next_packet_uid : int;
   mutable next_conn_id : int;
   mutable next_queue_id : int;
+  trace : Trace.t;
 }
 
-let create () = { next_packet_uid = 0; next_conn_id = 0; next_queue_id = 0 }
+let create () =
+  {
+    next_packet_uid = 0;
+    next_conn_id = 0;
+    next_queue_id = 0;
+    trace = Trace.create ();
+  }
 
 let fresh_packet_uid t =
   t.next_packet_uid <- t.next_packet_uid + 1;
@@ -17,3 +24,5 @@ let fresh_conn_id t =
 let fresh_queue_id t =
   t.next_queue_id <- t.next_queue_id + 1;
   t.next_queue_id
+
+let trace t = t.trace

@@ -1,4 +1,4 @@
-(** Per-simulation identifier state.
+(** Per-simulation identifier and tracing state.
 
     One [t] belongs to one simulation instance (the {!Scheduler}
     carries it), so independent simulations never share counters and
@@ -20,3 +20,8 @@ val fresh_conn_id : t -> int
 
 val fresh_queue_id : t -> int
 (** Next packet-queue id (seeds per-queue RED randomness). *)
+
+val trace : t -> Trace.t
+(** This simulation's trace configuration. Per-simulation so that
+    enabling debug tracing in one run cannot leak into concurrent runs
+    on sibling domains. *)

@@ -1,20 +1,22 @@
 type level = Error | Warn | Info | Debug
 
+type t = { mutable current : level option }
+
 let severity = function Error -> 0 | Warn -> 1 | Info -> 2 | Debug -> 3
 let label = function Error -> "ERROR" | Warn -> "WARN" | Info -> "INFO" | Debug -> "DEBUG"
 
-let current : level option ref = ref None
+let create () = { current = None }
 
-let set_level l = current := l
-let level () = !current
+let set_level t l = t.current <- l
+let level t = t.current
 
-let enabled l =
-  match !current with
+let enabled t l =
+  match t.current with
   | None -> false
   | Some threshold -> severity l <= severity threshold
 
-let logf lvl ~component fmt =
-  if enabled lvl then
+let logf t lvl ~component fmt =
+  if enabled t lvl then
     Format.kfprintf
       (fun ppf -> Format.fprintf ppf "@.")
       Format.err_formatter
@@ -22,7 +24,7 @@ let logf lvl ~component fmt =
       (label lvl) component
   else Format.ifprintf Format.err_formatter fmt
 
-let errorf ~component fmt = logf Error ~component fmt
-let warnf ~component fmt = logf Warn ~component fmt
-let infof ~component fmt = logf Info ~component fmt
-let debugf ~component fmt = logf Debug ~component fmt
+let errorf t ~component fmt = logf t Error ~component fmt
+let warnf t ~component fmt = logf t Warn ~component fmt
+let infof t ~component fmt = logf t Info ~component fmt
+let debugf t ~component fmt = logf t Debug ~component fmt

@@ -2,19 +2,30 @@
 
     Tracing is off by default and costs one branch per call site when
     disabled, so stacks can trace per-packet events without slowing
-    down full-scale benchmark runs. *)
+    down full-scale benchmark runs.
+
+    Trace configuration is per-simulation state: each {!Sim_ctx.t}
+    carries its own [t] (reach it via [Sim_ctx.trace (Scheduler.ctx
+    sched)]), so enabling debug output in one simulation cannot leak
+    into others running concurrently on sibling domains. *)
 
 type level = Error | Warn | Info | Debug
 
-val set_level : level option -> unit
-(** [set_level (Some Debug)] enables everything; [set_level None]
+type t
+(** One simulation's trace configuration. *)
+
+val create : unit -> t
+(** A fresh configuration with tracing disabled. *)
+
+val set_level : t -> level option -> unit
+(** [set_level t (Some Debug)] enables everything; [set_level t None]
     (the default) disables all output. *)
 
-val level : unit -> level option
+val level : t -> level option
 
-val enabled : level -> bool
+val enabled : t -> level -> bool
 
-val errorf : component:string -> ('a, Format.formatter, unit) format -> 'a
-val warnf : component:string -> ('a, Format.formatter, unit) format -> 'a
-val infof : component:string -> ('a, Format.formatter, unit) format -> 'a
-val debugf : component:string -> ('a, Format.formatter, unit) format -> 'a
+val errorf : t -> component:string -> ('a, Format.formatter, unit) format -> 'a
+val warnf : t -> component:string -> ('a, Format.formatter, unit) format -> 'a
+val infof : t -> component:string -> ('a, Format.formatter, unit) format -> 'a
+val debugf : t -> component:string -> ('a, Format.formatter, unit) format -> 'a

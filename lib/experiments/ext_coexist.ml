@@ -59,6 +59,6 @@ let run ?(jobs = 1) scale =
           Printf.sprintf "%.1f%%" (100. *. rates.(i) /. Float.max total 1e-9);
         ])
     [ "tcp"; "mptcp-8"; "mmptcp" ];
-  Table.print table;
-  Printf.printf "Jain fairness index: %.3f (1.0 = perfectly fair)\n"
+  Report.table table;
+  Report.printf "Jain fairness index: %.3f (1.0 = perfectly fair)\n"
     (jain_index rates)

@@ -12,7 +12,7 @@ let variants =
 
 let run ?(jobs = 1) scale =
   Report.header "E6: scatter-phase dup-ACK threshold ablation";
-  Printf.printf "workload: %s\n" (Format.asprintf "%a" Scale.pp scale);
+  Report.printf "workload: %s\n" (Format.asprintf "%a" Scale.pp scale);
   let table =
     Table.create
       ~columns:
@@ -49,4 +49,4 @@ let run ?(jobs = 1) scale =
           string_of_int s.Report.flows_with_rto;
           string_of_int frtx;
         ]);
-  Table.print table
+  Report.table table

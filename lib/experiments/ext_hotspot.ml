@@ -4,7 +4,7 @@ module Table = Sim_stats.Table
 
 let run ?(jobs = 1) scale =
   Report.header "E3: hotspot traffic matrices";
-  Printf.printf "workload: %s, 4 hot targets, 50%% hot senders\n"
+  Report.printf "workload: %s, 4 hot targets, 50%% hot senders\n"
     (Format.asprintf "%a" Scale.pp scale);
   let tm = Traffic_matrix.Hotspot { targets = 4; fraction = 0.5 } in
   let table =
@@ -32,4 +32,4 @@ let run ?(jobs = 1) scale =
           string_of_int s.Report.flows_with_rto;
           string_of_int s.Report.incomplete;
         ]);
-  Table.print table
+  Report.table table

@@ -5,7 +5,7 @@ let rates = [ 10.; 25.; 50.; 100. ]
 
 let run ?(jobs = 1) scale =
   Report.header "E2: effect of network load (short-flow arrival rate)";
-  Printf.printf "workload: %s (rate swept)\n" (Format.asprintf "%a" Scale.pp scale);
+  Report.printf "workload: %s (rate swept)\n" (Format.asprintf "%a" Scale.pp scale);
   let table =
     Table.create
       ~columns:
@@ -45,4 +45,4 @@ let run ?(jobs = 1) scale =
           Table.fms s.Report.p99_ms;
           string_of_int s.Report.flows_with_rto;
         ]);
-  Table.print table
+  Report.table table

@@ -11,7 +11,7 @@ let matrices hosts =
 
 let run ?(jobs = 1) scale =
   Report.header "E8: traffic matrices";
-  Printf.printf "workload: %s\n" (Format.asprintf "%a" Scale.pp scale);
+  Report.printf "workload: %s\n" (Format.asprintf "%a" Scale.pp scale);
   let hosts =
     Sim_net.Fattree.host_count
       (Scenario.paper_fattree ~k:scale.Scale.k ~oversub:scale.Scale.oversub ())
@@ -47,4 +47,4 @@ let run ?(jobs = 1) scale =
           Table.fms s.Report.p99_ms;
           string_of_int s.Report.flows_with_rto;
         ]);
-  Table.print table
+  Report.table table

@@ -12,7 +12,7 @@ let multihomed_topo scale =
 
 let run ?(jobs = 1) scale =
   Report.header "E4: single-homed vs dual-homed FatTree";
-  Printf.printf "workload: %s\n" (Format.asprintf "%a" Scale.pp scale);
+  Report.printf "workload: %s\n" (Format.asprintf "%a" Scale.pp scale);
   let table =
     Table.create
       ~columns:
@@ -57,4 +57,4 @@ let run ?(jobs = 1) scale =
           Table.fms s.Report.p99_ms;
           string_of_int s.Report.flows_with_rto;
         ]);
-  Table.print table
+  Report.table table

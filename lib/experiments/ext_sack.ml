@@ -3,7 +3,7 @@ module Table = Sim_stats.Table
 
 let run ?(jobs = 1) scale =
   Report.header "E9: NewReno vs SACK loss recovery (extension)";
-  Printf.printf "workload: %s\n" (Format.asprintf "%a" Scale.pp scale);
+  Report.printf "workload: %s\n" (Format.asprintf "%a" Scale.pp scale);
   let table =
     Table.create
       ~columns:
@@ -42,4 +42,4 @@ let run ?(jobs = 1) scale =
           Table.fms s.Report.p99_ms;
           string_of_int s.Report.flows_with_rto;
         ]);
-  Table.print table
+  Report.table table

@@ -14,7 +14,7 @@ let strategies =
 
 let run ?(jobs = 1) scale =
   Report.header "E1: MMPTCP phase-switching strategies";
-  Printf.printf "workload: %s\n" (Format.asprintf "%a" Scale.pp scale);
+  Report.printf "workload: %s\n" (Format.asprintf "%a" Scale.pp scale);
   let table =
     Table.create
       ~columns:
@@ -44,4 +44,4 @@ let run ?(jobs = 1) scale =
           string_of_int s.Report.flows_with_rto;
           Printf.sprintf "%.1f" (Report.long_mean_mbps r);
         ]);
-  Table.print table
+  Report.table table

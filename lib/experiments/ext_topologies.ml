@@ -18,7 +18,7 @@ let vl2_params scale =
 
 let run ?(jobs = 1) scale =
   Report.header "E7: FatTree vs VL2-style Clos, same workload";
-  Printf.printf "workload: %s\n" (Format.asprintf "%a" Scale.pp scale);
+  Report.printf "workload: %s\n" (Format.asprintf "%a" Scale.pp scale);
   let table =
     Table.create
       ~columns:
@@ -56,4 +56,4 @@ let run ?(jobs = 1) scale =
           Table.fms s.Report.p99_ms;
           string_of_int s.Report.flows_with_rto;
         ]);
-  Table.print table
+  Report.table table

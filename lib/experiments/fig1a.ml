@@ -12,7 +12,7 @@ let configs ?(lo = 1) ?(hi = 9) scale =
 
 let run ?(lo = 1) ?(hi = 9) ?csv_dir ?(jobs = 1) scale =
   Report.header "Figure 1(a): MPTCP short-flow FCT vs number of subflows";
-  Printf.printf "workload: %s\n" (Format.asprintf "%a" Scale.pp scale);
+  Report.printf "workload: %s\n" (Format.asprintf "%a" Scale.pp scale);
   let results =
     Runner.par_map ~jobs
       (fun (n, cfg) -> (n, Scenario.run cfg))
@@ -39,7 +39,7 @@ let run ?(lo = 1) ?(hi = 9) ?csv_dir ?(jobs = 1) scale =
         (n, s))
       results
   in
-  Table.print table;
+  Report.table table;
   (match csv_dir with
    | Some dir ->
      let path = Filename.concat dir "fig1a.csv" in
@@ -55,9 +55,9 @@ let run ?(lo = 1) ?(hi = 9) ?csv_dir ?(jobs = 1) scale =
               string_of_int s.Report.flows_with_rto;
             ])
           rows);
-     Printf.printf "[series written to %s]\n" path
+     Report.printf "[series written to %s]\n" path
    | None -> ());
   Report.sub_header "embedded panel (mean only)";
   List.iter
-    (fun (n, s) -> Printf.printf "  %d subflows: %6.1f ms\n" n s.Report.mean_ms)
+    (fun (n, s) -> Report.printf "  %d subflows: %6.1f ms\n" n s.Report.mean_ms)
     rows

@@ -20,7 +20,7 @@ let scatter r ~max_series =
 
 let run_one ~title ~tag ?csv_dir ?(jobs = 1) ~protocol scale =
   Report.header title;
-  Printf.printf "workload: %s\n" (Format.asprintf "%a" Scale.pp scale);
+  Report.printf "workload: %s\n" (Format.asprintf "%a" Scale.pp scale);
   let cfg = Scale.scenario_config scale ~protocol in
   (* A single simulation: par_map only moves it off the calling domain,
      but keeps the figure's interface uniform with the swept
@@ -47,23 +47,23 @@ let run_one ~title ~tag ?csv_dir ?(jobs = 1) ~protocol scale =
      in
      let path = Filename.concat dir (tag ^ ".csv") in
      Sim_stats.Csv.write ~path ~header:[ "flow_id"; "fct_ms"; "rtos" ] rows;
-     Printf.printf "[full per-flow series written to %s]\n" path
+     Report.printf "[full per-flow series written to %s]\n" path
    | None -> ());
   let s = Report.fct_stats r in
-  Printf.printf
+  Report.printf
     "shorts: %d completed, %d incomplete | mean=%.1fms sd=%.1fms p50=%.1fms p99=%.1fms max=%.1fms\n"
     s.Report.completed s.Report.incomplete s.Report.mean_ms s.Report.sd_ms
     s.Report.p50_ms s.Report.p99_ms s.Report.max_ms;
-  Printf.printf "flows with >=1 RTO: %d | completed within 100ms: %.1f%%\n"
+  Report.printf "flows with >=1 RTO: %d | completed within 100ms: %.1f%%\n"
     s.Report.flows_with_rto
     (100. *. s.Report.within_100ms);
   Report.sub_header "FCT histogram (ms)";
   let h = Histogram.create ~lo:0. ~hi:1000. ~buckets:10 in
   Array.iter (fun v -> Histogram.add h v) (Scenario.short_fcts_ms r);
-  print_string (Histogram.render h);
+  Report.out (Histogram.render h);
   Report.sub_header "scatter series: flow-id fct-ms (stragglers + sample)";
   List.iter
-    (fun (id, ms) -> Printf.printf "  %6d %9.1f\n" id ms)
+    (fun (id, ms) -> Report.printf "  %6d %9.1f\n" id ms)
     (scatter r ~max_series:40)
 
 let run_fig1b ?csv_dir ?jobs scale =

@@ -43,6 +43,20 @@ let fct_stats r =
     }
   end
 
+(* The one place experiment output touches stdout (simlint rule D004:
+   this module is allowlisted, nothing else in lib/ may print). The
+   runner prints results in input order after par_map joins, so going
+   through a single channel here is what keeps `--jobs N` stdout
+   byte-identical. *)
+
+let printf fmt = Printf.printf fmt
+
+let out s = print_string s
+
+let newline () = print_newline ()
+
+let table t = print_string (Sim_stats.Table.render t)
+
 let header title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 

@@ -15,6 +15,23 @@ type fct_stats = {
 val fct_stats : Sim_workload.Scenario.result -> fct_stats
 (** Short-flow statistics of a finished scenario run. *)
 
+(** {2 Output channel}
+
+    All experiment stdout goes through these. This module is the one
+    [D004] allowlist entry in [simlint.allow]; direct [Printf.printf]
+    (or friends) anywhere else under [lib/] fails [dune build @lint]. *)
+
+val printf : ('a, out_channel, unit) format -> 'a
+(** Formatted experiment output (stdout). *)
+
+val out : string -> unit
+(** Verbatim experiment output (stdout). *)
+
+val newline : unit -> unit
+
+val table : Sim_stats.Table.t -> unit
+(** Render and print a result table. *)
+
 val header : string -> unit
 (** Print an experiment banner. *)
 

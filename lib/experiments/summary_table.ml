@@ -17,8 +17,8 @@ let row name r =
 let run ?(jobs = 1) scale =
   Report.header
     "Table 1: MMPTCP vs MPTCP on the paper workload (identical seed)";
-  Printf.printf "workload: %s\n" (Format.asprintf "%a" Scale.pp scale);
-  Printf.printf
+  Report.printf "workload: %s\n" (Format.asprintf "%a" Scale.pp scale);
+  Report.printf
     "paper reports: MMPTCP 116ms (sd 101) vs MPTCP 126ms (sd 425); loss at\n\
      core/agg slightly lower for MMPTCP; equal long-flow throughput and\n\
      utilisation.\n";
@@ -49,4 +49,4 @@ let run ?(jobs = 1) scale =
       entries
   in
   List.iter (fun (name, r) -> Table.add_row table (row name r)) results;
-  Table.print table
+  Report.table table

@@ -6,6 +6,15 @@
     which is exactly why per-packet source-port randomisation in
     MMPTCP's packet-scatter phase sprays packets across all paths. *)
 
+val hash_fields :
+  src:int -> dst:int -> sport:int -> dport:int -> salt:int -> int
+(** The stable SplitMix64-style hash underlying {!flow_hash} and
+    {!select}. Deliberately NOT [Hashtbl.hash] (simlint rule D003):
+    the polymorphic hash may change between compiler releases, which
+    would silently re-route every sprayed packet and change every
+    figure. This function is pure integer arithmetic; golden tests pin
+    its exact values so a behaviour change cannot land unnoticed. *)
+
 val flow_hash : Packet.t -> int
 (** Non-negative hash of the packet's 5-tuple. *)
 

@@ -31,7 +31,6 @@ let render t =
   List.iter emit rows;
   Buffer.contents buf
 
-let print t = print_string (render t)
 
 let fms v = Printf.sprintf "%.1f" v
 let fnum v = Printf.sprintf "%.2f" v

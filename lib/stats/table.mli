@@ -7,7 +7,8 @@ val add_row : t -> string list -> unit
 (** Raises [Invalid_argument] on arity mismatch. *)
 
 val render : t -> string
-val print : t -> unit
+(** The stats layer never prints (simlint rule D004): render to a
+    string and emit through the experiments' [Report] channel. *)
 
 (** {1 Cell formatting helpers} *)
 

@@ -272,25 +272,39 @@ let test_rng_bad_args () =
 module Trace = Sim_engine.Trace
 
 let test_trace_levels () =
-  Trace.set_level None;
-  check_bool "disabled by default" false (Trace.enabled Trace.Error);
-  Trace.set_level (Some Trace.Warn);
-  check_bool "error visible at warn" true (Trace.enabled Trace.Error);
-  check_bool "warn visible at warn" true (Trace.enabled Trace.Warn);
-  check_bool "info hidden at warn" false (Trace.enabled Trace.Info);
-  check_bool "debug hidden at warn" false (Trace.enabled Trace.Debug);
-  Trace.set_level (Some Trace.Debug);
-  check_bool "debug visible at debug" true (Trace.enabled Trace.Debug);
-  Trace.set_level None;
-  check_bool "level read back" true (Trace.level () = None)
+  let t = Trace.create () in
+  check_bool "disabled by default" false (Trace.enabled t Trace.Error);
+  Trace.set_level t (Some Trace.Warn);
+  check_bool "error visible at warn" true (Trace.enabled t Trace.Error);
+  check_bool "warn visible at warn" true (Trace.enabled t Trace.Warn);
+  check_bool "info hidden at warn" false (Trace.enabled t Trace.Info);
+  check_bool "debug hidden at warn" false (Trace.enabled t Trace.Debug);
+  Trace.set_level t (Some Trace.Debug);
+  check_bool "debug visible at debug" true (Trace.enabled t Trace.Debug);
+  Trace.set_level t None;
+  check_bool "level read back" true (Trace.level t = None)
 
 let test_trace_disabled_is_silent () =
-  Trace.set_level None;
+  let t = Trace.create () in
   (* Must not raise and must not print (we cannot capture stderr here,
      but the ifprintf path is exercised). *)
-  Trace.debugf ~component:"test" "invisible %d" 42;
-  Trace.errorf ~component:"test" "also invisible %s" "x";
+  Trace.debugf t ~component:"test" "invisible %d" 42;
+  Trace.errorf t ~component:"test" "also invisible %s" "x";
   check_bool "survived" true true
+
+let test_trace_per_sim_isolation () =
+  (* Two simulations: configuring tracing on one must not affect the
+     other — the exact leak simlint rule D001 guards against. *)
+  let s1 = Scheduler.create () and s2 = Scheduler.create () in
+  let t1 = Sim_engine.Sim_ctx.trace (Scheduler.ctx s1) in
+  let t2 = Sim_engine.Sim_ctx.trace (Scheduler.ctx s2) in
+  Trace.set_level t1 (Some Trace.Debug);
+  check_bool "sim 1 sees its level" true (Trace.enabled t1 Trace.Debug);
+  check_bool "sim 2 unaffected" false (Trace.enabled t2 Trace.Error);
+  Trace.set_level t2 (Some Trace.Warn);
+  Trace.set_level t1 None;
+  check_bool "sim 2 keeps its level" true (Trace.enabled t2 Trace.Warn);
+  check_bool "sim 1 disabled" false (Trace.enabled t1 Trace.Error)
 
 let qt = QCheck_alcotest.to_alcotest
 
@@ -341,5 +355,6 @@ let () =
         [
           Alcotest.test_case "levels" `Quick test_trace_levels;
           Alcotest.test_case "disabled silent" `Quick test_trace_disabled_is_silent;
+          Alcotest.test_case "per-sim isolation" `Quick test_trace_per_sim_isolation;
         ] );
     ]

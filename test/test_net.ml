@@ -90,6 +90,59 @@ let prop_ecmp_in_range =
       let v = Ecmp.select p ~salt ~n in
       v >= 0 && v < n)
 
+let prop_ecmp_pure_function =
+  (* Path selection is a pure function of (5-tuple, salt): distinct
+     packet objects with distinct uids and payload sizes, and repeated
+     evaluations, all agree. This is the property the domain-parallel
+     runner leans on — spraying must not depend on allocation order or
+     anything else ambient. *)
+  QCheck.Test.make ~name:"ecmp pure function of (5-tuple, salt)" ~count:500
+    QCheck.(
+      pair
+        (quad small_int small_int small_int small_int)
+        (pair small_int (int_range 1 64)))
+    (fun ((src, dst, sport, dport), (salt, n)) ->
+      let mk len =
+        Packet.make ~ctx ~src:(Addr.of_int src) ~dst:(Addr.of_int dst)
+          ~tcp:(mk_tcp ~src_port:sport ~dst_port:dport ~len ())
+      in
+      let a = mk 10 and b = mk 1000 in
+      let first = Ecmp.select a ~salt ~n in
+      first = Ecmp.select b ~salt ~n
+      && first = Ecmp.select a ~salt ~n
+      && Ecmp.flow_hash a = Ecmp.flow_hash b)
+
+let test_ecmp_hash_golden () =
+  (* Pinned outputs of the stable hash (simlint rule D003 rationale):
+     these exact values must survive compiler and stdlib upgrades. If
+     one changes, every sprayed packet re-routes and every figure
+     silently shifts — fail loudly here instead. *)
+  List.iter
+    (fun ((src, dst, sport, dport, salt), expected) ->
+      check_int
+        (Printf.sprintf "hash(%d,%d,%d,%d salt=%d)" src dst sport dport salt)
+        expected
+        (Ecmp.hash_fields ~src ~dst ~sport ~dport ~salt))
+    [
+      ((0, 0, 0, 0, 0), 0);
+      ((1, 2, 1000, 2000, 0), 3557164111517134063);
+      ((1, 2, 1000, 2000, 7), 263550837379141819);
+      ((17, 3, 49152, 80, 1), 93383986432196622);
+      ((511, 12, 60000, 443, 255), 4529278519970514627);
+    ]
+
+let prop_ecmp_not_polymorphic_hash =
+  (* The stable hash must not delegate to [Hashtbl.hash]: tracking the
+     polymorphic hash under any obvious packing would re-introduce the
+     compiler-version dependence D003 exists to prevent. *)
+  QCheck.Test.make ~name:"ecmp hash independent of Hashtbl.hash" ~count:200
+    QCheck.(quad small_int small_int small_int small_int)
+    (fun (src, dst, sport, dport) ->
+      let h = Ecmp.hash_fields ~src ~dst ~sport ~dport ~salt:0 in
+      h <> Hashtbl.hash (src, dst, sport, dport)
+      && h <> Hashtbl.hash [| src; dst; sport; dport |]
+      && h <> Hashtbl.hash [ src; dst; sport; dport ])
+
 let test_ecmp_port_spread () =
   (* Per-packet source-port randomisation must spread over all
      next-hops: the core mechanism of the scatter phase. *)
@@ -420,7 +473,10 @@ let () =
           Alcotest.test_case "flow consistent" `Quick test_ecmp_flow_consistent;
           Alcotest.test_case "port randomisation spreads" `Quick test_ecmp_port_spread;
           Alcotest.test_case "salts decorrelate" `Quick test_ecmp_salts_decorrelate;
+          Alcotest.test_case "stable hash golden values" `Quick test_ecmp_hash_golden;
           qt prop_ecmp_in_range;
+          qt prop_ecmp_pure_function;
+          qt prop_ecmp_not_polymorphic_hash;
         ] );
       ( "pktqueue",
         [

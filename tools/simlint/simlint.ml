@@ -1,0 +1,76 @@
+(* simlint — determinism & parallel-safety lint for the simulator.
+
+   Usage: simlint [--allow FILE] PATH...
+
+   PATHs are .ml files or directories (scanned recursively). Exit 0
+   when clean, 1 on findings, 2 on usage/parse errors. Stale allowlist
+   entries warn on stderr but do not fail the run. *)
+
+let usage () =
+  prerr_endline "usage: simlint [--allow FILE] PATH...";
+  exit 2
+
+let () =
+  let allow_file = ref None in
+  let paths = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--allow" :: file :: rest ->
+      allow_file := Some file;
+      parse_args rest
+    | "--allow" :: [] -> usage ()
+    | ("-h" | "--help") :: _ -> usage ()
+    | p :: rest ->
+      paths := p :: !paths;
+      parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  if !paths = [] then usage ();
+  let files =
+    List.concat_map Simlint_core.scan_tree (List.rev !paths)
+    |> List.sort_uniq compare
+  in
+  let parse_errors = ref 0 in
+  let findings =
+    List.concat_map
+      (fun file ->
+        try Simlint_core.lint_file file
+        with exn ->
+          incr parse_errors;
+          Location.report_exception Format.err_formatter exn;
+          [])
+      files
+  in
+  let entries =
+    match !allow_file with
+    | None -> []
+    | Some f -> (
+      try Simlint_core.parse_allow_file f
+      with
+      | Simlint_core.Allow_syntax msg ->
+        Printf.eprintf "simlint: %s: %s\n" f msg;
+        exit 2
+      | Sys_error msg ->
+        Printf.eprintf "simlint: %s\n" msg;
+        exit 2)
+  in
+  let kept, stale = Simlint_core.apply_allow entries findings in
+  List.iter (fun f -> print_endline (Simlint_core.pp_finding f)) kept;
+  List.iter
+    (fun (e : Simlint_core.allow_entry) ->
+      Printf.eprintf
+        "simlint: warning: stale allow entry `%s:%s` (line %d) matched no \
+         finding; remove it\n"
+        e.a_file
+        (Simlint_core.rule_id e.a_rule)
+        e.a_line)
+    stale;
+  if kept <> [] then begin
+    Printf.eprintf "simlint: %d violation%s in %d file%s scanned\n"
+      (List.length kept)
+      (if List.length kept = 1 then "" else "s")
+      (List.length files)
+      (if List.length files = 1 then "" else "s");
+    exit 1
+  end;
+  if !parse_errors > 0 then exit 2

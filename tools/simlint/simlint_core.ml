@@ -1,0 +1,397 @@
+(* Determinism & parallel-safety lint for the simulator libraries.
+
+   The domain-parallel runner (Runner.par_map) relies on every
+   simulation being a pure function of its inputs: no module-level
+   mutable state, no ambient randomness or wall-clock reads, no
+   unstable polymorphic hashing, console output confined to the
+   report layer, and raw concurrency primitives confined to
+   Domain_pool. This pass parses each [.ml] with compiler-libs and
+   walks the Parsetree; it sees syntax only (no typing), so the rules
+   are name-based and an allowlist covers deliberate exceptions. *)
+
+type rule = D001 | D002 | D003 | D004 | D005
+
+let rule_id = function
+  | D001 -> "D001"
+  | D002 -> "D002"
+  | D003 -> "D003"
+  | D004 -> "D004"
+  | D005 -> "D005"
+
+let rule_of_id = function
+  | "D001" -> Some D001
+  | "D002" -> Some D002
+  | "D003" -> Some D003
+  | "D004" -> Some D004
+  | "D005" -> Some D005
+  | _ -> None
+
+type finding = {
+  file : string;
+  line : int;
+  col : int;
+  rule : rule;
+  msg : string;
+}
+
+let compare_finding a b =
+  let c = compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = compare a.col b.col in
+      if c <> 0 then c else compare (rule_id a.rule) (rule_id b.rule)
+
+let pp_finding f =
+  Printf.sprintf "%s:%d:%d [%s] %s" f.file f.line f.col (rule_id f.rule) f.msg
+
+(* Built-in scopes: the one module allowed to own each class of state.
+   Everything else goes through the allowlist file so exceptions stay
+   visible in review. *)
+let exempt file rule =
+  let base = Filename.basename file in
+  match rule with
+  | D001 -> base = "sim_ctx.ml"
+  | D002 -> base = "rng.ml"
+  | D005 -> base = "domain_pool.ml"
+  | D003 | D004 -> false
+
+(* ------------------------------------------------------------------ *)
+(* Longident helpers                                                   *)
+
+let rec lid_to_string = function
+  | Longident.Lident s -> s
+  | Longident.Ldot (t, s) -> lid_to_string t ^ "." ^ s
+  | Longident.Lapply (a, b) -> lid_to_string a ^ "(" ^ lid_to_string b ^ ")"
+
+let strip_stdlib s =
+  let prefix = "Stdlib." in
+  let n = String.length prefix in
+  if String.length s > n && String.sub s 0 n = prefix then
+    String.sub s n (String.length s - n)
+  else s
+
+(* ------------------------------------------------------------------ *)
+(* D001: module-level mutable state                                    *)
+
+let mutable_ctor name =
+  match name with
+  | "ref" -> Some "`ref`"
+  | "Hashtbl.create" | "Hashtbl.of_seq" -> Some "`Hashtbl.create`"
+  | "Queue.create" -> Some "`Queue.create`"
+  | "Buffer.create" -> Some "`Buffer.create`"
+  | "Stack.create" -> Some "`Stack.create`"
+  | "Array.make" | "Array.init" | "Array.create_float" -> Some ("`" ^ name ^ "`")
+  | "Bytes.create" | "Bytes.make" -> Some ("`" ^ name ^ "`")
+  | _ -> None
+
+(* Labels declared [mutable] anywhere in this file; a toplevel record
+   literal mentioning one of them is module-level mutable state. Label
+   resolution is per-file (no typing), which is exactly the scope that
+   matters: the state type and its global instance live together. *)
+let mutable_labels structure =
+  let labels = Hashtbl.create 16 in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      type_declaration =
+        (fun self td ->
+          (match td.Parsetree.ptype_kind with
+          | Parsetree.Ptype_record fields ->
+            List.iter
+              (fun ld ->
+                if ld.Parsetree.pld_mutable = Asttypes.Mutable then
+                  Hashtbl.replace labels ld.Parsetree.pld_name.txt ())
+              fields
+          | _ -> ());
+          Ast_iterator.default_iterator.type_declaration self td);
+    }
+  in
+  it.structure it structure;
+  labels
+
+let scan_toplevel_expr ~file ~labels ~emit expr =
+  let finding loc what =
+    let p = loc.Location.loc_start in
+    emit
+      {
+        file;
+        line = p.Lexing.pos_lnum;
+        col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+        rule = D001;
+        msg =
+          Printf.sprintf
+            "module-level mutable state (%s) escapes Sim_ctx; allocate it \
+             per-simulation instead"
+            what;
+      }
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          match e.Parsetree.pexp_desc with
+          (* Function bodies allocate at call time, not module init:
+             stop descending. *)
+          | Parsetree.Pexp_fun _ | Parsetree.Pexp_function _
+          | Parsetree.Pexp_newtype _ ->
+            ()
+          | Parsetree.Pexp_apply
+              ({ pexp_desc = Parsetree.Pexp_ident { txt; _ }; _ }, _) ->
+            (match mutable_ctor (strip_stdlib (lid_to_string txt)) with
+            | Some what -> finding e.Parsetree.pexp_loc what
+            | None -> ());
+            Ast_iterator.default_iterator.expr self e
+          | Parsetree.Pexp_record (fields, _) ->
+            if
+              List.exists
+                (fun ((lbl : Longident.t Location.loc), _) ->
+                  let name =
+                    match lbl.txt with
+                    | Longident.Lident s | Longident.Ldot (_, s) -> s
+                    | Longident.Lapply _ -> ""
+                  in
+                  Hashtbl.mem labels name)
+                fields
+            then finding e.Parsetree.pexp_loc "record literal with mutable field(s)";
+            Ast_iterator.default_iterator.expr self e
+          | Parsetree.Pexp_array _ ->
+            finding e.Parsetree.pexp_loc "array literal";
+            Ast_iterator.default_iterator.expr self e
+          | _ -> Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.expr it expr
+
+let rec scan_structure_d001 ~file ~labels ~emit structure =
+  List.iter
+    (fun item ->
+      match item.Parsetree.pstr_desc with
+      | Parsetree.Pstr_value (_, vbs) ->
+        List.iter
+          (fun vb -> scan_toplevel_expr ~file ~labels ~emit vb.Parsetree.pvb_expr)
+          vbs
+      | Parsetree.Pstr_eval (e, _) -> scan_toplevel_expr ~file ~labels ~emit e
+      | Parsetree.Pstr_module mb -> scan_module_d001 ~file ~labels ~emit mb.Parsetree.pmb_expr
+      | Parsetree.Pstr_recmodule mbs ->
+        List.iter
+          (fun mb -> scan_module_d001 ~file ~labels ~emit mb.Parsetree.pmb_expr)
+          mbs
+      | Parsetree.Pstr_include incl ->
+        scan_module_d001 ~file ~labels ~emit incl.Parsetree.pincl_mod
+      | _ -> ())
+    structure
+
+and scan_module_d001 ~file ~labels ~emit mexpr =
+  match mexpr.Parsetree.pmod_desc with
+  | Parsetree.Pmod_structure s -> scan_structure_d001 ~file ~labels ~emit s
+  | Parsetree.Pmod_constraint (me, _) -> scan_module_d001 ~file ~labels ~emit me
+  (* Functor bodies allocate per application; applications are opaque
+     without typing. *)
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* D002-D005: forbidden identifiers anywhere in the file               *)
+
+let d004_toplevel =
+  [
+    "print_string"; "print_endline"; "print_newline"; "print_char";
+    "print_int"; "print_float"; "print_bytes"; "prerr_string";
+    "prerr_endline"; "prerr_newline"; "prerr_char"; "prerr_int";
+    "prerr_float"; "prerr_bytes";
+  ]
+
+let lid_root_of_string s =
+  match String.index_opt s '.' with
+  | None -> s
+  | Some i -> String.sub s 0 i
+
+let ident_rule name =
+  let name = strip_stdlib name in
+  if name = "Random.self_init" then
+    Some
+      ( D002,
+        "Random.self_init seeds from the environment and destroys \
+         reproducibility; use Sim_engine.Rng with an explicit seed" )
+  else if lid_root_of_string name = "Random" then
+    Some
+      ( D002,
+        name
+        ^ " draws from the ambient PRNG; thread a seeded Sim_engine.Rng \
+           through instead" )
+  else if name = "Unix.gettimeofday" || name = "Unix.time" || name = "Sys.time"
+  then
+    Some
+      ( D002,
+        name
+        ^ " reads the wall clock; simulations must use virtual time \
+           (Sim_time)" )
+  else if
+    name = "Hashtbl.hash" || name = "Hashtbl.seeded_hash"
+    || name = "Hashtbl.hash_param"
+    || name = "Hashtbl.seeded_hash_param"
+  then
+    Some
+      ( D003,
+        name
+        ^ " is the polymorphic hash, whose value may change across compiler \
+           versions; use a dedicated stable hash (see Ecmp)" )
+  else if
+    name = "Printf.printf" || name = "Printf.eprintf" || name = "Format.printf"
+    || name = "Format.eprintf"
+    || List.mem name d004_toplevel
+  then
+    Some
+      ( D004,
+        name
+        ^ " writes directly to the console; library code must stay silent \
+           (route experiment output through Report)" )
+  else
+    let root = lid_root_of_string name in
+    if root = "Domain" || root = "Mutex" || root = "Condition" || root = "Atomic"
+    then
+      Some
+        ( D005,
+          name
+          ^ " is a concurrency primitive; cross-domain coordination lives \
+             only in Sim_engine.Domain_pool" )
+    else None
+
+let scan_idents ~file ~emit structure =
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.Parsetree.pexp_desc with
+          | Parsetree.Pexp_ident { txt; _ } -> (
+            match ident_rule (lid_to_string txt) with
+            | Some (rule, msg) ->
+              let p = e.Parsetree.pexp_loc.Location.loc_start in
+              emit
+                {
+                  file;
+                  line = p.Lexing.pos_lnum;
+                  col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+                  rule;
+                  msg;
+                }
+            | None -> ())
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.structure it structure
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+
+let lint_structure ~file structure =
+  let acc = ref [] in
+  let emit f = if not (exempt f.file f.rule) then acc := f :: !acc in
+  let labels = mutable_labels structure in
+  scan_structure_d001 ~file ~labels ~emit structure;
+  scan_idents ~file ~emit structure;
+  List.sort compare_finding !acc
+
+let lint_file path =
+  let structure = Pparse.parse_implementation ~tool_name:"simlint" path in
+  lint_structure ~file:path structure
+
+let scan_tree root =
+  let acc = ref [] in
+  let rec walk dir =
+    let entries = Sys.readdir dir in
+    Array.sort compare entries;
+    Array.iter
+      (fun name ->
+        if String.length name > 0 && name.[0] <> '.' && name <> "_build" then begin
+          let path = Filename.concat dir name in
+          if Sys.is_directory path then walk path
+          else if Filename.check_suffix name ".ml" then acc := path :: !acc
+        end)
+      entries
+  in
+  if Sys.is_directory root then walk root
+  else if Filename.check_suffix root ".ml" then acc := [ root ];
+  List.sort compare !acc
+
+(* ------------------------------------------------------------------ *)
+(* Allowlist                                                           *)
+
+type allow_entry = { a_file : string; a_rule : rule; a_line : int }
+
+let normalize_path p =
+  let p =
+    if String.length p > 2 && String.sub p 0 2 = "./" then
+      String.sub p 2 (String.length p - 2)
+    else p
+  in
+  String.concat "/" (String.split_on_char '\\' p)
+
+exception Allow_syntax of string
+
+let parse_allow_line ~lineno line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let line = String.trim line in
+  if line = "" then None
+  else
+    match String.rindex_opt line ':' with
+    | None ->
+      raise
+        (Allow_syntax
+           (Printf.sprintf "line %d: expected `path:RULE`, got %S" lineno line))
+    | Some i -> (
+      let path = normalize_path (String.trim (String.sub line 0 i)) in
+      let rid = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+      match rule_of_id rid with
+      | None ->
+        raise
+          (Allow_syntax
+             (Printf.sprintf "line %d: unknown rule %S (expected D001-D005)"
+                lineno rid))
+      | Some r -> Some { a_file = path; a_rule = r; a_line = lineno })
+
+let parse_allow_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let entries = ref [] in
+      let lineno = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           incr lineno;
+           match parse_allow_line ~lineno:!lineno line with
+           | Some e -> entries := e :: !entries
+           | None -> ()
+         done
+       with End_of_file -> ());
+      List.rev !entries)
+
+(* Partition findings through the allowlist; also report entries that
+   suppressed nothing so the file can't rot. *)
+let apply_allow entries findings =
+  let used = Hashtbl.create 8 in
+  let kept =
+    List.filter
+      (fun f ->
+        let matching =
+          List.filter
+            (fun e -> e.a_rule = f.rule && normalize_path f.file = e.a_file)
+            entries
+        in
+        List.iter (fun e -> Hashtbl.replace used e.a_line ()) matching;
+        matching = [])
+      findings
+  in
+  let stale = List.filter (fun e -> not (Hashtbl.mem used e.a_line)) entries in
+  (kept, stale)

@@ -1,0 +1,77 @@
+(** Determinism & parallel-safety lint over the simulator's Parsetree.
+
+    Rules (see DESIGN.md, "Determinism invariants"):
+
+    - [D001] no module-level mutable state (toplevel [ref],
+      [Hashtbl.create], [Queue.create], [Buffer.create], [Stack.create],
+      [Array.make]/[init]/[create_float], [Bytes.create]/[make], array
+      literals, record literals with fields this file declares
+      [mutable]) — such state leaks between simulations that share the
+      process. Built-in exemption: [sim_ctx.ml], the one module whose
+      job is to own per-simulation state.
+    - [D002] no ambient nondeterminism ([Random.*], [Unix.gettimeofday],
+      [Unix.time], [Sys.time]). Built-in exemption: [rng.ml].
+    - [D003] no polymorphic [Hashtbl.hash] family — its output is not
+      stable across compiler versions, so ECMP spraying (and therefore
+      every figure) would silently change on upgrade.
+    - [D004] no direct console I/O ([Printf.printf], [print_string],
+      [prerr_*], [Format.printf], ...) — stdout discipline belongs to
+      the report layer (allowlisted in [simlint.allow]).
+    - [D005] no [Domain]/[Mutex]/[Condition]/[Atomic] use. Built-in
+      exemption: [domain_pool.ml].
+
+    The analysis is purely syntactic (compiler-libs parser, no typing):
+    precise enough for a curated codebase, with [simlint.allow] as the
+    escape hatch for deliberate exceptions. *)
+
+type rule = D001 | D002 | D003 | D004 | D005
+
+val rule_id : rule -> string
+val rule_of_id : string -> rule option
+
+type finding = {
+  file : string;
+  line : int;
+  col : int;
+  rule : rule;
+  msg : string;
+}
+
+val compare_finding : finding -> finding -> int
+
+val pp_finding : finding -> string
+(** [file:line:col [RULE] message] *)
+
+val lint_structure : file:string -> Parsetree.structure -> finding list
+(** Findings for an already-parsed implementation, sorted by position.
+    Built-in per-rule exemptions (see above) are applied here. *)
+
+val lint_file : string -> finding list
+(** Parse [path] with compiler-libs and lint it. Raises the parser's
+    exceptions on syntax errors (render with
+    {!Location.report_exception}). *)
+
+val scan_tree : string -> string list
+(** All [.ml] files under a directory (or the path itself if it is a
+    [.ml] file), sorted, skipping [_build] and dot-directories. *)
+
+(** {2 Allowlist}
+
+    One entry per line, [path:RULE], [#] comments allowed:
+    {[
+      # report.ml is the one module that may print
+      lib/experiments/report.ml:D004
+    ]} *)
+
+type allow_entry = { a_file : string; a_rule : rule; a_line : int }
+
+exception Allow_syntax of string
+
+val parse_allow_file : string -> allow_entry list
+(** Raises {!Allow_syntax} on malformed lines. *)
+
+val apply_allow :
+  allow_entry list -> finding list -> finding list * allow_entry list
+(** [apply_allow entries findings] is [(kept, stale)]: findings not
+    covered by any entry, and entries that suppressed nothing (stale
+    entries should be warned about and removed). *)

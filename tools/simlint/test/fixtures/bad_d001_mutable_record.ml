@@ -1,0 +1,6 @@
+(* Fixture: toplevel literal of a record this file declares mutable. *)
+type stats = { mutable count : int; name : string }
+
+let global_stats = { count = 0; name = "global" }
+
+let observe () = global_stats.count <- global_stats.count + 1

@@ -1,0 +1,6 @@
+(* Fixture: toplevel ref is cross-simulation shared state. *)
+let counter = ref 0
+
+let bump () =
+  incr counter;
+  !counter

@@ -1,0 +1,4 @@
+(* Fixture: wall-clock reads. *)
+let stamp () = Unix.gettimeofday ()
+
+let cpu () = Sys.time ()

@@ -1,0 +1,4 @@
+(* Fixture: ambient PRNG calls. *)
+let init () = Random.self_init ()
+
+let jitter () = Random.float 1.0

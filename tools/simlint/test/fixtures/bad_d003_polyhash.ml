@@ -1,0 +1,4 @@
+(* Fixture: polymorphic hash in a path-selection helper. *)
+let pick_path ~paths flow = Hashtbl.hash flow mod paths
+
+let seeded flow = Hashtbl.seeded_hash 42 flow

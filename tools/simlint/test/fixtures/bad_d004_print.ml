@@ -1,0 +1,6 @@
+(* Fixture: direct console output from library code. *)
+let report x = Printf.printf "result: %d\n" x
+
+let warn msg = prerr_endline msg
+
+let banner () = print_endline "=== run ==="

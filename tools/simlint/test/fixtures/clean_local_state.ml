@@ -1,0 +1,21 @@
+(* Fixture: mutable state is fine when allocated per call — nothing
+   here may produce a finding. *)
+type acc = { mutable total : int }
+
+let sum xs =
+  let a = { total = 0 } in
+  List.iter (fun x -> a.total <- a.total + x) xs;
+  a.total
+
+let histogram xs =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun x ->
+      let n = match Hashtbl.find_opt tbl x with Some n -> n | None -> 0 in
+      Hashtbl.replace tbl x (n + 1))
+    xs;
+  tbl
+
+let render x = Printf.sprintf "%d" x
+
+let immutable_toplevel = [ 1; 2; 3 ]

@@ -1,0 +1,6 @@
+(* Fixture named like the exempt module: D005 must not fire here. *)
+let spawn f = Domain.spawn f
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f

@@ -1,0 +1,167 @@
+(* Fixture-driven tests for the determinism lint: every rule must trip
+   on its known-bad snippet, clean code and exempt modules must pass,
+   and the allowlist must suppress (and report staleness) correctly. *)
+
+module L = Simlint_core
+
+let fixture name = Filename.concat "fixtures" name
+
+let rules_of file = List.map (fun (f : L.finding) -> f.rule) (L.lint_file file)
+
+let rule = Alcotest.testable (Fmt.of_to_string L.rule_id) ( = )
+
+let check_rules name file expected =
+  Alcotest.(check (list rule)) name expected (rules_of (fixture file))
+
+(* --- each rule has at least one failing fixture --- *)
+
+let test_d001_ref () = check_rules "toplevel ref" "bad_d001_ref.ml" [ L.D001 ]
+
+let test_d001_containers () =
+  (* Four direct toplevel allocations plus one captured by a closure. *)
+  check_rules "toplevel containers" "bad_d001_containers.ml"
+    [ L.D001; L.D001; L.D001; L.D001; L.D001 ]
+
+let test_d001_mutable_record () =
+  check_rules "mutable record literal" "bad_d001_mutable_record.ml" [ L.D001 ]
+
+let test_d001_nested_module () =
+  check_rules "nested module ref" "bad_d001_nested_module.ml" [ L.D001 ]
+
+let test_d002_random () =
+  check_rules "Random calls" "bad_d002_random.ml" [ L.D002; L.D002 ]
+
+let test_d002_clock () =
+  check_rules "wall clock" "bad_d002_clock.ml" [ L.D002; L.D002 ]
+
+let test_d003_polyhash () =
+  check_rules "polymorphic hash" "bad_d003_polyhash.ml" [ L.D003; L.D003 ]
+
+let test_d004_print () =
+  check_rules "console output" "bad_d004_print.ml" [ L.D004; L.D004; L.D004 ]
+
+let test_d005_domain () =
+  (* Domain.spawn, Domain.join, Mutex.create, Atomic.make *)
+  check_rules "concurrency primitives" "bad_d005_domain.ml"
+    [ L.D005; L.D005; L.D005; L.D005 ]
+
+(* --- clean code and built-in exemptions --- *)
+
+let test_clean_local_state () =
+  check_rules "per-call state is fine" "clean_local_state.ml" []
+
+let test_exempt_sim_ctx () =
+  check_rules "sim_ctx.ml may own state" "sim_ctx.ml" []
+
+let test_exempt_domain_pool () =
+  check_rules "domain_pool.ml may use Domain" "domain_pool.ml" []
+
+(* --- finding formatting --- *)
+
+let test_finding_format () =
+  match L.lint_file (fixture "bad_d001_ref.ml") with
+  | [ f ] ->
+    Alcotest.(check string)
+      "file:line:col [RULE] prefix"
+      "fixtures/bad_d001_ref.ml:2:14 [D001]"
+      (String.concat " "
+         (match String.split_on_char ' ' (L.pp_finding f) with
+         | loc :: rule :: _ -> [ loc; rule ]
+         | _ -> []))
+  | fs -> Alcotest.failf "expected exactly one finding, got %d" (List.length fs)
+
+(* --- allowlist --- *)
+
+let entry ?(line = 1) file r : L.allow_entry =
+  { a_file = file; a_rule = r; a_line = line }
+
+let test_allow_suppresses () =
+  let findings = L.lint_file (fixture "bad_d001_ref.ml") in
+  let kept, stale =
+    L.apply_allow [ entry "fixtures/bad_d001_ref.ml" L.D001 ] findings
+  in
+  Alcotest.(check int) "suppressed" 0 (List.length kept);
+  Alcotest.(check int) "entry used" 0 (List.length stale)
+
+let test_allow_wrong_rule_is_stale () =
+  let findings = L.lint_file (fixture "bad_d001_ref.ml") in
+  let kept, stale =
+    L.apply_allow [ entry "fixtures/bad_d001_ref.ml" L.D004 ] findings
+  in
+  Alcotest.(check int) "finding kept" 1 (List.length kept);
+  Alcotest.(check int) "entry stale" 1 (List.length stale)
+
+let test_allow_file_parsing () =
+  let tmp = Filename.temp_file "simlint_allow" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove tmp)
+    (fun () ->
+      let oc = open_out tmp in
+      output_string oc
+        "# comment\n\n  lib/experiments/report.ml:D004  # trailing\n./x.ml:D001\n";
+      close_out oc;
+      match L.parse_allow_file tmp with
+      | [ a; b ] ->
+        Alcotest.(check string) "path" "lib/experiments/report.ml" a.L.a_file;
+        Alcotest.(check bool) "rule" true (a.L.a_rule = L.D004);
+        Alcotest.(check string) "./ stripped" "x.ml" b.L.a_file;
+        Alcotest.(check bool) "rule 2" true (b.L.a_rule = L.D001)
+      | es -> Alcotest.failf "expected 2 entries, got %d" (List.length es))
+
+let test_allow_rejects_garbage () =
+  let tmp = Filename.temp_file "simlint_allow" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove tmp)
+    (fun () ->
+      let oc = open_out tmp in
+      output_string oc "lib/foo.ml:D999\n";
+      close_out oc;
+      Alcotest.check_raises "unknown rule"
+        (L.Allow_syntax "line 1: unknown rule \"D999\" (expected D001-D005)")
+        (fun () -> ignore (L.parse_allow_file tmp)))
+
+(* --- tree scanning --- *)
+
+let test_scan_tree_sorted () =
+  let files = L.scan_tree "fixtures" in
+  Alcotest.(check bool)
+    "finds all fixtures" true
+    (List.length files >= 12);
+  Alcotest.(check (list string)) "sorted" (List.sort compare files) files;
+  List.iter
+    (fun f -> Alcotest.(check bool) ("ml file: " ^ f) true (Filename.check_suffix f ".ml"))
+    files
+
+let () =
+  Alcotest.run "simlint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "D001 toplevel ref" `Quick test_d001_ref;
+          Alcotest.test_case "D001 containers" `Quick test_d001_containers;
+          Alcotest.test_case "D001 mutable record" `Quick test_d001_mutable_record;
+          Alcotest.test_case "D001 nested module" `Quick test_d001_nested_module;
+          Alcotest.test_case "D002 Random" `Quick test_d002_random;
+          Alcotest.test_case "D002 wall clock" `Quick test_d002_clock;
+          Alcotest.test_case "D003 polymorphic hash" `Quick test_d003_polyhash;
+          Alcotest.test_case "D004 console output" `Quick test_d004_print;
+          Alcotest.test_case "D005 concurrency" `Quick test_d005_domain;
+        ] );
+      ( "exemptions",
+        [
+          Alcotest.test_case "local state clean" `Quick test_clean_local_state;
+          Alcotest.test_case "sim_ctx exempt from D001" `Quick test_exempt_sim_ctx;
+          Alcotest.test_case "domain_pool exempt from D005" `Quick test_exempt_domain_pool;
+        ] );
+      ( "output",
+        [ Alcotest.test_case "finding format" `Quick test_finding_format ] );
+      ( "allowlist",
+        [
+          Alcotest.test_case "suppresses matching" `Quick test_allow_suppresses;
+          Alcotest.test_case "wrong rule stays + stale" `Quick test_allow_wrong_rule_is_stale;
+          Alcotest.test_case "file parsing" `Quick test_allow_file_parsing;
+          Alcotest.test_case "rejects unknown rule" `Quick test_allow_rejects_garbage;
+        ] );
+      ( "scan",
+        [ Alcotest.test_case "tree scan sorted" `Quick test_scan_tree_sorted ] );
+    ]
