@@ -203,7 +203,7 @@ let micro_tests =
   let heap () =
     let h = Sim_engine.Event_heap.create () in
     for i = 0 to 999 do
-      Sim_engine.Event_heap.push h ~time:(Int64.of_int ((i * 7919) mod 4096)) ~seq:i i
+      Sim_engine.Event_heap.push h ~time:((i * 7919) mod 4096) ~seq:i i
     done;
     let rec drain () =
       match Sim_engine.Event_heap.pop h with Some _ -> drain () | None -> ()
@@ -296,6 +296,11 @@ let run_bechamel tests =
     rows
 
 (* ------------------------------------------------------------------ *)
+
+(* Same pinned-from-measurement GC settings as bin/mmptcp_sim.ml:
+   benchmark numbers must not depend on an inherited OCAMLRUNPARAM. *)
+let () =
+  Gc.set { (Gc.get ()) with minor_heap_size = 262_144; space_overhead = 120 }
 
 let () =
   let args = Array.to_list Sys.argv in

@@ -1,0 +1,213 @@
+(* Engine micro-benchmarks: the three hot paths the timer-wheel work
+   targets, measured in isolation so a regression shows up here before
+   it shows up as minutes on the full fig1a run.
+
+   - churn:*      schedule/cancel/re-arm cost of the timer population,
+                  heap-only (tombstones) vs scheduler (wheel + Timer)
+   - packet:*     one serialise-then-deliver hop through a Link, and a
+                  complete short TCP transfer
+   - fig1a:inner  one tiny-scale MMPTCP scenario — the inner loop the
+                  fig1a experiment repeats per (size, protocol) point
+
+   Default mode runs bechamel and writes per-benchmark estimates to
+   BENCH_engine.json (override with --out FILE). --smoke executes every
+   benchmark body once and exits — CI uses it to keep the suite
+   compiling and running without paying measurement time. *)
+
+module Stime = Sim_engine.Sim_time
+module Scheduler = Sim_engine.Scheduler
+module Event_heap = Sim_engine.Event_heap
+module Scale = Sim_experiments.Scale
+module Scenario = Sim_workload.Scenario
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* churn: the RTO pattern — arm a timer far out, cancel or re-arm it
+   shortly after, so almost nothing ever fires. *)
+
+let timers = 512
+let rounds = 8
+
+(* Heap-only churn: every cancel leaves a tombstone behind, every
+   re-arm is a fresh push; this is what the scheduler did before the
+   wheel, minus closure allocation. *)
+let churn_heap () =
+  let h = Event_heap.create () in
+  let seq = ref 0 in
+  for round = 0 to rounds - 1 do
+    for i = 0 to timers - 1 do
+      let due = ((round * timers) + i + 200) * 1_000 in
+      Event_heap.push h ~time:due ~seq:!seq i;
+      incr seq
+    done
+  done;
+  (* Drain: all but the last round's cells are stale. *)
+  while Event_heap.top_time h <> max_int do
+    Event_heap.drop h
+  done
+
+(* Scheduler churn: same pattern through the real API — one re-armable
+   Timer per flow, re-armed [rounds] times; cancels unlink from the
+   wheel in O(1) instead of leaving tombstones. *)
+let churn_sched () =
+  let sched = Scheduler.create () in
+  let tms =
+    Array.init timers (fun _ -> Scheduler.Timer.create sched (fun () -> ()))
+  in
+  for round = 0 to rounds - 1 do
+    for i = 0 to timers - 1 do
+      let due = ((round * timers) + i + 200) * 1_000 in
+      Scheduler.Timer.schedule_at tms.(i) (Stime.of_ns due)
+    done
+  done;
+  Array.iter Scheduler.Timer.cancel tms;
+  Scheduler.run sched
+
+(* ------------------------------------------------------------------ *)
+(* packet path *)
+
+let packet_hop () =
+  let sched = Scheduler.create () in
+  let queue =
+    Sim_net.Pktqueue.create
+      ~ctx:(Scheduler.ctx sched)
+      ~capacity:128 ~layer:Sim_net.Layer.Edge_layer ()
+  in
+  let link =
+    Sim_net.Link.create ~jitter:Stime.zero ~sched ~rate_bps:10e9
+      ~delay:(Stime.of_us 1.) ~queue ~id:0 ()
+  in
+  let got = ref 0 in
+  Sim_net.Link.attach link (fun _ -> incr got);
+  let ctx = Scheduler.ctx sched in
+  for _ = 0 to 63 do
+    let pkt =
+      Sim_net.Packet.make ~ctx ~src:(Sim_net.Addr.of_int 1)
+        ~dst:(Sim_net.Addr.of_int 2)
+        ~tcp:
+          {
+            Sim_net.Packet.conn = 1;
+            subflow = 0;
+            src_port = 1234;
+            dst_port = 80;
+            seq = 0;
+            ack_seq = 0;
+            len = 1400;
+            flags = Sim_net.Packet.data_flags;
+            ece = false;
+            dup_seen = false;
+            dsn = 0;
+            sack = [];
+          }
+    in
+    Sim_net.Link.send link pkt
+  done;
+  Scheduler.run sched;
+  assert (!got = 64)
+
+let tcp_transfer () =
+  let sched = Scheduler.create () in
+  let net = Sim_net.Dumbbell.direct ~sched () in
+  let f =
+    Sim_tcp.Flow.start
+      ~src:(Sim_net.Topology.host net 0)
+      ~dst:(Sim_net.Topology.host net 1)
+      ~size:70_000 ()
+  in
+  Scheduler.run ~until:(Stime.of_sec 5.) sched;
+  assert (Sim_tcp.Flow.is_complete f)
+
+(* ------------------------------------------------------------------ *)
+(* fig1a inner loop: one MMPTCP scenario at tiny scale — what the
+   fig1a experiment runs once per (flow-size, protocol) point. *)
+
+let fig1a_inner () =
+  let cfg =
+    Scale.scenario_config Scale.tiny
+      ~protocol:(Scenario.Mmptcp_proto Mmptcp.Strategy.default)
+  in
+  ignore (Scenario.run cfg)
+
+(* ------------------------------------------------------------------ *)
+
+let benchmarks =
+  [
+    ("churn:heap-4k-arms", churn_heap);
+    ("churn:sched-4k-arms", churn_sched);
+    ("packet:link-hop-64", packet_hop);
+    ("packet:tcp-70KB", tcp_transfer);
+    ("fig1a:inner-loop", fig1a_inner);
+  ]
+
+let run_bechamel () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 1.0) ~kde:None ~stabilize:false
+      ()
+  in
+  let tests =
+    List.map (fun (name, f) -> Test.make ~name (Staged.stage f)) benchmarks
+  in
+  let grouped = Test.make_grouped ~name:"engine" ~fmt:"%s/%s" tests in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+  |> List.sort compare
+  |> List.filter_map (fun (name, ols) ->
+         match Analyze.OLS.estimates ols with
+         | Some (est :: _) -> Some (name, est)
+         | Some [] | None -> None)
+
+let pretty ns =
+  if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+  else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+  else Printf.sprintf "%.0f ns" ns
+
+(* Hand-rolled: the JSON is flat and bechamel has no serialiser we can
+   rely on being present. *)
+let write_json path rows =
+  let oc = open_out path in
+  output_string oc "{\n";
+  List.iteri
+    (fun i (name, est) ->
+      Printf.fprintf oc "  %S: { \"ns_per_run\": %.1f }%s\n" name est
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "}\n";
+  close_out oc
+
+let () =
+  Gc.set { (Gc.get ()) with minor_heap_size = 262_144; space_overhead = 120 };
+  let args = Array.to_list Sys.argv in
+  if List.mem "--smoke" args then begin
+    List.iter
+      (fun (name, f) ->
+        f ();
+        Printf.printf "smoke %-24s ok\n%!" name)
+      benchmarks;
+    print_endline "smoke: all benchmarks ran"
+  end
+  else begin
+    let out =
+      let rec find = function
+        | "--out" :: v :: _ -> v
+        | _ :: rest -> find rest
+        | [] -> "BENCH_engine.json"
+      in
+      find args
+    in
+    let rows = run_bechamel () in
+    Printf.printf "%-32s %16s\n" "benchmark" "time/run";
+    print_endline (String.make 49 '-');
+    List.iter
+      (fun (name, est) -> Printf.printf "%-32s %16s\n" name (pretty est))
+      rows;
+    write_json out rows;
+    Printf.printf "\nwrote %s\n" out
+  end

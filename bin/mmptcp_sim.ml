@@ -146,6 +146,16 @@ let cmds =
         Sim_experiments.Ext_sack.run ~jobs scale);
   ]
 
+(* GC settings, pinned from measurement rather than left to the
+   environment. On the fig1a suite the allocation-light event path
+   (Sim_time as native int, reused timer entries) leaves the default
+   minor heap (256k words) fastest: s=8M was 10-25% slower across
+   three runs, s=32M and o=200 neutral-to-slower (see DESIGN.md §4e).
+   Setting the measured-best values here keeps an inherited
+   OCAMLRUNPARAM from silently changing benchmark numbers. *)
+let () =
+  Gc.set { (Gc.get ()) with minor_heap_size = 262_144; space_overhead = 120 }
+
 let () =
   let info =
     Cmd.info "mmptcp_sim" ~version:"1.0.0"

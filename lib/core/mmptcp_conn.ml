@@ -27,6 +27,7 @@ type t = {
   started_at : Time.t;
   mutable switched_at : Time.t option;
   group : Lia.group;
+  mutable switch_timer : Scheduler.Timer.t option;  (* After_time deadline *)
   mutable dupack_threshold : int;
   dupack_cap : int;
   on_switch : t -> unit;
@@ -36,11 +37,15 @@ let scatter_tx t =
   match t.ps_tx with Some tx -> tx | None -> assert false
 
 (* Phase switching: open the MPTCP subflows and starve the scatter
-   flow of new data. Idempotent. *)
+   flow of new data. Idempotent; a no-op once the transfer is complete
+   (an After_time deadline can outlive a fast flow). *)
 let rec trigger_switch t =
-  if t.phase = Packet_scatter then begin
+  if t.phase = Packet_scatter && not (Dataplane.is_complete t.plane) then begin
     t.phase <- Multipath;
     t.switched_at <- Some (Scheduler.now t.sched);
+    (match t.switch_timer with
+    | Some tm -> Scheduler.Timer.cancel tm
+    | None -> ());
     let mp_source =
       {
         Tcp_tx.pull = (fun ~max -> Dataplane.pull t.plane ~max);
@@ -70,8 +75,8 @@ and ps_source t =
           | Strategy.Data_volume v when Dataplane.assigned t.plane >= v ->
             trigger_switch t;
             None
-          | Strategy.Data_volume _ | Strategy.Congestion_event | Strategy.Never
-            ->
+          | Strategy.Data_volume _ | Strategy.Congestion_event
+          | Strategy.After_time _ | Strategy.Never ->
             Dataplane.pull t.plane ~max));
     has_more =
       (fun () ->
@@ -80,7 +85,7 @@ and ps_source t =
         match t.strategy.Strategy.switch with
         | Strategy.Data_volume v ->
           Dataplane.assigned t.plane < v && Dataplane.unassigned t.plane
-        | Strategy.Congestion_event | Strategy.Never ->
+        | Strategy.Congestion_event | Strategy.After_time _ | Strategy.Never ->
           Dataplane.unassigned t.plane);
   }
 
@@ -112,7 +117,13 @@ let start ~src ~dst ~size ~rng ?(strategy = Strategy.default)
         params;
         plane =
           Dataplane.create ~sched ~size ~on_complete:(fun () ->
-              on_complete (Lazy.force t));
+              let t = Lazy.force t in
+              (* A still-armed After_time deadline must not outlive the
+                 transfer: cancel releases the timer's wheel slot. *)
+              (match t.switch_timer with
+              | Some tm -> Scheduler.Timer.cancel tm
+              | None -> ());
+              on_complete t);
         sched;
         src;
         dst;
@@ -130,6 +141,7 @@ let start ~src ~dst ~size ~rng ?(strategy = Strategy.default)
         started_at = Scheduler.now sched;
         switched_at = None;
         group = Lia.make_group ();
+        switch_timer = None;
         dupack_threshold = initial_threshold strategy.Strategy.dupack ~paths;
         dupack_cap;
         on_switch;
@@ -143,7 +155,7 @@ let start ~src ~dst ~size ~rng ?(strategy = Strategy.default)
   let on_first_congestion () =
     match t.strategy.Strategy.switch with
     | Strategy.Congestion_event -> trigger_switch t
-    | Strategy.Data_volume _ | Strategy.Never -> ()
+    | Strategy.Data_volume _ | Strategy.After_time _ | Strategy.Never -> ()
   in
   let on_dsack () =
     match t.strategy.Strategy.dupack with
@@ -169,6 +181,12 @@ let start ~src ~dst ~size ~rng ?(strategy = Strategy.default)
       let i = pkt.Packet.tcp.Packet.subflow in
       if i >= 0 && i < Array.length t.rxs then Tcp_rx.handle t.rxs.(i) pkt);
   if size = 0 then Dataplane.deliver t.plane ~dsn:0 ~len:0;
+  (match strategy.Strategy.switch with
+  | Strategy.After_time deadline ->
+    let tm = Scheduler.Timer.create sched (fun () -> trigger_switch t) in
+    t.switch_timer <- Some tm;
+    Scheduler.Timer.schedule_after tm deadline
+  | Strategy.Data_volume _ | Strategy.Congestion_event | Strategy.Never -> ());
   Tcp_tx.connect ps_tx;
   t
 

@@ -3,7 +3,11 @@ type dupack_strategy =
   | Topology_aware
   | Adaptive of { initial : int; cap : int }
 
-type switch_strategy = Data_volume of int | Congestion_event | Never
+type switch_strategy =
+  | Data_volume of int
+  | Congestion_event
+  | After_time of Sim_engine.Sim_time.t
+  | Never
 
 type t = {
   subflows : int;
@@ -17,6 +21,8 @@ let default =
 let switch_to_string = function
   | Data_volume v -> Printf.sprintf "data-volume(%dB)" v
   | Congestion_event -> "congestion-event"
+  | After_time d ->
+    Printf.sprintf "after-time(%.1fms)" (Sim_engine.Sim_time.to_ms d)
   | Never -> "never"
 
 let dupack_to_string = function

@@ -32,6 +32,11 @@ type switch_strategy =
   | Congestion_event
       (** Paper strategy (2): switch at the first fast retransmit or
           RTO on the scatter flow. *)
+  | After_time of Sim_engine.Sim_time.t
+      (** Deadline-based: switch once the scatter phase has run this
+          long, whatever the byte count (driven by a re-armable
+          {!Sim_engine.Scheduler.Timer}). Complements [Data_volume]
+          when flow sizes are unknown a priori. *)
   | Never  (** Pure packet-scatter (the PS baseline from Raiciu et al.). *)
 
 type t = {

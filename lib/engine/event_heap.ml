@@ -1,6 +1,7 @@
 (* Array-backed binary min-heap. Each slot stores an immutable cell so
    that [pop]'s sift-down moves a single word. Ordering key is
-   (time, seq).
+   (time, seq); both are native ints, so a cell is one flat block with
+   no inner boxes.
 
    Empty slots hold a shared sentinel cell instead of [None]: this is
    the innermost loop of every simulation, and the [option] wrapper
@@ -9,9 +10,9 @@
    read (only slots below [size] are), so the single [Obj.magic]
    below cannot escape. *)
 
-type 'a cell = { time : int64; seq : int; value : 'a }
+type 'a cell = { time : int; seq : int; value : 'a }
 
-let null_repr = { time = Int64.min_int; seq = -1; value = Obj.repr () }
+let null_repr = { time = min_int; seq = -1; value = Obj.repr () }
 let null_cell () : 'a cell = Obj.magic null_repr
 
 type 'a t = {
@@ -27,9 +28,7 @@ let create () =
 let length t = t.size
 let is_empty t = t.size = 0
 
-let cell_lt a b =
-  let c = Int64.compare a.time b.time in
-  if c <> 0 then c < 0 else a.seq < b.seq
+let cell_lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
 let grow t =
   let cells = Array.make (2 * Array.length t.cells) t.null in
@@ -54,45 +53,60 @@ let push t ~time ~seq value =
   done;
   t.cells.(!i) <- cell
 
+(* Sift the cell [x] down from position [i0] (whose slot is treated as
+   free). Writes [x] into its final position; moves a single word per
+   level. *)
+let sift_down t i0 x =
+  let i = ref i0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    let sc = ref x in
+    if l < t.size then begin
+      let lc = t.cells.(l) in
+      if cell_lt lc !sc then begin
+        smallest := l;
+        sc := lc
+      end
+    end;
+    if r < t.size then begin
+      let rc = t.cells.(r) in
+      if cell_lt rc !sc then begin
+        smallest := r;
+        sc := rc
+      end
+    end;
+    if !smallest = !i then begin
+      t.cells.(!i) <- x;
+      continue := false
+    end
+    else begin
+      t.cells.(!i) <- !sc;
+      i := !smallest
+    end
+  done
+
+(* Allocation-free root access for the scheduler's run loop: the
+   [max_int] sentinel folds the empty check into the time comparison,
+   and reading the three components separately avoids the
+   option-of-tuple that [pop] builds. Only call [top_seq]/[top_value]
+   after checking the heap is non-empty. *)
+let top_time t = if t.size = 0 then max_int else t.cells.(0).time
+let top_seq t = t.cells.(0).seq
+let top_value t = t.cells.(0).value
+
+let drop t =
+  t.size <- t.size - 1;
+  let last = t.cells.(t.size) in
+  t.cells.(t.size) <- t.null;
+  if t.size > 0 then sift_down t 0 last
+
 let pop t =
   if t.size = 0 then None
   else begin
     let root = t.cells.(0) in
-    t.size <- t.size - 1;
-    let last = t.cells.(t.size) in
-    t.cells.(t.size) <- t.null;
-    if t.size > 0 then begin
-      (* Sift the former last element down from the root. *)
-      let i = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        let sc = ref last in
-        if l < t.size then begin
-          let lc = t.cells.(l) in
-          if cell_lt lc !sc then begin
-            smallest := l;
-            sc := lc
-          end
-        end;
-        if r < t.size then begin
-          let rc = t.cells.(r) in
-          if cell_lt rc !sc then begin
-            smallest := r;
-            sc := rc
-          end
-        end;
-        if !smallest = !i then begin
-          t.cells.(!i) <- last;
-          continue := false
-        end
-        else begin
-          t.cells.(!i) <- !sc;
-          i := !smallest
-        end
-      done
-    end;
+    drop t;
     Some (root.time, root.seq, root.value)
   end
 
@@ -101,3 +115,34 @@ let peek_time t = if t.size = 0 then None else Some t.cells.(0).time
 let clear t =
   Array.fill t.cells 0 t.size t.null;
   t.size <- 0
+
+(* Drop every cell [keep] rejects, then restore the heap property with
+   a bottom-up heapify — O(n), preserving each surviving cell's exact
+   (time, seq) key so the drain order is unchanged. The scheduler calls
+   this when cancelled-timer tombstones dominate the heap; the backing
+   array shrinks once the survivors fit in a quarter of it. *)
+let compact t ~keep =
+  let j = ref 0 in
+  for i = 0 to t.size - 1 do
+    let c = t.cells.(i) in
+    if keep ~time:c.time ~seq:c.seq c.value then begin
+      t.cells.(!j) <- c;
+      incr j
+    end
+  done;
+  let old_size = t.size in
+  t.size <- !j;
+  let cap = Array.length t.cells in
+  if cap > 64 && t.size * 4 < cap then begin
+    let ncap = ref cap in
+    while !ncap > 64 && t.size * 4 < !ncap do
+      ncap := !ncap / 2
+    done;
+    let cells = Array.make !ncap t.null in
+    Array.blit t.cells 0 cells 0 t.size;
+    t.cells <- cells
+  end
+  else Array.fill t.cells t.size (old_size - t.size) t.null;
+  for i = (t.size / 2) - 1 downto 0 do
+    sift_down t i t.cells.(i)
+  done

@@ -3,7 +3,9 @@
     Events are ordered by [(time, seq)] where [seq] is a strictly
     increasing insertion counter, so two events scheduled for the same
     instant fire in insertion order (FIFO tie-breaking, matching ns-3
-    semantics). *)
+    semantics). Times are native-int nanoseconds (see {!Sim_time}), so
+    cells are flat blocks and the hot push/pop path allocates only the
+    cell itself. *)
 
 type 'a t
 
@@ -12,11 +14,39 @@ val create : unit -> 'a t
 val length : 'a t -> int
 val is_empty : 'a t -> bool
 
-val push : 'a t -> time:int64 -> seq:int -> 'a -> unit
+val push : 'a t -> time:int -> seq:int -> 'a -> unit
 
-val pop : 'a t -> (int64 * int * 'a) option
+val pop : 'a t -> (int * int * 'a) option
 (** Removes and returns the earliest event. *)
 
-val peek_time : 'a t -> int64 option
+(** {2 Allocation-free root access}
+
+    The scheduler's run loop uses these instead of [pop] to avoid
+    building an option-of-tuple per event. *)
+
+val top_time : 'a t -> int
+(** Time of the earliest event, or [max_int] when the heap is empty
+    (so an ordinary [<=] against another deadline also handles the
+    empty case). *)
+
+val top_seq : 'a t -> int
+(** Sequence number of the earliest event. Only valid when non-empty. *)
+
+val top_value : 'a t -> 'a
+(** Value of the earliest event. Only valid when non-empty. *)
+
+val drop : 'a t -> unit
+(** Removes the earliest event. Only valid when non-empty. *)
+
+val peek_time : 'a t -> int option
 
 val clear : 'a t -> unit
+(** Drops every cell and resets [length] to zero in one step, so
+    callers tracking per-cell statistics (e.g. tombstone counts) can
+    reset them at the same point without the two drifting. *)
+
+val compact : 'a t -> keep:(time:int -> seq:int -> 'a -> bool) -> unit
+(** Removes every cell [keep] rejects, in O(n) (filter + bottom-up
+    heapify). Surviving cells keep their exact [(time, seq)] keys, so
+    the drain order of survivors is unchanged. Shrinks the backing
+    array when survivors occupy less than a quarter of it. *)

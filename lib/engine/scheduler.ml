@@ -1,63 +1,148 @@
-type handle = {
-  mutable cancelled : bool;
-  mutable fired : bool;
-  action : unit -> unit;
-}
+(* Discrete-event scheduler: binary heap for the near-future event
+   stream, hierarchical timing wheel for the far-future timer
+   population. See DESIGN.md §4e.
+
+   Every armed event carries a unique (time, seq) key; seq is a single
+   monotone counter consumed once per arm. The wheel never fires
+   anything itself: [run] drains due wheel slots into the heap, and the
+   heap restores exact (time, seq) order, so the observable firing
+   order is identical to a heap-only scheduler. *)
+
+type handle = Timer_wheel.entry
 
 type t = {
   heap : handle Event_heap.t;
+  wheel : Timer_wheel.t;
   mutable now : Sim_time.t;
   mutable next_seq : int;
   mutable processed : int;
+  mutable tombstones : int;  (* cancelled cells still buried in the heap *)
+  (* Cached Timer_wheel.next_due_ns, valid while the wheel generation
+     is unchanged — the run loop consults the wheel before every pop,
+     and in the common case (draining heap events between timer
+     activity) the wheel has not moved. *)
+  mutable wheel_due : int;
+  mutable wheel_gen : int;
   ctx : Sim_ctx.t;
 }
 
 let create () =
   {
     heap = Event_heap.create ();
+    wheel = Timer_wheel.create ();
     now = Sim_time.zero;
     next_seq = 0;
     processed = 0;
+    tombstones = 0;
+    wheel_due = max_int;
+    wheel_gen = -1;
     ctx = Sim_ctx.create ();
   }
 
 let now t = t.now
 let ctx t = t.ctx
 
+(* Arm [e] at [time], consuming exactly one seq. Entries due within one
+   level-0 wheel slot skip the wheel and go straight onto the heap. *)
+let arm t (e : Timer_wheel.entry) time =
+  e.time <- Sim_time.to_ns time;
+  e.seq <- t.next_seq;
+  t.next_seq <- t.next_seq + 1;
+  if not (Timer_wheel.schedule t.wheel e) then begin
+    e.state <- Timer_wheel.st_heap;
+    Event_heap.push t.heap ~time:e.time ~seq:e.seq e
+  end
+
 let schedule_at t time action =
   if Sim_time.(time < t.now) then
     invalid_arg "Scheduler.schedule_at: time is in the past";
-  let h = { cancelled = false; fired = false; action } in
-  Event_heap.push t.heap ~time:(Sim_time.to_ns time) ~seq:t.next_seq h;
-  t.next_seq <- t.next_seq + 1;
-  h
+  let e = Timer_wheel.make_entry action in
+  arm t e time;
+  e
 
 let schedule_after t delay action =
   schedule_at t (Sim_time.add t.now delay) action
 
-let cancel h = h.cancelled <- true
+let cancelled_pending t = t.tombstones
 
-let is_pending h = (not h.cancelled) && not h.fired
+(* A heap cell is live iff its entry is still heap-resident under the
+   same seq; anything else (cancelled, or re-armed since) is a
+   tombstone. Compact once tombstones dominate: O(n) filter+heapify,
+   amortised against the >= n/2 pops the tombstones would otherwise
+   cost, keyed only on exact (time, seq) so drain order is unchanged. *)
+let maybe_compact t =
+  if t.tombstones > 64 && t.tombstones * 2 > Event_heap.length t.heap then begin
+    Event_heap.compact t.heap ~keep:(fun ~time:_ ~seq e ->
+        e.state = Timer_wheel.st_heap && e.seq = seq);
+    t.tombstones <- 0
+  end
+
+(* Detach [e] from wherever it is pending; keeps the action closure so
+   a re-armable timer can reuse it. *)
+let detach t (e : Timer_wheel.entry) =
+  if e.state = Timer_wheel.st_wheel then Timer_wheel.cancel t.wheel e
+  else if e.state = Timer_wheel.st_heap then begin
+    (* The heap cell stays behind as a tombstone. *)
+    e.state <- Timer_wheel.st_idle;
+    t.tombstones <- t.tombstones + 1;
+    maybe_compact t
+  end
+
+let cancel t (e : Timer_wheel.entry) =
+  detach t e;
+  (* One-shot handle: drop the closure now so captured packets/buffers
+     are collectable before the tombstone is popped. *)
+  e.action <- Timer_wheel.noop
+
+let is_pending (e : handle) =
+  e.state = Timer_wheel.st_wheel || e.state = Timer_wheel.st_heap
 
 let run ?until ?max_events t =
   let budget = ref (match max_events with Some n -> n | None -> max_int) in
-  let horizon = match until with Some u -> Sim_time.to_ns u | None -> Int64.max_int in
+  let horizon = match until with Some u -> Sim_time.to_ns u | None -> max_int in
+  let emit (e : handle) =
+    e.state <- Timer_wheel.st_heap;
+    Event_heap.push t.heap ~time:e.time ~seq:e.seq e
+  in
   let continue = ref true in
   while !continue && !budget > 0 do
-    match Event_heap.peek_time t.heap with
-    | None -> continue := false
-    | Some time when Int64.compare time horizon > 0 -> continue := false
-    | Some _ ->
-      (match Event_heap.pop t.heap with
-       | None -> assert false
-       | Some (time, _seq, h) ->
-         if not h.cancelled then begin
-           t.now <- Sim_time.of_ns time;
-           h.fired <- true;
-           t.processed <- t.processed + 1;
-           decr budget;
-           h.action ()
-         end)
+    let wheel_due =
+      let g = Timer_wheel.generation t.wheel in
+      if g = t.wheel_gen then t.wheel_due
+      else begin
+        let d = Timer_wheel.next_due_ns t.wheel in
+        t.wheel_gen <- g;
+        t.wheel_due <- d;
+        d
+      end
+    in
+    let heap_due = Event_heap.top_time t.heap in
+    if wheel_due <= heap_due && wheel_due <> max_int then
+      (* Wheel slots due at or before the heap top must drain first:
+         [wheel_due] is a lower bound, so a resident entry could key
+         below the heap top. Draining moves them into the heap, which
+         then decides the true order. *)
+      if wheel_due > horizon then continue := false
+      else Timer_wheel.advance t.wheel ~upto:wheel_due ~emit
+    else if heap_due = max_int || heap_due > horizon then
+      (* Empty (max_int sentinel) or next event beyond the horizon. *)
+      continue := false
+    else begin
+      let e = Event_heap.top_value t.heap in
+      let seq = Event_heap.top_seq t.heap in
+      Event_heap.drop t.heap;
+      if e.state = Timer_wheel.st_heap && e.seq = seq then begin
+        t.now <- Sim_time.of_ns heap_due;
+        e.state <- Timer_wheel.st_fired;
+        t.processed <- t.processed + 1;
+        decr budget;
+        e.action ()
+      end
+      else
+        (* Stale cell of a cancelled or re-armed event. Skipping it
+           consumes neither budget nor clock. *)
+        t.tombstones <- t.tombstones - 1
+    end
   done;
   (* When the queue drained (or only holds events beyond the horizon)
      advance the clock to the horizon, so repeated bounded runs make
@@ -67,5 +152,31 @@ let run ?until ?max_events t =
     | Some u when Sim_time.(u > t.now) -> t.now <- u
     | Some _ | None -> ()
 
-let pending_events t = Event_heap.length t.heap
+(* Live work only: heap cells net of tombstones, plus wheel residents.
+   A backlog of cancelled-only cells reports zero. *)
+let pending_events t =
+  Event_heap.length t.heap - t.tombstones + Timer_wheel.live t.wheel
+
 let events_processed t = t.processed
+
+module Timer = struct
+  type sched = t
+
+  type t = { sched : sched; entry : Timer_wheel.entry }
+
+  let create sched action = { sched; entry = Timer_wheel.make_entry action }
+  let is_pending tm = is_pending tm.entry
+
+  (* Unlike {!Scheduler.cancel}, keeps the action closure: that is the
+     point of the abstraction — one entry, one closure, reused across
+     every re-arm of an RTO or delayed-ACK timer. *)
+  let cancel tm = detach tm.sched tm.entry
+
+  let schedule_at tm time =
+    cancel tm;
+    if Sim_time.(time < tm.sched.now) then
+      invalid_arg "Scheduler.Timer.schedule_at: time is in the past";
+    arm tm.sched tm.entry time
+
+  let schedule_after tm delay = schedule_at tm (Sim_time.add tm.sched.now delay)
+end

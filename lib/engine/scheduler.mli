@@ -1,15 +1,18 @@
 (** Discrete-event scheduler.
 
-    The scheduler owns the virtual clock and a priority queue of pending
-    events. Simulation components schedule closures to run at future
-    instants; [run] drains the queue in timestamp order, advancing the
-    clock. Events scheduled for the same instant fire in the order they
-    were scheduled.
+    The scheduler owns the virtual clock and two pending-event
+    structures: a binary heap for the near-future event stream and a
+    hierarchical timing wheel ({!Timer_wheel}) for the far-future timer
+    population (RTO, delayed ACK) that is almost always cancelled or
+    re-armed before firing. [run] drains [min(heap-peek, wheel-peek)]:
+    due wheel slots are handed to the heap, which restores exact
+    [(time, seq)] order, so firing order — and therefore experiment
+    output — is identical to a heap-only scheduler. Events scheduled
+    for the same instant fire in the order they were scheduled.
 
-    A scheduled event can be cancelled through its handle; cancellation
-    is O(1) (the event stays in the heap but is skipped when popped),
-    which is the right trade-off for TCP retransmission timers that are
-    re-armed on almost every ACK. *)
+    Cancellation is O(1) in both structures: a wheel entry unlinks
+    immediately; a heap entry leaves a tombstone that is skipped when
+    popped and compacted away when tombstones dominate. *)
 
 type t
 
@@ -34,9 +37,11 @@ val schedule_at : t -> Sim_time.t -> (unit -> unit) -> handle
 val schedule_after : t -> Sim_time.t -> (unit -> unit) -> handle
 (** [schedule_after t delay f] runs [f] at [now t + delay]. *)
 
-val cancel : handle -> unit
-(** Cancel a pending event. Cancelling an already-fired or
-    already-cancelled event is a no-op. *)
+val cancel : t -> handle -> unit
+(** Cancel a pending event and drop its action closure (releasing
+    captured packets/buffers before any tombstone is popped).
+    Cancelling an already-fired or already-cancelled event is a
+    no-op. *)
 
 val is_pending : handle -> bool
 
@@ -45,4 +50,31 @@ val run : ?until:Sim_time.t -> ?max_events:int -> t -> unit
     event lies strictly beyond [until], or after [max_events] events. *)
 
 val pending_events : t -> int
+(** Events that will still fire: heap entries net of cancelled
+    tombstones, plus wheel residents. A backlog consisting only of
+    cancelled events reports zero. *)
+
+val cancelled_pending : t -> int
+(** Cancelled events still buried in the heap as tombstones (the
+    compaction heuristic's input). Excludes wheel cancellations, which
+    unlink immediately. *)
+
 val events_processed : t -> int
+
+(** Re-armable timer: one handle and one action closure allocated at
+    [create], reused across every restart. [schedule_*] atomically
+    cancels any pending occurrence and re-arms, so at most one
+    occurrence is ever pending; unlike {!cancel}, {!Timer.cancel}
+    keeps the closure for the next re-arm. Each re-arm consumes one
+    scheduling sequence number, exactly like a fresh
+    {!schedule_at}. *)
+module Timer : sig
+  type sched := t
+  type t
+
+  val create : sched -> (unit -> unit) -> t
+  val schedule_at : t -> Sim_time.t -> unit
+  val schedule_after : t -> Sim_time.t -> unit
+  val cancel : t -> unit
+  val is_pending : t -> bool
+end

@@ -1,50 +1,56 @@
-type t = int64
+(* Nanoseconds since simulation start, as a native int. A 63-bit int
+   holds ~146 years of nanoseconds, and unlike [int64] it is unboxed:
+   time values in records, timer-wheel slots and heap cells are
+   immediate words, and arithmetic in the event hot path allocates
+   nothing. *)
 
-let zero = 0L
-let is_zero t = Int64.equal t 0L
+type t = int
+
+let zero = 0
+let is_zero t = t = 0
 
 let of_ns n =
-  if Int64.compare n 0L < 0 then invalid_arg "Sim_time.of_ns: negative";
+  if n < 0 then invalid_arg "Sim_time.of_ns: negative";
   n
 
 let of_us f =
   if f < 0. then invalid_arg "Sim_time.of_us: negative";
-  Int64.of_float (f *. 1e3)
+  int_of_float (f *. 1e3)
 
 let of_ms f =
   if f < 0. then invalid_arg "Sim_time.of_ms: negative";
-  Int64.of_float (f *. 1e6)
+  int_of_float (f *. 1e6)
 
 let of_sec f =
   if f < 0. then invalid_arg "Sim_time.of_sec: negative";
-  Int64.of_float (f *. 1e9)
+  int_of_float (f *. 1e9)
 
 let to_ns t = t
-let to_us t = Int64.to_float t /. 1e3
-let to_ms t = Int64.to_float t /. 1e6
-let to_sec t = Int64.to_float t /. 1e9
+let to_us t = float_of_int t /. 1e3
+let to_ms t = float_of_int t /. 1e6
+let to_sec t = float_of_int t /. 1e9
 
-let add = Int64.add
+let add = ( + )
 
 let diff a b =
-  if Int64.compare b a > 0 then invalid_arg "Sim_time.diff: negative result";
-  Int64.sub a b
+  if b > a then invalid_arg "Sim_time.diff: negative result";
+  a - b
 
 let scale t f =
   if f < 0. then invalid_arg "Sim_time.scale: negative factor";
-  Int64.of_float (Int64.to_float t *. f)
+  int_of_float (float_of_int t *. f)
 
-let compare = Int64.compare
-let equal = Int64.equal
-let ( < ) a b = compare a b < 0
-let ( <= ) a b = compare a b <= 0
-let ( > ) a b = compare a b > 0
-let ( >= ) a b = compare a b >= 0
-let min a b = if a <= b then a else b
-let max a b = if a >= b then a else b
+let compare = Int.compare
+let equal : t -> t -> bool = Int.equal
+let ( < ) : t -> t -> bool = Stdlib.( < )
+let ( <= ) : t -> t -> bool = Stdlib.( <= )
+let ( > ) : t -> t -> bool = Stdlib.( > )
+let ( >= ) : t -> t -> bool = Stdlib.( >= )
+let min : t -> t -> t = Stdlib.min
+let max : t -> t -> t = Stdlib.max
 
 let pp ppf t =
-  let ns = Int64.to_float t in
+  let ns = float_of_int t in
   if Stdlib.( < ) ns 1e3 then Format.fprintf ppf "%.0fns" ns
   else if Stdlib.( < ) ns 1e6 then Format.fprintf ppf "%.2fus" (ns /. 1e3)
   else if Stdlib.( < ) ns 1e9 then Format.fprintf ppf "%.3fms" (ns /. 1e6)

@@ -1,11 +1,15 @@
 (** Virtual simulation time.
 
     Time is an absolute count of nanoseconds since the start of the
-    simulation, stored as an [int64]. All public constructors and
+    simulation, stored as a native [int] (63 bits holds ~146 years of
+    nanoseconds). The native representation is deliberate: unlike
+    [int64] it is unboxed, so times held in heap cells, timer-wheel
+    entries and packet records are immediate words and hot-path
+    arithmetic does not allocate. All public constructors and
     accessors go through this module so that the unit is impossible to
     confuse at call sites. *)
 
-type t = private int64
+type t = private int
 
 val zero : t
 
@@ -13,7 +17,7 @@ val is_zero : t -> bool
 
 (** {1 Constructors} *)
 
-val of_ns : int64 -> t
+val of_ns : int -> t
 (** [of_ns n] is [n] nanoseconds. Raises [Invalid_argument] if [n < 0]. *)
 
 val of_us : float -> t
@@ -22,7 +26,7 @@ val of_sec : float -> t
 
 (** {1 Accessors} *)
 
-val to_ns : t -> int64
+val to_ns : t -> int
 val to_us : t -> float
 val to_ms : t -> float
 val to_sec : t -> float

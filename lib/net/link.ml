@@ -4,7 +4,7 @@ module Scheduler = Sim_engine.Scheduler
 type stats = {
   mutable tx_packets : int;
   mutable tx_bytes : int;
-  mutable busy_ns : int64;
+  mutable busy_ns : int;
 }
 
 type t = {
@@ -37,14 +37,14 @@ let create ?(jitter = Time.of_us 5.) ~sched ~rate_bps ~delay ~queue ~id () =
     taps = [];
     busy = false;
     last_delivery = Time.zero;
-    st = { tx_packets = 0; tx_bytes = 0; busy_ns = 0L };
+    st = { tx_packets = 0; tx_bytes = 0; busy_ns = 0 };
   }
 
 let attach t f = t.deliver <- Some f
 let add_tap t f = t.taps <- f :: t.taps
 
 let tx_time t ~bytes =
-  Time.of_ns (Int64.of_float (float_of_int (bytes * 8) /. t.rate_bps *. 1e9))
+  Time.of_ns (int_of_float (float_of_int (bytes * 8) /. t.rate_bps *. 1e9))
 
 let rec pump t =
   match Pktqueue.dequeue t.queue with
@@ -54,7 +54,7 @@ let rec pump t =
     let tx = tx_time t ~bytes:pkt.Packet.size in
     t.st.tx_packets <- t.st.tx_packets + 1;
     t.st.tx_bytes <- t.st.tx_bytes + pkt.Packet.size;
-    t.st.busy_ns <- Int64.add t.st.busy_ns (Time.to_ns tx);
+    t.st.busy_ns <- t.st.busy_ns + Time.to_ns tx;
     List.iter (fun tap -> tap pkt) t.taps;
     let deliver =
       match t.deliver with
@@ -71,9 +71,9 @@ let rec pump t =
               link stays FIFO. *)
            let extra =
              if Time.is_zero t.jitter then Time.zero
-             else Time.of_ns (Int64.of_float
+             else Time.of_ns (int_of_float
                     (Sim_engine.Rng.float t.jitter_rng
-                       (Int64.to_float (Time.to_ns t.jitter))))
+                       (float_of_int (Time.to_ns t.jitter))))
            in
            let target =
              Time.add (Time.add (Scheduler.now t.sched) t.delay) extra
@@ -97,5 +97,4 @@ let stats t = t.st
 
 let utilisation t ~now =
   let n = Time.to_ns now in
-  if Int64.equal n 0L then 0.
-  else Int64.to_float t.st.busy_ns /. Int64.to_float n
+  if n = 0 then 0. else float_of_int t.st.busy_ns /. float_of_int n

@@ -12,7 +12,7 @@
 type stats = {
   mutable tx_packets : int;
   mutable tx_bytes : int;
-  mutable busy_ns : int64;  (** cumulative serialisation time *)
+  mutable busy_ns : int;  (** cumulative serialisation time, ns *)
 }
 
 type t

@@ -10,7 +10,7 @@ type t = {
 let create ~params = { params; srtt_ns = 0.; rttvar_ns = 0.; samples = 0 }
 
 let observe t sample =
-  let r = Int64.to_float (Time.to_ns sample) in
+  let r = float_of_int (Time.to_ns sample) in
   if t.samples = 0 then begin
     t.srtt_ns <- r;
     t.rttvar_ns <- r /. 2.
@@ -22,16 +22,16 @@ let observe t sample =
   t.samples <- t.samples + 1
 
 let srtt t =
-  if t.samples = 0 then None else Some (Time.of_ns (Int64.of_float t.srtt_ns))
+  if t.samples = 0 then None else Some (Time.of_ns (int_of_float t.srtt_ns))
 
 let rttvar t =
-  if t.samples = 0 then None else Some (Time.of_ns (Int64.of_float t.rttvar_ns))
+  if t.samples = 0 then None else Some (Time.of_ns (int_of_float t.rttvar_ns))
 
 let rto t =
   if t.samples = 0 then t.params.Tcp_params.initial_rto
   else begin
     let raw = t.srtt_ns +. Float.max 1.0 (4. *. t.rttvar_ns) in
-    let raw_t = Time.of_ns (Int64.of_float raw) in
+    let raw_t = Time.of_ns (int_of_float raw) in
     Time.min t.params.Tcp_params.max_rto
       (Time.max t.params.Tcp_params.min_rto raw_t)
   end

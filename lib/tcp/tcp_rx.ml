@@ -19,7 +19,8 @@ type t = {
   mutable pending : int;  (* in-order segments not yet acknowledged *)
   mutable pending_ece : bool;
   mutable reply_ports : (int * int) option;  (* (src, dst) of our ACKs *)
-  mutable delack_timer : Scheduler.handle option;
+  (* Re-armable delayed-ACK timer, allocated on first arm and reused. *)
+  mutable delack_timer : Scheduler.Timer.t option;
 }
 
 let create ?(params = Tcp_params.default) ~host ~peer ~conn ~subflow ~on_data () =
@@ -50,10 +51,13 @@ let sack_blocks t =
 
 let cancel_delack t =
   match t.delack_timer with
-  | Some h ->
-    Scheduler.cancel h;
-    t.delack_timer <- None
+  | Some tm -> Scheduler.Timer.cancel tm
   | None -> ()
+
+let delack_pending t =
+  match t.delack_timer with
+  | Some tm -> Scheduler.Timer.is_pending tm
+  | None -> false
 
 let emit_ack t ~src_port ~dst_port ~ece ~dup_seen ~flags =
   let tcp =
@@ -88,8 +92,20 @@ let flush_ack t ~ece ~dup_seen =
     emit_ack t ~src_port ~dst_port ~ece ~dup_seen ~flags:Packet.pure_ack_flags
 
 let on_delack_timeout t =
-  t.delack_timer <- None;
   if t.pending > 0 then flush_ack t ~ece:t.pending_ece ~dup_seen:false
+
+let arm_delack t =
+  let tm =
+    match t.delack_timer with
+    | Some tm -> tm
+    | None ->
+      let tm =
+        Scheduler.Timer.create (Host.sched t.host) (fun () -> on_delack_timeout t)
+      in
+      t.delack_timer <- Some tm;
+      tm
+  in
+  Scheduler.Timer.schedule_after tm t.params.Tcp_params.delack_timeout
 
 let handle t pkt =
   let tcp = pkt.Packet.tcp in
@@ -116,11 +132,7 @@ let handle t pkt =
       t.pending_ece <- t.pending_ece || pkt.Packet.ce;
       if t.pending >= t.params.Tcp_params.delayed_ack then
         flush_ack t ~ece:t.pending_ece ~dup_seen:false
-      else if t.delack_timer = None then
-        t.delack_timer <-
-          Some
-            (Scheduler.schedule_after (Host.sched t.host)
-               t.params.Tcp_params.delack_timeout (fun () -> on_delack_timeout t))
+      else if not (delack_pending t) then arm_delack t
     end
     else begin
       (* Out-of-order, duplicate, or hole-filling arrival: acknowledge

@@ -70,7 +70,9 @@ type t = {
   mutable dup_acks : int;
   mutable recovery : recovery;
   mutable recover_point : int;
-  mutable rto_handle : Scheduler.handle option;
+  (* Re-armable RTO timer: allocated (entry + closure) on first arm,
+     then reused for the connection's whole life. *)
+  mutable rto_timer : Scheduler.Timer.t option;
   mutable backoff : int;
   mutable syn_retries : int;
   mutable cc : Cong.t;
@@ -129,7 +131,7 @@ let create ~host ~peer ~conn ~subflow ~params ~src_port ~dst_port ~source ~cc
       dup_acks = 0;
       recovery = Normal;
       recover_point = 0;
-      rto_handle = None;
+      rto_timer = None;
       backoff = 0;
       syn_retries = 0;
       cc = { Cong.name = "uninitialised"; on_ack = (fun ~acked:_ ~ece:_ -> ()); on_loss = (fun _ -> ()); gauges = [] };
@@ -171,11 +173,14 @@ let current_rto t =
   Time.min backed t.params.Tcp_params.max_rto
 
 let cancel_rto t =
-  match t.rto_handle with
-  | Some h ->
-    Scheduler.cancel h;
-    t.rto_handle <- None
+  match t.rto_timer with
+  | Some tm -> Scheduler.Timer.cancel tm
   | None -> ()
+
+let rto_pending t =
+  match t.rto_timer with
+  | Some tm -> Scheduler.Timer.is_pending tm
+  | None -> false
 
 let emit_segment t seg =
   let tcp =
@@ -278,12 +283,17 @@ let clear_sack_marks t =
   t.sacked_bytes <- 0
 
 let rec arm_rto t =
-  cancel_rto t;
-  let delay = current_rto t in
-  t.rto_handle <- Some (Scheduler.schedule_after t.sched delay (fun () -> on_rto t))
+  let tm =
+    match t.rto_timer with
+    | Some tm -> tm
+    | None ->
+      let tm = Scheduler.Timer.create t.sched (fun () -> on_rto t) in
+      t.rto_timer <- Some tm;
+      tm
+  in
+  Scheduler.Timer.schedule_after tm (current_rto t)
 
 and on_rto t =
-  t.rto_handle <- None;
   match t.state with
   | Syn_sent ->
     t.syn_retries <- t.syn_retries + 1;
@@ -346,7 +356,7 @@ let try_send t =
           Queue.push seg t.segs;
           t.snd_nxt <- t.snd_nxt + len;
           emit_segment t seg;
-          if t.rto_handle = None then arm_rto t
+          if not (rto_pending t) then arm_rto t
     done
   end
 

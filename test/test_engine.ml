@@ -12,9 +12,9 @@ let check_bool = Alcotest.(check bool)
 (* Sim_time *)
 
 let test_time_constructors () =
-  check_int "1us in ns" 1000 (Int64.to_int (Time.to_ns (Time.of_us 1.)));
-  check_int "1ms in ns" 1_000_000 (Int64.to_int (Time.to_ns (Time.of_ms 1.)));
-  check_int "1s in ns" 1_000_000_000 (Int64.to_int (Time.to_ns (Time.of_sec 1.)));
+  check_int "1us in ns" 1000 (Time.to_ns (Time.of_us 1.));
+  check_int "1ms in ns" 1_000_000 (Time.to_ns (Time.of_ms 1.));
+  check_int "1s in ns" 1_000_000_000 (Time.to_ns (Time.of_sec 1.));
   Alcotest.(check (float 1e-9)) "round trip sec" 2.5 (Time.to_sec (Time.of_sec 2.5))
 
 let test_time_arithmetic () =
@@ -35,10 +35,10 @@ let test_time_scale () =
 
 let test_time_negative_rejected () =
   Alcotest.check_raises "of_ns negative" (Invalid_argument "Sim_time.of_ns: negative")
-    (fun () -> ignore (Time.of_ns (-1L)))
+    (fun () -> ignore (Time.of_ns (-1)))
 
 let test_time_pp () =
-  Alcotest.(check string) "ns" "500ns" (Time.to_string (Time.of_ns 500L));
+  Alcotest.(check string) "ns" "500ns" (Time.to_string (Time.of_ns 500));
   Alcotest.(check string) "ms" "1.500ms" (Time.to_string (Time.of_ms 1.5))
 
 (* ------------------------------------------------------------------ *)
@@ -46,9 +46,9 @@ let test_time_pp () =
 
 let test_heap_ordering () =
   let h = Event_heap.create () in
-  Event_heap.push h ~time:30L ~seq:0 "c";
-  Event_heap.push h ~time:10L ~seq:1 "a";
-  Event_heap.push h ~time:20L ~seq:2 "b";
+  Event_heap.push h ~time:30 ~seq:0 "c";
+  Event_heap.push h ~time:10 ~seq:1 "a";
+  Event_heap.push h ~time:20 ~seq:2 "b";
   let pop () =
     match Event_heap.pop h with Some (_, _, v) -> v | None -> "?"
   in
@@ -60,7 +60,7 @@ let test_heap_ordering () =
 let test_heap_fifo_ties () =
   let h = Event_heap.create () in
   for i = 0 to 9 do
-    Event_heap.push h ~time:5L ~seq:i i
+    Event_heap.push h ~time:5 ~seq:i i
   done;
   let order = List.init 10 (fun _ ->
       match Event_heap.pop h with Some (_, _, v) -> v | None -> -1)
@@ -75,7 +75,7 @@ let test_heap_empty () =
 
 let test_heap_clear () =
   let h = Event_heap.create () in
-  Event_heap.push h ~time:1L ~seq:0 ();
+  Event_heap.push h ~time:1 ~seq:0 ();
   Event_heap.clear h;
   check_int "cleared" 0 (Event_heap.length h)
 
@@ -84,7 +84,7 @@ let prop_heap_sorts =
     QCheck.(list (int_bound 1000))
     (fun times ->
       let h = Event_heap.create () in
-      List.iteri (fun i t -> Event_heap.push h ~time:(Int64.of_int t) ~seq:i t) times;
+      List.iteri (fun i t -> Event_heap.push h ~time:t ~seq:i t) times;
       let rec drain acc =
         match Event_heap.pop h with
         | None -> List.rev acc
@@ -93,6 +93,105 @@ let prop_heap_sorts =
       let popped = drain [] in
       popped = List.sort compare popped
       && List.length popped = List.length times)
+
+let test_heap_compact () =
+  let h = Event_heap.create () in
+  for i = 0 to 99 do
+    Event_heap.push h ~time:((i * 7919) mod 1000) ~seq:i i
+  done;
+  Event_heap.compact h ~keep:(fun ~time:_ ~seq:_ v -> v mod 3 = 0);
+  check_int "survivors" 34 (Event_heap.length h);
+  let rec drain acc =
+    match Event_heap.pop h with
+    | None -> List.rev acc
+    | Some (t, s, _) -> drain ((t, s) :: acc)
+  in
+  let keys = drain [] in
+  check_bool "still sorted after compact" true (keys = List.sort compare keys)
+
+(* ------------------------------------------------------------------ *)
+(* Timer_wheel: equivalence with a plain sorted structure *)
+
+module Timer_wheel = Sim_engine.Timer_wheel
+
+(* Drive a wheel (with the scheduler's heap-handoff protocol) and a
+   reference list through the same random schedule/cancel/advance
+   trace; both must fire the same events in the same (time, seq)
+   order. Times are spread across wheel levels by shifting, so the
+   trace exercises cascades, clamping and the level-0 cutoff. *)
+let prop_wheel_matches_heap =
+  QCheck.Test.make ~name:"wheel + handoff heap matches sorted reference"
+    ~count:200
+    QCheck.(list (pair (int_bound 4000) bool))
+    (fun trace ->
+      let wheel = Timer_wheel.create () in
+      let heap = Event_heap.create () in
+      let fired_wheel = ref [] in
+      let emit (e : Timer_wheel.entry) =
+        (* Late emission would be a wheel bug: the slot containing the
+           entry must not start after the entry's exact due time. *)
+        assert (Timer_wheel.cursor_ns wheel <= e.time);
+        e.state <- Timer_wheel.st_heap;
+        Event_heap.push heap ~time:e.time ~seq:e.seq e
+      in
+      let reference = ref [] in
+      let entries =
+        List.mapi
+          (fun i (t0, cancel) ->
+            (* Spread times across levels: every other event is shifted
+               up 8 bits so some land beyond level 0's span. *)
+            let time = 2048 + (t0 lsl (8 * (i mod 2))) in
+            let e = Timer_wheel.make_entry ignore in
+            e.time <- time;
+            e.seq <- i;
+            if not (Timer_wheel.schedule wheel e) then begin
+              e.state <- Timer_wheel.st_heap;
+              Event_heap.push heap ~time ~seq:i e
+            end;
+            (e, time, cancel))
+          trace
+      in
+      (* Cancel the marked ones: wheel residents unlink in O(1);
+         heap residents become tombstones exactly as in the
+         scheduler's [detach]. *)
+      List.iter
+        (fun ((e : Timer_wheel.entry), time, cancel) ->
+          if cancel then begin
+            if e.state = Timer_wheel.st_wheel then Timer_wheel.cancel wheel e
+            else if e.state = Timer_wheel.st_heap then
+              e.state <- Timer_wheel.st_idle
+          end
+          else reference := (time, e.seq) :: !reference)
+        entries;
+      (* Advance in uneven steps well past the largest time. *)
+      let horizon = 2048 + (4000 lsl 8) + 10_000 in
+      let step = ref 0 in
+      while Timer_wheel.cursor_ns wheel < horizon do
+        let upto =
+          min horizon (Timer_wheel.cursor_ns wheel + 700 + (!step * 1013))
+        in
+        incr step;
+        Timer_wheel.advance wheel ~upto ~emit;
+        (* Drain everything the heap holds up to the cursor, as the
+           scheduler's run loop would. *)
+        while
+          Event_heap.top_time heap <> max_int
+          && Event_heap.top_time heap <= Timer_wheel.cursor_ns wheel
+        do
+          let t = Event_heap.top_time heap in
+          let s = Event_heap.top_seq heap in
+          let (e : Timer_wheel.entry) = Event_heap.top_value heap in
+          Event_heap.drop heap;
+          if e.state = Timer_wheel.st_heap && e.seq = s then begin
+            e.state <- Timer_wheel.st_fired;
+            fired_wheel := (t, s) :: !fired_wheel
+          end
+        done
+      done;
+      (* Anything still in the heap is due after the horizon — but the
+         horizon exceeds every event time, so both sides must be done. *)
+      let expected = List.sort compare (List.rev !reference) in
+      List.rev !fired_wheel = expected)
 
 (* ------------------------------------------------------------------ *)
 (* Scheduler *)
@@ -123,7 +222,7 @@ let test_scheduler_cancel () =
   let s = Scheduler.create () in
   let fired = ref false in
   let h = Scheduler.schedule_after s (Time.of_ms 1.) (fun () -> fired := true) in
-  Scheduler.cancel h;
+  Scheduler.cancel s h;
   Scheduler.run s;
   check_bool "cancelled did not fire" false !fired;
   check_bool "not pending" false (Scheduler.is_pending h)
@@ -180,6 +279,127 @@ let test_scheduler_counts () =
   check_int "pending" 2 (Scheduler.pending_events s);
   Scheduler.run s;
   check_int "processed" 2 (Scheduler.events_processed s)
+
+(* Random schedule/cancel trace against a sorted-list model: the
+   scheduler (wheel + heap + tombstones underneath) must fire exactly
+   the non-cancelled events in (time, insertion) order. Cancels happen
+   during the run, from an event scheduled earlier than the victim. *)
+let prop_scheduler_matches_model =
+  QCheck.Test.make ~name:"scheduler matches sorted-list model" ~count:200
+    QCheck.(list (pair (int_bound 5_000_000) (option (int_bound 4_999_999))))
+    (fun trace ->
+      let s = Scheduler.create () in
+      let fired = ref [] in
+      let handles =
+        List.mapi
+          (fun i (t_ns, cancel_at) ->
+          let h =
+            Scheduler.schedule_at s (Time.of_ns t_ns) (fun () ->
+                fired := (t_ns, i) :: !fired)
+          in
+          (h, t_ns, cancel_at, i))
+          trace
+      in
+      (* A cancel only counts when it strictly precedes the victim's
+         due time; otherwise the victim fires first and the cancel is
+         a no-op on an already-fired event. *)
+      let expected = ref [] in
+      List.iter
+        (fun (h, t_ns, cancel_at, i) ->
+          match cancel_at with
+          | Some c_ns when c_ns < t_ns ->
+            ignore
+              (Scheduler.schedule_at s (Time.of_ns c_ns) (fun () ->
+                   Scheduler.cancel s h))
+          | Some _ | None -> expected := (t_ns, i) :: !expected)
+        handles;
+      Scheduler.run s;
+      List.rev !fired = List.sort compare (List.rev !expected))
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler.Timer *)
+
+let test_timer_cancel_rearm () =
+  let s = Scheduler.create () in
+  let count = ref 0 in
+  let tm = Scheduler.Timer.create s (fun () -> incr count) in
+  (* Cancel before first arm is a no-op; a cancelled arm never fires. *)
+  Scheduler.Timer.cancel tm;
+  Scheduler.Timer.schedule_after tm (Time.of_ms 1.);
+  check_bool "pending after arm" true (Scheduler.Timer.is_pending tm);
+  Scheduler.Timer.cancel tm;
+  check_bool "idle after cancel" false (Scheduler.Timer.is_pending tm);
+  Scheduler.run s;
+  check_int "cancelled arm never fired" 0 !count;
+  (* The closure survives cancel: re-arm still works. *)
+  Scheduler.Timer.schedule_after tm (Time.of_ms 1.);
+  Scheduler.run s;
+  check_int "re-arm after cancel fires" 1 !count;
+  (* Re-arm supersedes: only the latest deadline fires. *)
+  Scheduler.Timer.schedule_after tm (Time.of_ms 5.);
+  Scheduler.Timer.schedule_after tm (Time.of_ms 1.);
+  Scheduler.run s;
+  check_int "superseded arm fires once" 2 !count
+
+let test_timer_seq_interleaving () =
+  (* A Timer consumes one seq per arm, exactly like schedule_at: armed
+     before a same-time one-shot, it fires first; re-armed after, it
+     fires second. *)
+  let s = Scheduler.create () in
+  let log = ref [] in
+  let tm = Scheduler.Timer.create s (fun () -> log := "timer" :: !log) in
+  Scheduler.Timer.schedule_at tm (Time.of_ms 1.);
+  ignore
+    (Scheduler.schedule_at s (Time.of_ms 1.) (fun () ->
+         log := "oneshot" :: !log));
+  Scheduler.run s;
+  Scheduler.Timer.schedule_at tm (Time.of_ms 2.);
+  ignore
+    (Scheduler.schedule_at s (Time.of_ms 2.) (fun () ->
+         log := "oneshot2" :: !log));
+  (* Re-arm after the one-shot: the timer moves behind it. *)
+  Scheduler.Timer.schedule_at tm (Time.of_ms 2.);
+  Scheduler.run s;
+  Alcotest.(check (list string))
+    "seq order across arms"
+    [ "timer"; "oneshot"; "oneshot2"; "timer" ]
+    (List.rev !log)
+
+let test_scheduler_tombstones_and_compaction () =
+  let s = Scheduler.create () in
+  (* 200 events within the level-0 cutoff (< 1024 ns), so they all land
+     in the heap; cancelling all but every 10th leaves 180 tombstones,
+     which must trip compaction (threshold: > 64 and > half the heap). *)
+  let handles =
+    List.init 200 (fun i ->
+        Scheduler.schedule_at s (Time.of_ns (i mod 1000)) ignore)
+  in
+  List.iteri
+    (fun i h -> if i mod 10 <> 0 then Scheduler.cancel s h)
+    handles;
+  check_int "pending counts live only" 20 (Scheduler.pending_events s);
+  check_bool "compaction kept tombstones low" true
+    (Scheduler.cancelled_pending s <= 100);
+  Scheduler.run s;
+  check_int "survivors fired" 20 (Scheduler.events_processed s);
+  check_int "no pending after run" 0 (Scheduler.pending_events s);
+  check_int "no tombstones after run" 0 (Scheduler.cancelled_pending s)
+
+let test_scheduler_far_future () =
+  (* An event beyond the wheel's ~9.8 h span takes the clamp path and
+     re-dispatches as the cursor reaches it; order is preserved. *)
+  let s = Scheduler.create () in
+  let log = ref [] in
+  ignore
+    (Scheduler.schedule_at s (Time.of_sec 50_000.) (fun () ->
+         log := "far" :: !log));
+  ignore
+    (Scheduler.schedule_at s (Time.of_ms 1.) (fun () -> log := "near" :: !log));
+  Scheduler.run s;
+  Alcotest.(check (list string)) "near before far" [ "near"; "far" ]
+    (List.rev !log);
+  Alcotest.(check (float 1e-6))
+    "clock at far event" 50_000. (Time.to_sec (Scheduler.now s))
 
 (* ------------------------------------------------------------------ *)
 (* Rng *)
@@ -325,8 +545,10 @@ let () =
           Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
           Alcotest.test_case "empty" `Quick test_heap_empty;
           Alcotest.test_case "clear" `Quick test_heap_clear;
+          Alcotest.test_case "compact" `Quick test_heap_compact;
           qt prop_heap_sorts;
         ] );
+      ("timer_wheel", [ qt prop_wheel_matches_heap ]);
       ( "scheduler",
         [
           Alcotest.test_case "order and clock" `Quick test_scheduler_order_and_clock;
@@ -337,6 +559,15 @@ let () =
           Alcotest.test_case "past rejected" `Quick test_scheduler_past_rejected;
           Alcotest.test_case "max events" `Quick test_scheduler_max_events;
           Alcotest.test_case "counters" `Quick test_scheduler_counts;
+          Alcotest.test_case "tombstones and compaction" `Quick
+            test_scheduler_tombstones_and_compaction;
+          Alcotest.test_case "far-future clamp" `Quick test_scheduler_far_future;
+          qt prop_scheduler_matches_model;
+        ] );
+      ( "timer",
+        [
+          Alcotest.test_case "cancel and re-arm" `Quick test_timer_cancel_rearm;
+          Alcotest.test_case "seq interleaving" `Quick test_timer_seq_interleaving;
         ] );
       ( "rng",
         [

@@ -150,7 +150,7 @@ let test_rtt_floor_and_cap () =
 let test_rtt_var_tracks_jitter () =
   let e =
     Rtt_estimator.create
-      ~params:{ Tcp_params.default with min_rto = Time.of_ns 1L }
+      ~params:{ Tcp_params.default with min_rto = Time.of_ns 1 }
   in
   List.iter
     (fun ms -> Rtt_estimator.observe e (Time.of_ms ms))
