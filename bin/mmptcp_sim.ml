@@ -1,9 +1,13 @@
-(* Command-line front end: every experiment from DESIGN.md's index is a
-   subcommand, parameterised by scale. *)
+(* Command-line front end, generated from the experiment registry:
+   every subcommand, the `all` body, `--list` and `all --only` derive
+   from Sim_experiments.Registry.all. Adding an experiment touches
+   only its module plus one registry line — nothing here. *)
 
 open Cmdliner
 module Scale = Sim_experiments.Scale
 module Runner = Sim_experiments.Runner
+module Registry = Sim_experiments.Registry
+module Experiment = Sim_experiments.Experiment
 
 let scale_term =
   let k =
@@ -44,11 +48,20 @@ let scale_term =
             "Run at paper scale (k=8, 512 servers, 20000 short flows). Takes \
              tens of minutes; overrides the other scale options.")
   in
-  let make k oversub flows rate seed horizon_s full =
+  let tiny =
+    Arg.(
+      value & flag
+      & info [ "tiny" ]
+          ~doc:
+            "Run at smoke scale (k=4 2:1, 40 flows, 2 s horizon — the CI \
+             preset); overrides the other scale options.")
+  in
+  let make k oversub flows rate seed horizon_s full tiny =
     if full then Scale.full
+    else if tiny then Scale.tiny
     else { Scale.k; oversub; flows; rate; seed; horizon_s }
   in
-  Term.(const make $ k $ oversub $ flows $ rate $ seed $ horizon $ full)
+  Term.(const make $ k $ oversub $ flows $ rate $ seed $ horizon $ full $ tiny)
 
 let jobs_conv =
   let parse s =
@@ -65,86 +78,112 @@ let jobs_term =
     & opt jobs_conv (Runner.default_jobs ())
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
-          "Run an experiment's independent simulations on $(docv) domains. \
-           Output is identical for any value; the default is the recommended \
-           domain count minus one.")
+          "Run the independent simulations on $(docv) domains. Output is \
+           identical for any value; the default is the recommended domain \
+           count minus one.")
 
-let experiment name doc f =
-  let run jobs scale =
-    f ~jobs scale;
-    0
-  in
-  Cmd.v (Cmd.info name ~doc) Term.(const run $ jobs_term $ scale_term)
-
-let csv_term =
+let out_term =
   Arg.(
     value
-    & opt (some dir) None
-    & info [ "csv" ] ~docv:"DIR"
-        ~doc:"Also write the figure's data series as CSV into $(docv).")
+    & opt (some string) None
+    & info [ "out" ] ~docv:"DIR"
+        ~doc:
+          "Write each experiment's data series as CSV and JSON plus a run \
+           manifest (scale, seeds, per-point wall-clock, git describe) into \
+           $(docv), created if missing.")
 
-let fig1a_cmd =
-  let lo = Arg.(value & opt int 1 & info [ "lo" ] ~doc:"Smallest subflow count.") in
-  let hi = Arg.(value & opt int 9 & info [ "hi" ] ~doc:"Largest subflow count.") in
-  let run lo hi csv_dir jobs scale =
-    Sim_experiments.Fig1a.run ~lo ~hi ?csv_dir ~jobs scale;
-    0
+(* Best-effort `git describe` for the manifest; None outside a work
+   tree or without git. *)
+let git_describe () =
+  try
+    let ic =
+      Unix.open_process_in "git describe --always --dirty 2>/dev/null"
+    in
+    let line = try Some (String.trim (input_line ic)) with End_of_file -> None in
+    match (Unix.close_process_in ic, line) with
+    | Unix.WEXITED 0, Some l when l <> "" -> Some l
+    | _ -> None
+  with _ -> None
+
+let run_registry experiments jobs out scale =
+  Registry.run ~clock:Unix.gettimeofday ?out ?git:(git_describe ()) ~jobs scale
+    experiments;
+  0
+
+let experiment_cmd e =
+  let run jobs out scale = run_registry [ e ] jobs out scale in
+  Cmd.v
+    (Cmd.info (Experiment.name e) ~doc:(Experiment.doc e))
+    Term.(const run $ jobs_term $ out_term $ scale_term)
+
+let only_conv =
+  let parse s =
+    let requested =
+      String.split_on_char ',' s |> List.map String.trim
+      |> List.filter (fun n -> n <> "")
+    in
+    if requested = [] then Error (`Msg "empty experiment list")
+    else
+      match Registry.select requested with
+      | Error unknown ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown experiment %s (run `mmptcp_sim --list`)"
+               unknown))
+      | Ok _ -> Ok requested
+  in
+  Arg.conv
+    (parse, fun ppf ns -> Format.pp_print_string ppf (String.concat "," ns))
+
+let all_cmd =
+  let only =
+    Arg.(
+      value
+      & opt (some only_conv) None
+      & info [ "only" ] ~docv:"NAME,..."
+          ~doc:
+            "Restrict to a comma-separated subset of experiments; they run \
+             and render in registry order regardless of the order given.")
+  in
+  let run only jobs out scale =
+    let experiments =
+      match only with
+      | None -> Registry.all
+      | Some requested -> (
+        match Registry.select requested with
+        | Ok es -> es
+        | Error _ -> assert false (* validated by only_conv *))
+    in
+    run_registry experiments jobs out scale
   in
   Cmd.v
-    (Cmd.info "fig1a" ~doc:"Figure 1(a): MPTCP short-flow FCT vs subflow count.")
-    Term.(const run $ lo $ hi $ csv_term $ jobs_term $ scale_term)
+    (Cmd.info "all"
+       ~doc:
+         "Run every experiment (or an --only subset) on one shared job \
+          queue: all simulation points fan out together with no barrier \
+          between experiments, and results render in registry order.")
+    Term.(const run $ only $ jobs_term $ out_term $ scale_term)
 
-let fig1bc_cmd name doc f =
-  let run csv_dir jobs scale =
-    f ?csv_dir ~jobs scale;
-    0
+let cmds = List.map experiment_cmd Registry.all @ [ all_cmd ]
+
+(* `mmptcp_sim --list`: the registry, one name + doc per line. *)
+let default_term =
+  let list_flag =
+    Arg.(
+      value & flag
+      & info [ "list" ] ~doc:"List the registered experiments and exit.")
   in
-  Cmd.v (Cmd.info name ~doc) Term.(const run $ csv_term $ jobs_term $ scale_term)
-
-let cmds =
-  [
-    fig1a_cmd;
-    fig1bc_cmd "fig1b" "Figure 1(b): per-flow FCT scatter, MPTCP 8 subflows."
-      (fun ?csv_dir ~jobs s ->
-        Sim_experiments.Fig1bc.run_fig1b ?csv_dir ~jobs s);
-    fig1bc_cmd "fig1c" "Figure 1(c): per-flow FCT scatter, MMPTCP."
-      (fun ?csv_dir ~jobs s ->
-        Sim_experiments.Fig1bc.run_fig1c ?csv_dir ~jobs s);
-    experiment "table1" "Text claims: MMPTCP vs MPTCP summary table."
-      (fun ~jobs s -> Sim_experiments.Summary_table.run ~jobs s);
-    experiment "ext-switching" "E1: phase-switching strategies."
-      (fun ~jobs s -> Sim_experiments.Ext_switching.run ~jobs s);
-    experiment "ext-load" "E2: network-load sweep."
-      (fun ~jobs s -> Sim_experiments.Ext_load.run ~jobs s);
-    experiment "ext-hotspot" "E3: hotspot traffic matrices."
-      (fun ~jobs s -> Sim_experiments.Ext_hotspot.run ~jobs s);
-    experiment "ext-multihomed" "E4: dual-homed FatTree."
-      (fun ~jobs s -> Sim_experiments.Ext_multihomed.run ~jobs s);
-    experiment "ext-coexist" "E5: co-existence fairness."
-      (fun ~jobs s -> Sim_experiments.Ext_coexist.run ~jobs s);
-    experiment "ext-dupack" "E6: dup-ACK threshold ablation."
-      (fun ~jobs s -> Sim_experiments.Ext_dupack.run ~jobs s);
-    experiment "ext-topologies" "E7: FatTree vs VL2-style Clos."
-      (fun ~jobs s -> Sim_experiments.Ext_topologies.run ~jobs s);
-    experiment "ext-matrices" "E8: traffic matrices."
-      (fun ~jobs s -> Sim_experiments.Ext_matrices.run ~jobs s);
-    experiment "ext-sack" "E9: NewReno vs SACK loss recovery."
-      (fun ~jobs s -> Sim_experiments.Ext_sack.run ~jobs s);
-    experiment "all" "Run every experiment in sequence." (fun ~jobs scale ->
-        Sim_experiments.Fig1a.run ~jobs scale;
-        Sim_experiments.Fig1bc.run_fig1b ~jobs scale;
-        Sim_experiments.Fig1bc.run_fig1c ~jobs scale;
-        Sim_experiments.Summary_table.run ~jobs scale;
-        Sim_experiments.Ext_switching.run ~jobs scale;
-        Sim_experiments.Ext_load.run ~jobs scale;
-        Sim_experiments.Ext_hotspot.run ~jobs scale;
-        Sim_experiments.Ext_multihomed.run ~jobs scale;
-        Sim_experiments.Ext_coexist.run ~jobs scale;
-        Sim_experiments.Ext_dupack.run ~jobs scale;
-        Sim_experiments.Ext_topologies.run ~jobs scale;
-        Sim_experiments.Ext_matrices.run ~jobs scale;
-        Sim_experiments.Ext_sack.run ~jobs scale);
-  ]
+  let act list =
+    if list then begin
+      List.iter
+        (fun e ->
+          Printf.printf "%-16s %s\n" (Experiment.name e) (Experiment.doc e))
+        Registry.all;
+      `Ok 0
+    end
+    else `Help (`Pager, None)
+  in
+  Term.(ret (const act $ list_flag))
 
 (* GC settings, pinned from measurement rather than left to the
    environment. On the fig1a suite the allocation-light event path
@@ -163,4 +202,4 @@ let () =
         "Packet-level reproduction of 'Short vs. Long Flows: A Battle That \
          Both Can Win' (SIGCOMM 2015)."
   in
-  exit (Cmd.eval' (Cmd.group info cmds))
+  exit (Cmd.eval' (Cmd.group ~default:default_term info cmds))

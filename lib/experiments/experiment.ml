@@ -1,0 +1,93 @@
+(* Experiments as data: the spec is what a module declares, an
+   instance is the spec bound to a scale with slots for its results.
+   The registry flattens many instances' jobs into one par_map call;
+   result and timing slots are written on worker domains and read
+   after the pool join (the join publishes the writes, exactly the
+   argument Runner.par_map makes for its own result array). *)
+
+type ('p, 'r) spec = {
+  name : string;
+  doc : string;
+  points : Scale.t -> 'p list;
+  point_label : 'p -> string;
+  run_point : Scale.t -> 'p -> 'r;
+  render : Scale.t -> ('p * 'r) list -> unit;
+  sinks : Scale.t -> ('p * 'r) list -> Sink.table list;
+}
+
+type t = E : ('p, 'r) spec -> t
+
+let make ~name ~doc ~points ~point_label ~run_point ~render
+    ?(sinks = fun _ _ -> []) () =
+  E { name; doc; points; point_label; run_point; render; sinks }
+
+let name (E s) = s.name
+let doc (E s) = s.doc
+
+type job = { j_label : string; j_run : unit -> unit }
+
+let job_label j = j.j_label
+let run_job j = j.j_run ()
+
+type instance = {
+  i_name : string;
+  i_jobs : job list;
+  i_finish : unit -> Sink.table list;
+  i_point_seconds : unit -> (string * float) list;
+}
+
+let instance_name i = i.i_name
+let instance_jobs i = i.i_jobs
+let finish i = i.i_finish ()
+let point_seconds i = i.i_point_seconds ()
+
+let instantiate ?(clock = fun () -> 0.) (E s) scale =
+  let points = Array.of_list (s.points scale) in
+  let n = Array.length points in
+  let labels = Array.map s.point_label points in
+  let results = Array.make n None in
+  let seconds = Array.make n 0. in
+  let job i =
+    {
+      j_label = labels.(i);
+      j_run =
+        (fun () ->
+          let t0 = clock () in
+          let r =
+            try s.run_point scale points.(i)
+            with e ->
+              let bt = Printexc.get_raw_backtrace () in
+              Printexc.raise_with_backtrace
+                (Runner.Point_failed
+                   { experiment = s.name; point = labels.(i); exn = e })
+                bt
+          in
+          seconds.(i) <- clock () -. t0;
+          results.(i) <- Some r);
+    }
+  in
+  let pairs () =
+    Array.to_list
+      (Array.mapi
+         (fun i p ->
+           match results.(i) with
+           | Some r -> (p, r)
+           | None ->
+             invalid_arg
+               (Printf.sprintf
+                  "Experiment.finish: point [%s] of %s has not run" labels.(i)
+                  s.name))
+         points)
+  in
+  {
+    i_name = s.name;
+    i_jobs = List.init n job;
+    i_finish =
+      (fun () ->
+        let prs = pairs () in
+        s.render scale prs;
+        s.sinks scale prs);
+    i_point_seconds =
+      (fun () ->
+        Array.to_list (Array.mapi (fun i l -> (l, seconds.(i))) labels));
+  }

@@ -1,0 +1,86 @@
+(** Experiments as first-class values.
+
+    Every paper artefact and extension experiment is the same shape: a
+    list of independent simulation {e points} swept from a {!Scale.t},
+    a per-point runner, and a renderer that prints the artefact from
+    the completed [(point, result)] pairs. Reifying that shape lets
+    {!Registry} flatten the points of {e many} experiments into one
+    shared job queue ([all --jobs N] with no inter-experiment
+    barriers) while rendering strictly in registry order — stdout is
+    byte-identical at every job count because nothing prints until
+    every point of an experiment has finished.
+
+    A new experiment is its own module exposing a [t] built with
+    {!make}, plus one line in {!Registry.all}; the CLI, [all], [--list]
+    and the sink artifacts all derive from the registry. *)
+
+type ('p, 'r) spec = {
+  name : string;  (** CLI subcommand and artifact basename, e.g. ["fig1a"] *)
+  doc : string;  (** one-line description for [--list] and CLI help *)
+  points : Scale.t -> 'p list;  (** the sweep, in render order *)
+  point_label : 'p -> string;  (** stable label for errors and the manifest *)
+  run_point : Scale.t -> 'p -> 'r;
+      (** one independent simulation; runs on a worker domain *)
+  render : Scale.t -> ('p * 'r) list -> unit;
+      (** print the artefact via {!Report}; called after the whole
+          sweep completed, pairs in [points] order *)
+  sinks : Scale.t -> ('p * 'r) list -> Sink.table list;
+      (** declarative artifact tables for [--out DIR]; [fun _ _ -> []]
+          if the experiment exports nothing *)
+}
+
+type t = E : ('p, 'r) spec -> t  (** packed: point/result types are internal *)
+
+val make :
+  name:string ->
+  doc:string ->
+  points:(Scale.t -> 'p list) ->
+  point_label:('p -> string) ->
+  run_point:(Scale.t -> 'p -> 'r) ->
+  render:(Scale.t -> ('p * 'r) list -> unit) ->
+  ?sinks:(Scale.t -> ('p * 'r) list -> Sink.table list) ->
+  unit ->
+  t
+
+val name : t -> string
+val doc : t -> string
+
+(** {2 Execution}
+
+    An {!instance} is an experiment bound to a scale: its points have
+    become labelled jobs whose results accumulate inside the instance.
+    The caller fans the jobs of any number of instances over one
+    {!Runner.par_map} submission, then calls {!finish} on each
+    instance in registry order. *)
+
+type job
+
+val job_label : job -> string
+val run_job : job -> unit
+(** Run the point on the calling domain, stashing its result and
+    duration in the owning instance. Raises {!Runner.Point_failed}
+    around any escaping exception. *)
+
+type instance
+
+val instantiate : ?clock:(unit -> float) -> t -> Scale.t -> instance
+(** [clock] (a monotonic-enough seconds source, e.g.
+    [Unix.gettimeofday] injected by the executable — library code
+    must not read the wall clock, simlint D002) prices each point for
+    the manifest; the default clock makes every duration 0. *)
+
+val instance_name : instance -> string
+
+val instance_jobs : instance -> job list
+(** In [points] order. Jobs may run on any domain in any order; the
+    {!Domain_pool} join gives the happens-before edge that makes
+    their writes visible to {!finish}. *)
+
+val finish : instance -> Sink.table list
+(** Render the experiment (prints via {!Report}) and return its sink
+    tables. Must be called after every job of the instance has run —
+    [Invalid_argument] otherwise. *)
+
+val point_seconds : instance -> (string * float) list
+(** Per-point (label, duration) as measured by [clock], in [points]
+    order; meaningful only after the jobs ran. *)

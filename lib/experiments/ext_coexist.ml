@@ -13,10 +13,11 @@ let jain_index xs =
     if sq = 0. then 1. else s *. s /. (n *. sq)
   end
 
-let run ?(jobs = 1) scale =
-  (* A single three-flow simulation: nothing to fan out. *)
-  ignore (jobs : int);
-  Report.header "E5: co-existence of TCP, MPTCP and MMPTCP on one bottleneck";
+let names = [ "tcp"; "mptcp-8"; "mmptcp" ]
+
+(* One three-flow bottleneck simulation; the per-protocol goodputs are
+   the whole result. *)
+let run_bottleneck scale =
   let sched = Scheduler.create () in
   let net =
     Dumbbell.create ~sched
@@ -41,13 +42,15 @@ let run ?(jobs = 1) scale =
   in
   Scheduler.run ~until:(Time.of_sec duration) sched;
   let goodput bytes = float_of_int bytes *. 8. /. duration /. 1e6 in
-  let rates =
-    [|
-      goodput (Sim_tcp.Flow.bytes_received tcp_flow);
-      goodput (Sim_mptcp.Mptcp_conn.bytes_received mptcp_conn);
-      goodput (Mmptcp.Mmptcp_conn.bytes_received mmptcp_conn);
-    |]
-  in
+  [|
+    goodput (Sim_tcp.Flow.bytes_received tcp_flow);
+    goodput (Sim_mptcp.Mptcp_conn.bytes_received mptcp_conn);
+    goodput (Mmptcp.Mmptcp_conn.bytes_received mmptcp_conn);
+  |]
+
+let render _scale pairs =
+  let rates = match pairs with [ ((), r) ] -> r | _ -> assert false in
+  Report.header "E5: co-existence of TCP, MPTCP and MMPTCP on one bottleneck";
   let table = Table.create ~columns:[ "protocol"; "goodput(Mb/s)"; "share" ] in
   let total = Array.fold_left ( +. ) 0. rates in
   List.iteri
@@ -58,7 +61,29 @@ let run ?(jobs = 1) scale =
           Printf.sprintf "%.1f" rates.(i);
           Printf.sprintf "%.1f%%" (100. *. rates.(i) /. Float.max total 1e-9);
         ])
-    [ "tcp"; "mptcp-8"; "mmptcp" ];
+    names;
   Report.table table;
   Report.printf "Jain fairness index: %.3f (1.0 = perfectly fair)\n"
     (jain_index rates)
+
+let sinks _scale pairs =
+  let rates = match pairs with [ ((), r) ] -> r | _ -> assert false in
+  let total = Array.fold_left ( +. ) 0. rates in
+  [
+    Sink.table ~name:"ext-coexist"
+      ~columns:
+        [
+          ("protocol", fun (name, _) -> Sink.str name);
+          ("goodput_mbps", fun (_, rate) -> Sink.float rate);
+          ( "share",
+            fun (_, rate) -> Sink.float (rate /. Float.max total 1e-9) );
+        ]
+      (List.mapi (fun i name -> (name, rates.(i))) names);
+  ]
+
+let experiment =
+  Experiment.make ~name:"ext-coexist" ~doc:"E5: co-existence fairness."
+    ~points:(fun _scale -> [ () ])
+    ~point_label:(fun () -> "bottleneck")
+    ~run_point:(fun scale () -> run_bottleneck scale)
+    ~render ~sinks ()

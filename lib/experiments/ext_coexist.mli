@@ -7,7 +7,8 @@
     MMPTCP runs one Reno window in its scatter phase before moving to
     LIA. Prints per-protocol goodput and the Jain fairness index. *)
 
-val run : ?jobs:int -> Scale.t -> unit
+val experiment : Experiment.t
+(** A single simulation point (nothing to fan out). *)
 
 val jain_index : float array -> float
 (** Jain's fairness index: (sum x)^2 / (n * sum x^2); 1 = perfectly

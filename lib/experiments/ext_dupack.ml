@@ -10,7 +10,10 @@ let variants =
     ("static-1000 (no FR)", Strategy.Static 1_000);
   ]
 
-let run ?(jobs = 1) scale =
+let fast_rtxs r =
+  Array.fold_left (fun a f -> a + f.Scenario.fast_rtxs) 0 r.Scenario.shorts
+
+let render scale pairs =
   Report.header "E6: scatter-phase dup-ACK threshold ablation";
   Report.printf "workload: %s\n" (Format.asprintf "%a" Scale.pp scale);
   let table =
@@ -25,21 +28,9 @@ let run ?(jobs = 1) scale =
           "fast-rtx(total)";
         ]
   in
-  Runner.par_map ~jobs
-    (fun (name, dupack) ->
-      let strategy = { Strategy.default with Strategy.dupack } in
-      let cfg =
-        Scale.scenario_config scale ~protocol:(Scenario.Mmptcp_proto strategy)
-      in
-      (name, Scenario.run cfg))
-    variants
-  |> List.iter (fun (name, r) ->
+  List.iter
+    (fun ((name, _), r) ->
       let s = Report.fct_stats r in
-      let frtx =
-        Array.fold_left
-          (fun a f -> a + f.Scenario.fast_rtxs)
-          0 r.Scenario.shorts
-      in
       Table.add_row table
         [
           name;
@@ -47,6 +38,33 @@ let run ?(jobs = 1) scale =
           Table.fms s.Report.sd_ms;
           Table.fms s.Report.p99_ms;
           string_of_int s.Report.flows_with_rto;
-          string_of_int frtx;
-        ]);
+          string_of_int (fast_rtxs r);
+        ])
+    pairs;
   Report.table table
+
+let sinks _scale pairs =
+  [
+    Sink.table ~name:"ext-dupack"
+      ~columns:
+        [
+          ("threshold", fun ((name, _), _) -> Sink.str name);
+          ("mean_ms", fun (_, (s, _)) -> Sink.float s.Report.mean_ms);
+          ("sd_ms", fun (_, (s, _)) -> Sink.float s.Report.sd_ms);
+          ("p99_ms", fun (_, (s, _)) -> Sink.float s.Report.p99_ms);
+          ("rto_flows", fun (_, (s, _)) -> Sink.int s.Report.flows_with_rto);
+          ("fast_rtx_total", fun (_, (_, r)) -> Sink.int (fast_rtxs r));
+        ]
+      (List.map (fun (p, r) -> (p, (Report.fct_stats r, r))) pairs);
+  ]
+
+let experiment =
+  Experiment.make ~name:"ext-dupack"
+    ~doc:"E6: dup-ACK threshold ablation."
+    ~points:(fun _scale -> variants)
+    ~point_label:(fun (name, _) -> name)
+    ~run_point:(fun scale (_, dupack) ->
+      let strategy = { Strategy.default with Strategy.dupack } in
+      Scenario.run
+        (Scale.scenario_config scale ~protocol:(Scenario.Mmptcp_proto strategy)))
+    ~render ~sinks ()

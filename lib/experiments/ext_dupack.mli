@@ -8,4 +8,4 @@
     retransmit disabled). Reported: FCT statistics, RTO-bound flows,
     spurious fast retransmits avoided. *)
 
-val run : ?jobs:int -> Scale.t -> unit
+val experiment : Experiment.t

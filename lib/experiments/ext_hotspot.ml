@@ -2,26 +2,26 @@ module Scenario = Sim_workload.Scenario
 module Traffic_matrix = Sim_workload.Traffic_matrix
 module Table = Sim_stats.Table
 
-let run ?(jobs = 1) scale =
+let protocols =
+  [
+    ("tcp", Scenario.Tcp_proto);
+    ("mptcp-8", Scenario.Mptcp_proto { subflows = 8; coupled = true });
+    ("mmptcp", Scenario.Mmptcp_proto Mmptcp.Strategy.default);
+  ]
+
+let tm = Traffic_matrix.Hotspot { targets = 4; fraction = 0.5 }
+
+let render scale pairs =
   Report.header "E3: hotspot traffic matrices";
   Report.printf "workload: %s, 4 hot targets, 50%% hot senders\n"
     (Format.asprintf "%a" Scale.pp scale);
-  let tm = Traffic_matrix.Hotspot { targets = 4; fraction = 0.5 } in
   let table =
     Table.create
       ~columns:
         [ "protocol"; "mean(ms)"; "sd(ms)"; "p99(ms)"; "rto-flows"; "incomplete" ]
   in
-  Runner.par_map ~jobs
-    (fun (name, protocol) ->
-      let cfg = { (Scale.scenario_config scale ~protocol) with Scenario.tm } in
-      (name, Scenario.run cfg))
-    [
-      ("tcp", Scenario.Tcp_proto);
-      ("mptcp-8", Scenario.Mptcp_proto { subflows = 8; coupled = true });
-      ("mmptcp", Scenario.Mmptcp_proto Mmptcp.Strategy.default);
-    ]
-  |> List.iter (fun (name, r) ->
+  List.iter
+    (fun ((name, _), r) ->
       let s = Report.fct_stats r in
       Table.add_row table
         [
@@ -31,5 +31,29 @@ let run ?(jobs = 1) scale =
           Table.fms s.Report.p99_ms;
           string_of_int s.Report.flows_with_rto;
           string_of_int s.Report.incomplete;
-        ]);
+        ])
+    pairs;
   Report.table table
+
+let sinks _scale pairs =
+  [
+    Sink.table ~name:"ext-hotspot"
+      ~columns:
+        [
+          ("protocol", fun ((name, _), _) -> Sink.str name);
+          ("mean_ms", fun (_, s) -> Sink.float s.Report.mean_ms);
+          ("sd_ms", fun (_, s) -> Sink.float s.Report.sd_ms);
+          ("p99_ms", fun (_, s) -> Sink.float s.Report.p99_ms);
+          ("rto_flows", fun (_, s) -> Sink.int s.Report.flows_with_rto);
+          ("incomplete", fun (_, s) -> Sink.int s.Report.incomplete);
+        ]
+      (List.map (fun (p, r) -> (p, Report.fct_stats r)) pairs);
+  ]
+
+let experiment =
+  Experiment.make ~name:"ext-hotspot" ~doc:"E3: hotspot traffic matrices."
+    ~points:(fun _scale -> protocols)
+    ~point_label:(fun (name, _) -> name)
+    ~run_point:(fun scale (_, protocol) ->
+      Scenario.run { (Scale.scenario_config scale ~protocol) with Scenario.tm })
+    ~render ~sinks ()

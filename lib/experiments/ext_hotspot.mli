@@ -5,4 +5,4 @@
     hosts follow the permutation matrix. Compares TCP, MPTCP-8 and
     MMPTCP under this skewed matrix. *)
 
-val run : ?jobs:int -> Scale.t -> unit
+val experiment : Experiment.t

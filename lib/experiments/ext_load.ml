@@ -3,7 +3,18 @@ module Table = Sim_stats.Table
 
 let rates = [ 10.; 25.; 50.; 100. ]
 
-let run ?(jobs = 1) scale =
+let points _scale =
+  List.concat_map
+    (fun rate ->
+      List.map
+        (fun (name, protocol) -> (rate, name, protocol))
+        [
+          ("mptcp-8", Scenario.Mptcp_proto { subflows = 8; coupled = true });
+          ("mmptcp", Scenario.Mmptcp_proto Mmptcp.Strategy.default);
+        ])
+    rates
+
+let render scale pairs =
   Report.header "E2: effect of network load (short-flow arrival rate)";
   Report.printf "workload: %s (rate swept)\n" (Format.asprintf "%a" Scale.pp scale);
   let table =
@@ -18,23 +29,8 @@ let run ?(jobs = 1) scale =
           "rto-flows";
         ]
   in
-  let entries =
-    List.concat_map
-      (fun rate ->
-        List.map
-          (fun (name, protocol) -> (rate, name, protocol))
-          [
-            ("mptcp-8", Scenario.Mptcp_proto { subflows = 8; coupled = true });
-            ("mmptcp", Scenario.Mmptcp_proto Mmptcp.Strategy.default);
-          ])
-      rates
-  in
-  Runner.par_map ~jobs
-    (fun (rate, name, protocol) ->
-      let cfg = Scale.scenario_config { scale with Scale.rate } ~protocol in
-      (rate, name, Scenario.run cfg))
-    entries
-  |> List.iter (fun (rate, name, r) ->
+  List.iter
+    (fun ((rate, name, _), r) ->
       let s = Report.fct_stats r in
       Table.add_row table
         [
@@ -44,5 +40,28 @@ let run ?(jobs = 1) scale =
           Table.fms s.Report.sd_ms;
           Table.fms s.Report.p99_ms;
           string_of_int s.Report.flows_with_rto;
-        ]);
+        ])
+    pairs;
   Report.table table
+
+let sinks _scale pairs =
+  [
+    Sink.table ~name:"ext-load"
+      ~columns:
+        [
+          ("rate", fun ((rate, _, _), _) -> Sink.float rate);
+          ("protocol", fun ((_, name, _), _) -> Sink.str name);
+          ("mean_ms", fun (_, s) -> Sink.float s.Report.mean_ms);
+          ("sd_ms", fun (_, s) -> Sink.float s.Report.sd_ms);
+          ("p99_ms", fun (_, s) -> Sink.float s.Report.p99_ms);
+          ("rto_flows", fun (_, s) -> Sink.int s.Report.flows_with_rto);
+        ]
+      (List.map (fun (p, r) -> (p, Report.fct_stats r)) pairs);
+  ]
+
+let experiment =
+  Experiment.make ~name:"ext-load" ~doc:"E2: network-load sweep." ~points
+    ~point_label:(fun (rate, name, _) -> Printf.sprintf "rate=%.0f %s" rate name)
+    ~run_point:(fun scale (rate, _, protocol) ->
+      Scenario.run (Scale.scenario_config { scale with Scale.rate } ~protocol))
+    ~render ~sinks ()

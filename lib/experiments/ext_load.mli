@@ -6,4 +6,4 @@
     (fewer RTO-bound flows, smaller tail) widens as bursts become more
     frequent. *)
 
-val run : ?jobs:int -> Scale.t -> unit
+val experiment : Experiment.t

@@ -4,4 +4,4 @@
     random destinations decorrelate over time; stride is the classic
     adversarial pattern for structured fabrics. *)
 
-val run : ?jobs:int -> Scale.t -> unit
+val experiment : Experiment.t

@@ -7,4 +7,4 @@
     at the access layer raise burst tolerance — scatter can spread
     even the first hop — so MMPTCP improves further. *)
 
-val run : ?jobs:int -> Scale.t -> unit
+val experiment : Experiment.t

@@ -1,7 +1,18 @@
 module Scenario = Sim_workload.Scenario
 module Table = Sim_stats.Table
 
-let run ?(jobs = 1) scale =
+let points _scale =
+  List.concat_map
+    (fun (rname, sack) ->
+      List.map
+        (fun (pname, protocol) -> (rname, sack, pname, protocol))
+        [
+          ("mptcp-8", Scenario.Mptcp_proto { subflows = 8; coupled = true });
+          ("mmptcp", Scenario.Mmptcp_proto Mmptcp.Strategy.default);
+        ])
+    [ ("newreno", false); ("sack", true) ]
+
+let render scale pairs =
   Report.header "E9: NewReno vs SACK loss recovery (extension)";
   Report.printf "workload: %s\n" (Format.asprintf "%a" Scale.pp scale);
   let table =
@@ -9,29 +20,8 @@ let run ?(jobs = 1) scale =
       ~columns:
         [ "recovery"; "protocol"; "mean(ms)"; "sd(ms)"; "p99(ms)"; "rto-flows" ]
   in
-  let entries =
-    List.concat_map
-      (fun (rname, sack) ->
-        List.map
-          (fun (pname, protocol) -> (rname, sack, pname, protocol))
-          [
-            ("mptcp-8", Scenario.Mptcp_proto { subflows = 8; coupled = true });
-            ("mmptcp", Scenario.Mmptcp_proto Mmptcp.Strategy.default);
-          ])
-      [ ("newreno", false); ("sack", true) ]
-  in
-  Runner.par_map ~jobs
-    (fun (rname, sack, pname, protocol) ->
-      let base = Scale.scenario_config scale ~protocol in
-      let cfg =
-        {
-          base with
-          Scenario.params = { base.Scenario.params with Sim_tcp.Tcp_params.sack };
-        }
-      in
-      (rname, pname, Scenario.run cfg))
-    entries
-  |> List.iter (fun (rname, pname, r) ->
+  List.iter
+    (fun ((rname, _, pname, _), r) ->
       let s = Report.fct_stats r in
       Table.add_row table
         [
@@ -41,5 +31,34 @@ let run ?(jobs = 1) scale =
           Table.fms s.Report.sd_ms;
           Table.fms s.Report.p99_ms;
           string_of_int s.Report.flows_with_rto;
-        ]);
+        ])
+    pairs;
   Report.table table
+
+let sinks _scale pairs =
+  [
+    Sink.table ~name:"ext-sack"
+      ~columns:
+        [
+          ("recovery", fun ((rname, _, _, _), _) -> Sink.str rname);
+          ("protocol", fun ((_, _, pname, _), _) -> Sink.str pname);
+          ("mean_ms", fun (_, s) -> Sink.float s.Report.mean_ms);
+          ("sd_ms", fun (_, s) -> Sink.float s.Report.sd_ms);
+          ("p99_ms", fun (_, s) -> Sink.float s.Report.p99_ms);
+          ("rto_flows", fun (_, s) -> Sink.int s.Report.flows_with_rto);
+        ]
+      (List.map (fun (p, r) -> (p, Report.fct_stats r)) pairs);
+  ]
+
+let experiment =
+  Experiment.make ~name:"ext-sack"
+    ~doc:"E9: NewReno vs SACK loss recovery." ~points
+    ~point_label:(fun (rname, _, pname, _) -> rname ^ " " ^ pname)
+    ~run_point:(fun scale (_, sack, _, protocol) ->
+      let base = Scale.scenario_config scale ~protocol in
+      Scenario.run
+        {
+          base with
+          Scenario.params = { base.Scenario.params with Sim_tcp.Tcp_params.sack };
+        })
+    ~render ~sinks ()

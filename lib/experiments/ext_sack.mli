@@ -8,4 +8,4 @@
     a forward-looking question the paper leaves open: how much of
     MMPTCP's advantage survives once loss recovery itself improves? *)
 
-val run : ?jobs:int -> Scale.t -> unit
+val experiment : Experiment.t

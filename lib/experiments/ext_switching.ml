@@ -12,7 +12,7 @@ let strategies =
     ("never (pure PS)", Strategy.Never);
   ]
 
-let run ?(jobs = 1) scale =
+let render scale pairs =
   Report.header "E1: MMPTCP phase-switching strategies";
   Report.printf "workload: %s\n" (Format.asprintf "%a" Scale.pp scale);
   let table =
@@ -26,15 +26,8 @@ let run ?(jobs = 1) scale =
           "long goodput(Mb/s)";
         ]
   in
-  Runner.par_map ~jobs
-    (fun (name, switch) ->
-      let strategy = { Strategy.default with Strategy.switch } in
-      let cfg =
-        Scale.scenario_config scale ~protocol:(Scenario.Mmptcp_proto strategy)
-      in
-      (name, Scenario.run cfg))
-    strategies
-  |> List.iter (fun (name, r) ->
+  List.iter
+    (fun ((name, _), r) ->
       let s = Report.fct_stats r in
       Table.add_row table
         [
@@ -43,5 +36,32 @@ let run ?(jobs = 1) scale =
           Table.fms s.Report.sd_ms;
           string_of_int s.Report.flows_with_rto;
           Printf.sprintf "%.1f" (Report.long_mean_mbps r);
-        ]);
+        ])
+    pairs;
   Report.table table
+
+let sinks _scale pairs =
+  [
+    Sink.table ~name:"ext-switching"
+      ~columns:
+        [
+          ("switching", fun ((name, _), _) -> Sink.str name);
+          ("mean_ms", fun (_, (s, _)) -> Sink.float s.Report.mean_ms);
+          ("sd_ms", fun (_, (s, _)) -> Sink.float s.Report.sd_ms);
+          ("rto_flows", fun (_, (s, _)) -> Sink.int s.Report.flows_with_rto);
+          ( "long_goodput_mbps",
+            fun (_, (_, r)) -> Sink.float (Report.long_mean_mbps r) );
+        ]
+      (List.map (fun (p, r) -> (p, (Report.fct_stats r, r))) pairs);
+  ]
+
+let experiment =
+  Experiment.make ~name:"ext-switching"
+    ~doc:"E1: phase-switching strategies."
+    ~points:(fun _scale -> strategies)
+    ~point_label:(fun (name, _) -> name)
+    ~run_point:(fun scale (_, switch) ->
+      let strategy = { Strategy.default with Strategy.switch } in
+      Scenario.run
+        (Scale.scenario_config scale ~protocol:(Scenario.Mmptcp_proto strategy)))
+    ~render ~sinks ()

@@ -7,4 +7,4 @@
     switching too late hurts long flows (single window for too long)
     while switching too early forfeits scatter's burst tolerance. *)
 
-val run : ?jobs:int -> Scale.t -> unit
+val experiment : Experiment.t

@@ -16,7 +16,23 @@ let vl2_params scale =
     fabric_spec = Scenario.paper_link_spec;
   }
 
-let run ?(jobs = 1) scale =
+let points scale =
+  List.concat_map
+    (fun (tname, topo) ->
+      List.map
+        (fun (pname, protocol) -> (tname, topo, pname, protocol))
+        [
+          ("mptcp-8", Scenario.Mptcp_proto { subflows = 8; coupled = true });
+          ("mmptcp", Scenario.Mmptcp_proto Mmptcp.Strategy.default);
+        ])
+    [
+      ( "fattree",
+        Scenario.Fattree_topo
+          (Scenario.paper_fattree ~k:scale.Scale.k ~oversub:scale.Scale.oversub ()) );
+      ("vl2", Scenario.Vl2_topo (vl2_params scale));
+    ]
+
+let render scale pairs =
   Report.header "E7: FatTree vs VL2-style Clos, same workload";
   Report.printf "workload: %s\n" (Format.asprintf "%a" Scale.pp scale);
   let table =
@@ -24,28 +40,8 @@ let run ?(jobs = 1) scale =
       ~columns:
         [ "topology"; "protocol"; "mean(ms)"; "sd(ms)"; "p99(ms)"; "rto-flows" ]
   in
-  let entries =
-    List.concat_map
-      (fun (tname, topo) ->
-        List.map
-          (fun (pname, protocol) -> (tname, topo, pname, protocol))
-          [
-            ("mptcp-8", Scenario.Mptcp_proto { subflows = 8; coupled = true });
-            ("mmptcp", Scenario.Mmptcp_proto Mmptcp.Strategy.default);
-          ])
-      [
-        ( "fattree",
-          Scenario.Fattree_topo
-            (Scenario.paper_fattree ~k:scale.Scale.k ~oversub:scale.Scale.oversub ()) );
-        ("vl2", Scenario.Vl2_topo (vl2_params scale));
-      ]
-  in
-  Runner.par_map ~jobs
-    (fun (tname, topo, pname, protocol) ->
-      let cfg = { (Scale.scenario_config scale ~protocol) with Scenario.topo } in
-      (tname, pname, Scenario.run cfg))
-    entries
-  |> List.iter (fun (tname, pname, r) ->
+  List.iter
+    (fun ((tname, _, pname, _), r) ->
       let s = Report.fct_stats r in
       Table.add_row table
         [
@@ -55,5 +51,29 @@ let run ?(jobs = 1) scale =
           Table.fms s.Report.sd_ms;
           Table.fms s.Report.p99_ms;
           string_of_int s.Report.flows_with_rto;
-        ]);
+        ])
+    pairs;
   Report.table table
+
+let sinks _scale pairs =
+  [
+    Sink.table ~name:"ext-topologies"
+      ~columns:
+        [
+          ("topology", fun ((tname, _, _, _), _) -> Sink.str tname);
+          ("protocol", fun ((_, _, pname, _), _) -> Sink.str pname);
+          ("mean_ms", fun (_, s) -> Sink.float s.Report.mean_ms);
+          ("sd_ms", fun (_, s) -> Sink.float s.Report.sd_ms);
+          ("p99_ms", fun (_, s) -> Sink.float s.Report.p99_ms);
+          ("rto_flows", fun (_, s) -> Sink.int s.Report.flows_with_rto);
+        ]
+      (List.map (fun (p, r) -> (p, Report.fct_stats r)) pairs);
+  ]
+
+let experiment =
+  Experiment.make ~name:"ext-topologies"
+    ~doc:"E7: FatTree vs VL2-style Clos." ~points
+    ~point_label:(fun (tname, _, pname, _) -> tname ^ " " ^ pname)
+    ~run_point:(fun scale (_, topo, _, protocol) ->
+      Scenario.run { (Scale.scenario_config scale ~protocol) with Scenario.topo })
+    ~render ~sinks ()

@@ -5,4 +5,4 @@
     the qualitative ordering should carry over — the paper's argument
     that one transport can serve disparate fabrics. *)
 
-val run : ?jobs:int -> Scale.t -> unit
+val experiment : Experiment.t

@@ -10,14 +10,9 @@ let configs ?(lo = 1) ?(hi = 9) scale =
         Scale.scenario_config scale
           ~protocol:(Scenario.Mptcp_proto { subflows = n; coupled = true }) ))
 
-let run ?(lo = 1) ?(hi = 9) ?csv_dir ?(jobs = 1) scale =
+let render scale pairs =
   Report.header "Figure 1(a): MPTCP short-flow FCT vs number of subflows";
   Report.printf "workload: %s\n" (Format.asprintf "%a" Scale.pp scale);
-  let results =
-    Runner.par_map ~jobs
-      (fun (n, cfg) -> (n, Scenario.run cfg))
-      (configs ~lo ~hi scale)
-  in
   let table =
     Table.create
       ~columns:
@@ -25,7 +20,7 @@ let run ?(lo = 1) ?(hi = 9) ?csv_dir ?(jobs = 1) scale =
   in
   let rows =
     List.map
-      (fun (n, r) ->
+      (fun ((n, _), r) ->
         let s = Report.fct_stats r in
         Table.add_row table
           [
@@ -37,27 +32,32 @@ let run ?(lo = 1) ?(hi = 9) ?csv_dir ?(jobs = 1) scale =
             string_of_int s.Report.incomplete;
           ];
         (n, s))
-      results
+      pairs
   in
   Report.table table;
-  (match csv_dir with
-   | Some dir ->
-     let path = Filename.concat dir "fig1a.csv" in
-     Sim_stats.Csv.write ~path
-       ~header:[ "subflows"; "mean_ms"; "sd_ms"; "p99_ms"; "rto_flows" ]
-       (List.map
-          (fun (n, s) ->
-            [
-              string_of_int n;
-              Sim_stats.Csv.float_cell s.Report.mean_ms;
-              Sim_stats.Csv.float_cell s.Report.sd_ms;
-              Sim_stats.Csv.float_cell s.Report.p99_ms;
-              string_of_int s.Report.flows_with_rto;
-            ])
-          rows);
-     Report.printf "[series written to %s]\n" path
-   | None -> ());
   Report.sub_header "embedded panel (mean only)";
   List.iter
     (fun (n, s) -> Report.printf "  %d subflows: %6.1f ms\n" n s.Report.mean_ms)
     rows
+
+let sinks _scale pairs =
+  [
+    Sink.table ~name:"fig1a"
+      ~columns:
+        [
+          ("subflows", fun ((n, _), _) -> Sink.int n);
+          ("mean_ms", fun (_, s) -> Sink.float s.Report.mean_ms);
+          ("sd_ms", fun (_, s) -> Sink.float s.Report.sd_ms);
+          ("p99_ms", fun (_, s) -> Sink.float s.Report.p99_ms);
+          ("rto_flows", fun (_, s) -> Sink.int s.Report.flows_with_rto);
+        ]
+      (List.map (fun (p, r) -> (p, Report.fct_stats r)) pairs);
+  ]
+
+let experiment =
+  Experiment.make ~name:"fig1a"
+    ~doc:"Figure 1(a): MPTCP short-flow FCT vs subflow count."
+    ~points:(fun scale -> configs scale)
+    ~point_label:(fun (n, _) -> Printf.sprintf "subflows=%d" n)
+    ~run_point:(fun _scale (_, cfg) -> Scenario.run cfg)
+    ~render ~sinks ()

@@ -12,7 +12,6 @@ val configs :
   ?lo:int -> ?hi:int -> Scale.t -> (int * Sim_workload.Scenario.config) list
 (** The swept (subflow count, config) list, in sweep order. *)
 
-val run : ?lo:int -> ?hi:int -> ?csv_dir:string -> ?jobs:int -> Scale.t -> unit
-(** [csv_dir] additionally writes the swept series to
-    [<csv_dir>/fig1a.csv]. The sweep's simulations run on up to [jobs]
-    domains (default 1); output is identical for any [jobs]. *)
+val experiment : Experiment.t
+(** Points are subflow counts 1–9; the sink exports the swept series
+    (subflows, mean, sd, p99, rto-flows). *)

@@ -18,37 +18,9 @@ let scatter r ~max_series =
   in
   List.sort compare (stragglers @ sampled)
 
-let run_one ~title ~tag ?csv_dir ?(jobs = 1) ~protocol scale =
+let render_one ~title scale r =
   Report.header title;
   Report.printf "workload: %s\n" (Format.asprintf "%a" Scale.pp scale);
-  let cfg = Scale.scenario_config scale ~protocol in
-  (* A single simulation: par_map only moves it off the calling domain,
-     but keeps the figure's interface uniform with the swept
-     experiments. *)
-  let r =
-    match Runner.par_map ~jobs Scenario.run [ cfg ] with
-    | [ r ] -> r
-    | _ -> assert false
-  in
-  (match csv_dir with
-   | Some dir ->
-     let rows =
-       Array.to_list r.Scenario.shorts
-       |> List.filter_map (fun f ->
-           match f.Scenario.fct with
-           | Some t ->
-             Some
-               [
-                 string_of_int f.Scenario.id;
-                 Sim_stats.Csv.float_cell (Time.to_ms t);
-                 string_of_int f.Scenario.rtos;
-               ]
-           | None -> None)
-     in
-     let path = Filename.concat dir (tag ^ ".csv") in
-     Sim_stats.Csv.write ~path ~header:[ "flow_id"; "fct_ms"; "rtos" ] rows;
-     Report.printf "[full per-flow series written to %s]\n" path
-   | None -> ());
   let s = Report.fct_stats r in
   Report.printf
     "shorts: %d completed, %d incomplete | mean=%.1fms sd=%.1fms p50=%.1fms p99=%.1fms max=%.1fms\n"
@@ -66,16 +38,47 @@ let run_one ~title ~tag ?csv_dir ?(jobs = 1) ~protocol scale =
     (fun (id, ms) -> Report.printf "  %6d %9.1f\n" id ms)
     (scatter r ~max_series:40)
 
-let run_fig1b ?csv_dir ?jobs scale =
-  run_one
-    ~title:"Figure 1(b): short-flow completion times, MPTCP (8 subflows)"
-    ~tag:"fig1b" ?csv_dir ?jobs
-    ~protocol:(Scenario.Mptcp_proto { subflows = 8; coupled = true })
-    scale
+(* The per-flow series the paper's scatter plots are drawn from. *)
+let sinks ~tag _scale pairs =
+  let r = match pairs with [ ((), r) ] -> r | _ -> assert false in
+  let completed =
+    Array.to_list r.Scenario.shorts
+    |> List.filter_map (fun f ->
+        match f.Scenario.fct with
+        | Some t -> Some (f.Scenario.id, Time.to_ms t, f.Scenario.rtos)
+        | None -> None)
+  in
+  [
+    Sink.table ~name:tag
+      ~columns:
+        [
+          ("flow_id", fun (id, _, _) -> Sink.int id);
+          ("fct_ms", fun (_, ms, _) -> Sink.float ms);
+          ("rtos", fun (_, _, rtos) -> Sink.int rtos);
+        ]
+      completed;
+  ]
 
-let run_fig1c ?csv_dir ?jobs scale =
-  run_one
+let make ~tag ~title ~doc ~protocol =
+  Experiment.make ~name:tag ~doc
+    ~points:(fun _scale -> [ () ])
+    ~point_label:(fun () -> "scenario")
+    ~run_point:(fun scale () ->
+      Scenario.run (Scale.scenario_config scale ~protocol))
+    ~render:(fun scale pairs ->
+      match pairs with
+      | [ ((), r) ] -> render_one ~title scale r
+      | _ -> assert false)
+    ~sinks:(sinks ~tag) ()
+
+let fig1b =
+  make ~tag:"fig1b"
+    ~title:"Figure 1(b): short-flow completion times, MPTCP (8 subflows)"
+    ~doc:"Figure 1(b): per-flow FCT scatter, MPTCP 8 subflows."
+    ~protocol:(Scenario.Mptcp_proto { subflows = 8; coupled = true })
+
+let fig1c =
+  make ~tag:"fig1c"
     ~title:"Figure 1(c): short-flow completion times, MMPTCP (PS + 8 subflows)"
-    ~tag:"fig1c" ?csv_dir ?jobs
+    ~doc:"Figure 1(c): per-flow FCT scatter, MMPTCP."
     ~protocol:(Scenario.Mmptcp_proto Mmptcp.Strategy.default)
-    scale

@@ -9,13 +9,13 @@
 
     Printed per protocol: the FCT histogram, a decimated
     [flow-id fct-ms] series (every flow whose FCT exceeds 500 ms plus a
-    uniform sample of the rest), and summary statistics. *)
+    uniform sample of the rest), and summary statistics. The sink
+    exports the complete per-flow (id, fct, rtos) series the paper's
+    scatter plots are drawn from. *)
 
-val run_fig1b : ?csv_dir:string -> ?jobs:int -> Scale.t -> unit
-val run_fig1c : ?csv_dir:string -> ?jobs:int -> Scale.t -> unit
-(** [csv_dir] additionally writes the complete per-flow series to
-    [<csv_dir>/fig1b.csv] / [fig1c.csv]. Each figure is a single
-    simulation; [jobs] only moves it onto a pool domain. *)
+val fig1b : Experiment.t
+val fig1c : Experiment.t
+(** Each figure is a single simulation point. *)
 
 val scatter :
   Sim_workload.Scenario.result -> max_series:int -> (int * float) list

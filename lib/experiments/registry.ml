@@ -1,0 +1,64 @@
+(* The canonical experiment list and the shared execution path. The
+   order is DESIGN.md's index and is load-bearing: `all` renders in
+   this order, and `select` re-sorts any user subset into it so
+   output order never depends on how a flag was spelled. *)
+
+let all : Experiment.t list =
+  [
+    Fig1a.experiment;
+    Fig1bc.fig1b;
+    Fig1bc.fig1c;
+    Summary_table.experiment;
+    Ext_switching.experiment;
+    Ext_load.experiment;
+    Ext_hotspot.experiment;
+    Ext_multihomed.experiment;
+    Ext_coexist.experiment;
+    Ext_dupack.experiment;
+    Ext_topologies.experiment;
+    Ext_matrices.experiment;
+    Ext_sack.experiment;
+  ]
+
+let names () = List.map Experiment.name all
+
+let find name = List.find_opt (fun e -> Experiment.name e = name) all
+
+let select requested =
+  match List.find_opt (fun n -> Option.is_none (find n)) requested with
+  | Some unknown -> Error unknown
+  | None ->
+    Ok (List.filter (fun e -> List.mem (Experiment.name e) requested) all)
+
+let run ?clock ?out ?git ~jobs scale experiments =
+  let now () = match clock with Some c -> c () | None -> 0. in
+  let t0 = now () in
+  let instances =
+    List.map (fun e -> Experiment.instantiate ?clock e scale) experiments
+  in
+  (* One flat submission: points of all experiments interleave freely
+     on the shared pool; par_map's join is the barrier that makes
+     every instance's result slots readable. *)
+  let queue = List.concat_map Experiment.instance_jobs instances in
+  ignore (Runner.par_map ~jobs Experiment.run_job queue : unit list);
+  (* Render in registry order only after everything ran: this is what
+     keeps stdout byte-identical at every job count. *)
+  let tables = List.map (fun i -> (i, Experiment.finish i)) instances in
+  match out with
+  | None -> ()
+  | Some dir ->
+    let entries =
+      List.map
+        (fun (inst, tabs) ->
+          {
+            Sink.e_name = Experiment.instance_name inst;
+            e_artifacts = List.concat_map (fun t -> Sink.write ~dir t) tabs;
+            e_points = Experiment.point_seconds inst;
+          })
+        tables
+    in
+    let manifest =
+      Sink.write_manifest ~dir ~scale ~jobs ~git
+        ~total_seconds:(now () -. t0) entries
+    in
+    Report.printf "[artifacts + %s written to %s]\n" manifest dir

@@ -1,0 +1,40 @@
+(** The experiment registry: every experiment of the suite, in the
+    canonical order of DESIGN.md's index (F1a, F1b, F1c, T1, E1–E9).
+
+    The CLI (subcommands, [--list], [all --only]), the [all] command
+    body, and the sink artifacts are all derived from {!all}; adding
+    an experiment means writing its module and adding one line here. *)
+
+val all : Experiment.t list
+
+val names : unit -> string list
+(** Registry order. *)
+
+val find : string -> Experiment.t option
+
+val select : string list -> (Experiment.t list, string) result
+(** [select names] is the named experiments in {e registry} order
+    (duplicates collapsed), or [Error name] for the first unknown
+    name. *)
+
+val run :
+  ?clock:(unit -> float) ->
+  ?out:string ->
+  ?git:string ->
+  jobs:int ->
+  Scale.t ->
+  Experiment.t list ->
+  unit
+(** Run the given experiments as one batch: every point of every
+    experiment is flattened into a single {!Runner.par_map}
+    submission over one shared domain pool — no barrier between
+    experiments, so a straggler point in one experiment cannot idle
+    the others' domains — then each experiment renders in list order.
+    Stdout is therefore byte-identical at every [jobs] value.
+
+    [out] writes each experiment's sink tables (CSV + JSON) and a
+    [manifest.json] (scale, jobs, [git], per-point timings from
+    [clock], total wall-clock) into the directory, creating it if
+    missing, and prints a final one-line note. [clock] should be the
+    executable's wall-clock (library code must not read the clock
+    itself); without it the manifest's timings are zero. *)

@@ -1,5 +1,15 @@
 module Domain_pool = Sim_engine.Domain_pool
 
+exception Point_failed of { experiment : string; point : string; exn : exn }
+
+let () =
+  Printexc.register_printer (function
+    | Point_failed { experiment; point; exn } ->
+      Some
+        (Printf.sprintf "experiment %s, point [%s]: %s" experiment point
+           (Printexc.to_string exn))
+    | _ -> None)
+
 let default_jobs () = Domain_pool.recommended_jobs ()
 
 let par_map ~jobs f xs =

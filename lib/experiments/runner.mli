@@ -7,6 +7,14 @@
     and reassembles results in input order, so an experiment's output
     is byte-identical whatever the job count. *)
 
+exception Point_failed of { experiment : string; point : string; exn : exn }
+(** Wrapper identifying which experiment point died when a job on the
+    shared queue raises: without it, a crash deep in a [--full]-scale
+    sweep is unattributable. Raised by the jobs built in
+    {!Experiment.instantiate}; re-raised as-is by {!par_map}. A
+    printer is registered, so [Printexc.to_string] renders
+    ["experiment NAME, point [LABEL]: <cause>"]. *)
+
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count () - 1], floored at 1. *)
 

@@ -18,8 +18,8 @@ let small = { k = 4; oversub = 4; flows = 500; rate = 25.; seed = 7; horizon_s =
 let full = { k = 8; oversub = 4; flows = 20_000; rate = 25.; seed = 7; horizon_s = 30. }
 
 let pp ppf t =
-  Format.fprintf ppf "k=%d oversub=%d flows=%d rate=%.0f/s seed=%d" t.k
-    t.oversub t.flows t.rate t.seed
+  Format.fprintf ppf "k=%d oversub=%d flows=%d rate=%.0f/s seed=%d horizon=%gs"
+    t.k t.oversub t.flows t.rate t.seed t.horizon_s
 
 let scenario_config t ~protocol =
   {

@@ -22,6 +22,8 @@ val tiny : t
 val small : t
 val full : t
 val pp : Format.formatter -> t -> unit
+(** Every field, including the horizon: two runs that differ only in
+    [horizon_s] must print distinguishable "workload:" lines. *)
 
 val scenario_config :
   t -> protocol:Sim_workload.Scenario.protocol -> Sim_workload.Scenario.config

@@ -14,7 +14,13 @@ let row name r =
     Table.pct (Scenario.core_utilisation r);
   ]
 
-let run ?(jobs = 1) scale =
+let entries =
+  [
+    ("mptcp-8", Scenario.Mptcp_proto { subflows = 8; coupled = true });
+    ("mmptcp", Scenario.Mmptcp_proto Mmptcp.Strategy.default);
+  ]
+
+let render scale pairs =
   Report.header
     "Table 1: MMPTCP vs MPTCP on the paper workload (identical seed)";
   Report.printf "workload: %s\n" (Format.asprintf "%a" Scale.pp scale);
@@ -36,17 +42,33 @@ let run ?(jobs = 1) scale =
           "core util";
         ]
   in
-  let entries =
-    [
-      ("mptcp-8", Scenario.Mptcp_proto { subflows = 8; coupled = true });
-      ("mmptcp", Scenario.Mmptcp_proto Mmptcp.Strategy.default);
-    ]
-  in
-  let results =
-    Runner.par_map ~jobs
-      (fun (name, protocol) ->
-        (name, Scenario.run (Scale.scenario_config scale ~protocol)))
-      entries
-  in
-  List.iter (fun (name, r) -> Table.add_row table (row name r)) results;
+  List.iter (fun ((name, _), r) -> Table.add_row table (row name r)) pairs;
   Report.table table
+
+let sinks _scale pairs =
+  [
+    Sink.table ~name:"table1"
+      ~columns:
+        [
+          ("protocol", fun ((name, _), _) -> Sink.str name);
+          ("mean_ms", fun (_, (s, _)) -> Sink.float s.Report.mean_ms);
+          ("sd_ms", fun (_, (s, _)) -> Sink.float s.Report.sd_ms);
+          ("rto_flows", fun (_, (s, _)) -> Sink.int s.Report.flows_with_rto);
+          ("core_loss", fun (_, (_, r)) -> Sink.float (Scenario.core_loss r));
+          ("agg_loss", fun (_, (_, r)) -> Sink.float (Scenario.agg_loss r));
+          ( "long_goodput_mbps",
+            fun (_, (_, r)) -> Sink.float (Report.long_mean_mbps r) );
+          ( "core_utilisation",
+            fun (_, (_, r)) -> Sink.float (Scenario.core_utilisation r) );
+        ]
+      (List.map (fun (p, r) -> (p, (Report.fct_stats r, r))) pairs);
+  ]
+
+let experiment =
+  Experiment.make ~name:"table1"
+    ~doc:"Text claims: MMPTCP vs MPTCP summary table."
+    ~points:(fun _scale -> entries)
+    ~point_label:(fun (name, _) -> name)
+    ~run_point:(fun scale (_, protocol) ->
+      Scenario.run (Scale.scenario_config scale ~protocol))
+    ~render ~sinks ()

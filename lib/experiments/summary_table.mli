@@ -10,4 +10,4 @@
     Runs both protocols on the identical seeded workload and prints
     all of those quantities side by side. *)
 
-val run : ?jobs:int -> Scale.t -> unit
+val experiment : Experiment.t

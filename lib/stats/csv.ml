@@ -17,20 +17,24 @@ let escape s =
 let row_to_string row = String.concat "," (List.map escape row)
 
 let to_string ~header rows =
+  let arity = List.length header in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf (row_to_string header);
   Buffer.add_char buf '\n';
   List.iter
     (fun row ->
+      if List.length row <> arity then
+        invalid_arg "Csv.to_string: row arity mismatch";
       Buffer.add_string buf (row_to_string row);
       Buffer.add_char buf '\n')
     rows;
   Buffer.contents buf
 
 let write ~path ~header rows =
+  (* Render before opening so an arity error cannot truncate an
+     existing file. *)
+  let contents = to_string ~header rows in
   let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string ~header rows))
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
 
 let float_cell v = Printf.sprintf "%.6g" v

@@ -5,8 +5,12 @@ val escape : string -> string
 (** Quote a cell if it contains commas, quotes or newlines. *)
 
 val to_string : header:string list -> string list list -> string
+(** Raises [Invalid_argument] if any row's arity differs from the
+    header's. *)
 
 val write : path:string -> header:string list -> string list list -> unit
-(** Raises [Sys_error] on unwritable paths. *)
+(** Raises [Sys_error] on unwritable paths, [Invalid_argument] on a
+    header/row arity mismatch. *)
 
 val float_cell : float -> string
+(** [%.6g]; non-finite values render as [nan], [inf] and [-inf]. *)

@@ -125,6 +125,40 @@ let test_csv_to_string () =
   Alcotest.(check string) "document" "x,y\n1,2\n3,4\n"
     (Csv.to_string ~header:[ "x"; "y" ] [ [ "1"; "2" ]; [ "3"; "4" ] ])
 
+let test_csv_float_cell () =
+  Alcotest.(check string) "six significant digits" "3.14159"
+    (Csv.float_cell Float.pi);
+  Alcotest.(check string) "integer-valued" "42" (Csv.float_cell 42.);
+  (* Non-finite values must render as parseable tokens, not crash:
+     the sink layer feeds raw simulation output straight through. *)
+  Alcotest.(check string) "nan" "nan" (Csv.float_cell Float.nan);
+  Alcotest.(check string) "inf" "inf" (Csv.float_cell Float.infinity);
+  Alcotest.(check string) "-inf" "-inf" (Csv.float_cell Float.neg_infinity)
+
+let test_csv_arity_mismatch () =
+  let arity_error = Invalid_argument "Csv.to_string: row arity mismatch" in
+  Alcotest.check_raises "short row" arity_error (fun () ->
+      ignore (Csv.to_string ~header:[ "a"; "b" ] [ [ "1" ] ]));
+  Alcotest.check_raises "long row" arity_error (fun () ->
+      ignore (Csv.to_string ~header:[ "a"; "b" ] [ [ "1"; "2" ]; [ "1"; "2"; "3" ] ]))
+
+let test_csv_write_arity_error_keeps_file () =
+  (* write renders before open_out, so a bad row cannot truncate an
+     artifact that already exists. *)
+  let path = Filename.temp_file "simstats" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Csv.write ~path ~header:[ "a" ] [ [ "old" ] ];
+      (try Csv.write ~path ~header:[ "a" ] [ [ "x"; "y" ] ]
+       with Invalid_argument _ -> ());
+      let ic = open_in path in
+      let l1 = input_line ic in
+      let l2 = input_line ic in
+      close_in ic;
+      Alcotest.(check string) "header intact" "a" l1;
+      Alcotest.(check string) "row intact" "old" l2)
+
 let test_csv_round_trip_file () =
   let path = Filename.temp_file "simstats" ".csv" in
   Fun.protect
@@ -170,6 +204,10 @@ let () =
         [
           Alcotest.test_case "escaping" `Quick test_csv_escaping;
           Alcotest.test_case "to_string" `Quick test_csv_to_string;
+          Alcotest.test_case "float cells" `Quick test_csv_float_cell;
+          Alcotest.test_case "arity mismatch" `Quick test_csv_arity_mismatch;
+          Alcotest.test_case "arity error keeps file" `Quick
+            test_csv_write_arity_error_keeps_file;
           Alcotest.test_case "file round trip" `Quick test_csv_round_trip_file;
         ] );
     ]

@@ -1,0 +1,13 @@
+(* A file-writing result sink, the shape lib/experiments/sink.ml uses
+   for --out artifacts: open_out, fprintf to an explicit channel,
+   sprintf for formatting. D004 covers *console* output only
+   (print_*/prerr_*/Printf.printf/...), so none of this may fire. *)
+
+let write_rows path rows =
+  let oc = open_out path in
+  output_string oc "name,value\n";
+  List.iter
+    (fun (name, v) ->
+      Printf.fprintf oc "%s,%s\n" name (Printf.sprintf "%.6g" v))
+    rows;
+  close_out oc

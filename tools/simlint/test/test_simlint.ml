@@ -56,6 +56,12 @@ let test_exempt_sim_ctx () =
 let test_exempt_domain_pool () =
   check_rules "domain_pool.ml may use Domain" "domain_pool.ml" []
 
+let test_clean_file_sink () =
+  (* D004 is scoped to console I/O: a file-writing sink (open_out,
+     fprintf to a channel — the --out artifact layer) is deliberately
+     outside the rule. *)
+  check_rules "file sinks are not console output" "clean_file_sink.ml" []
+
 (* --- finding formatting --- *)
 
 let test_finding_format () =
@@ -152,6 +158,7 @@ let () =
           Alcotest.test_case "local state clean" `Quick test_clean_local_state;
           Alcotest.test_case "sim_ctx exempt from D001" `Quick test_exempt_sim_ctx;
           Alcotest.test_case "domain_pool exempt from D005" `Quick test_exempt_domain_pool;
+          Alcotest.test_case "file sinks outside D004" `Quick test_clean_file_sink;
         ] );
       ( "output",
         [ Alcotest.test_case "finding format" `Quick test_finding_format ] );
