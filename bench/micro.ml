@@ -119,6 +119,30 @@ let tcp_transfer () =
   Scheduler.run ~until:(Stime.of_sec 5.) sched;
   assert (Sim_tcp.Flow.is_complete f)
 
+(* Same transfer with the probe sampler armed at 100 us: bounds the
+   cost of observing a simulation. The unprobed tcp-70KB case above is
+   the disabled-registry baseline — every component now carries its
+   one [active]/[want_conn] branch, so any drift in that number
+   against the recorded BENCH_engine.json is the overhead of having
+   the metrics registry present but off (target: within noise). *)
+let tcp_transfer_probed () =
+  let sched = Scheduler.create () in
+  let probe =
+    Sim_engine.Probe.create sched ~interval:(Stime.of_us 100.)
+  in
+  Sim_engine.Probe.start probe;
+  let net = Sim_net.Dumbbell.direct ~sched () in
+  let f =
+    Sim_tcp.Flow.start
+      ~src:(Sim_net.Topology.host net 0)
+      ~dst:(Sim_net.Topology.host net 1)
+      ~size:70_000 ()
+  in
+  Scheduler.run ~until:(Stime.of_sec 5.) sched;
+  assert (Sim_tcp.Flow.is_complete f);
+  let c = Sim_engine.Probe.capture probe in
+  assert (Array.length c.Sim_obs.Capture.samples > 0)
+
 (* ------------------------------------------------------------------ *)
 (* fig1a inner loop: one MMPTCP scenario at tiny scale — what the
    fig1a experiment runs once per (flow-size, protocol) point. *)
@@ -138,6 +162,7 @@ let benchmarks =
     ("churn:sched-4k-arms", churn_sched);
     ("packet:link-hop-64", packet_hop);
     ("packet:tcp-70KB", tcp_transfer);
+    ("obs:tcp-70KB-probed", tcp_transfer_probed);
     ("fig1a:inner-loop", fig1a_inner);
   ]
 

@@ -8,6 +8,119 @@ module Scale = Sim_experiments.Scale
 module Runner = Sim_experiments.Runner
 module Registry = Sim_experiments.Registry
 module Experiment = Sim_experiments.Experiment
+module Scenario = Sim_workload.Scenario
+module Trace = Sim_engine.Trace
+
+(* Virtual-time durations on the command line: a number with an ns,
+   us, ms or s suffix, e.g. `--probe-interval 10ms`. *)
+let duration_conv =
+  let parse s =
+    let suffixes = [ ("ns", 1.); ("us", 1e3); ("ms", 1e6); ("s", 1e9) ] in
+    let matched =
+      List.find_opt (fun (suf, _) -> String.ends_with ~suffix:suf s) suffixes
+    in
+    match matched with
+    | None -> Error (`Msg "expected a duration such as 500us, 10ms or 1s")
+    | Some (suf, mult) -> (
+      let num = String.sub s 0 (String.length s - String.length suf) in
+      match float_of_string_opt num with
+      | Some v when v > 0. ->
+        Ok (Sim_engine.Sim_time.of_ns (int_of_float (v *. mult)))
+      | Some _ -> Error (`Msg "duration must be positive")
+      | None -> Error (`Msg (Printf.sprintf "bad duration %S" s)))
+  in
+  let print ppf t =
+    Format.fprintf ppf "%dns" (Sim_engine.Sim_time.to_ns t)
+  in
+  Arg.conv (parse, print)
+
+let conns_conv =
+  let parse s =
+    let parts =
+      String.split_on_char ',' s |> List.map String.trim
+      |> List.filter (fun p -> p <> "")
+    in
+    if parts = [] then Error (`Msg "empty connection list")
+    else
+      try Ok (List.map int_of_string parts)
+      with Failure _ -> Error (`Msg "expected comma-separated connection ids")
+  in
+  Arg.conv
+    ( parse,
+      fun ppf cs ->
+        Format.pp_print_string ppf
+          (String.concat "," (List.map string_of_int cs)) )
+
+let trace_level_conv =
+  let parse = function
+    | "error" -> Ok Trace.Error
+    | "warn" -> Ok Trace.Warn
+    | "info" -> Ok Trace.Info
+    | "debug" -> Ok Trace.Debug
+    | s -> Error (`Msg (Printf.sprintf "unknown trace level %S" s))
+  in
+  let print ppf l =
+    Format.pp_print_string ppf
+      (match l with
+      | Trace.Error -> "error"
+      | Trace.Warn -> "warn"
+      | Trace.Info -> "info"
+      | Trace.Debug -> "debug")
+  in
+  Arg.conv (parse, print)
+
+let components_conv =
+  let parse s =
+    let parts =
+      String.split_on_char ',' s |> List.map String.trim
+      |> List.filter (fun p -> p <> "")
+    in
+    if parts = [] then Error (`Msg "empty component list") else Ok parts
+  in
+  Arg.conv (parse, fun ppf cs -> Format.pp_print_string ppf (String.concat "," cs))
+
+let obs_term =
+  let probe_interval =
+    Arg.(
+      value
+      & opt (some duration_conv) None
+      & info [ "probe-interval" ] ~docv:"DUR"
+          ~doc:
+            "Sample every registered metric (cwnd, queue depths, subflow \
+             state, scheduler backlog) each $(docv) of virtual time and \
+             export the time series via --out. Durations take an ns/us/ms/s \
+             suffix, e.g. 10ms.")
+  in
+  let probe =
+    Arg.(
+      value
+      & opt (some conns_conv) None
+      & info [ "probe" ] ~docv:"CONN,..."
+          ~doc:
+            "Restrict connection-scoped probes and events to these \
+             connection ids (default: all connections). Queue and scheduler \
+             gauges are always included.")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some trace_level_conv) None
+      & info [ "trace" ] ~docv:"LEVEL"
+          ~doc:"Enable stderr tracing at error, warn, info or debug level.")
+  in
+  let trace_components =
+    Arg.(
+      value
+      & opt (some components_conv) None
+      & info [ "trace-components" ] ~docv:"COMP,..."
+          ~doc:
+            "Restrict --trace output to these component tags (e.g. \
+             tcp_tx,pktqueue).")
+  in
+  let make probe_interval probe_conns trace_level trace_components =
+    { Scenario.probe_interval; probe_conns; trace_level; trace_components }
+  in
+  Term.(const make $ probe_interval $ probe $ trace $ trace_components)
 
 let scale_term =
   let k =
@@ -56,12 +169,19 @@ let scale_term =
             "Run at smoke scale (k=4 2:1, 40 flows, 2 s horizon — the CI \
              preset); overrides the other scale options.")
   in
-  let make k oversub flows rate seed horizon_s full tiny =
-    if full then Scale.full
-    else if tiny then Scale.tiny
-    else { Scale.k; oversub; flows; rate; seed; horizon_s }
+  let make k oversub flows rate seed horizon_s full tiny obs =
+    let base =
+      if full then Scale.full
+      else if tiny then Scale.tiny
+      else
+        { Scale.k; oversub; flows; rate; seed; horizon_s;
+          obs = Scenario.default_obs }
+    in
+    { base with Scale.obs }
   in
-  Term.(const make $ k $ oversub $ flows $ rate $ seed $ horizon $ full $ tiny)
+  Term.(
+    const make $ k $ oversub $ flows $ rate $ seed $ horizon $ full $ tiny
+    $ obs_term)
 
 let jobs_conv =
   let parse s =

@@ -43,6 +43,16 @@ let rec trigger_switch t =
   if t.phase = Packet_scatter && not (Dataplane.is_complete t.plane) then begin
     t.phase <- Multipath;
     t.switched_at <- Some (Scheduler.now t.sched);
+    Sim_obs.Metrics.emit
+      (Sim_engine.Sim_ctx.metrics (Scheduler.ctx t.sched))
+      ~kind:"phase_switch" ~conn:t.conn
+      ~info:
+        [
+          ("to", "multipath");
+          ("subflows", string_of_int t.strategy.Strategy.subflows);
+          ("assigned", string_of_int (Dataplane.assigned t.plane));
+        ]
+      ();
     (match t.switch_timer with
     | Some tm -> Scheduler.Timer.cancel tm
     | None -> ());
@@ -148,6 +158,24 @@ let start ~src ~dst ~size ~rng ?(strategy = Strategy.default)
       }
   in
   let t = Lazy.force t in
+  (let m = Sim_engine.Sim_ctx.metrics (Scheduler.ctx sched) in
+   if Sim_obs.Metrics.want_conn m conn then begin
+     let reg name units read =
+       Sim_obs.Metrics.register m ~component:"mmptcp"
+         ~id:(Printf.sprintf "c%d" conn)
+         ~name ~units read
+     in
+     reg "phase" "enum" (fun () ->
+         match t.phase with Packet_scatter -> 0. | Multipath -> 1.);
+     reg "subflows_active" "subflows" (fun () ->
+         float_of_int
+           ((match t.ps_tx with Some _ -> 1 | None -> 0)
+           + Array.length t.mp_txs));
+     reg "dupack_threshold" "acks" (fun () ->
+         float_of_int t.dupack_threshold);
+     reg "bytes_received" "bytes" (fun () ->
+         float_of_int (Dataplane.received_bytes t.plane))
+   end);
   (* Per-packet source-port randomisation: this is what makes ECMP
      scatter the flow, and it applies to retransmissions too — a
      retransmitted packet takes a fresh random path. *)

@@ -1,0 +1,62 @@
+type t = {
+  sched : Scheduler.t;
+  series : Sim_obs.Series.t;
+  interval : Sim_time.t;
+  timer : Scheduler.Timer.t;
+  mutable armed : bool;
+  mutable ticks : int;
+}
+
+let tick t =
+  Sim_obs.Series.sample t.series
+    ~now_ns:(Sim_time.to_ns (Scheduler.now t.sched));
+  t.ticks <- t.ticks + 1;
+  if t.armed then Scheduler.Timer.schedule_after t.timer t.interval
+
+let create ?conns sched ~interval =
+  if Sim_time.to_ns interval <= 0 then
+    invalid_arg "Probe.create: interval must be positive";
+  let m = Sim_ctx.metrics (Scheduler.ctx sched) in
+  Sim_obs.Metrics.enable m ?conns
+    ~clock_ns:(fun () -> Sim_time.to_ns (Scheduler.now sched))
+    ();
+  Sim_obs.Metrics.register m ~component:"scheduler" ~id:"sched"
+    ~name:"heap_pending" ~units:"events" (fun () ->
+      float_of_int (Scheduler.heap_pending sched));
+  Sim_obs.Metrics.register m ~component:"scheduler" ~id:"sched"
+    ~name:"wheel_pending" ~units:"timers" (fun () ->
+      float_of_int (Scheduler.wheel_pending sched));
+  Sim_obs.Metrics.register m ~component:"scheduler" ~id:"sched"
+    ~name:"events_processed" ~units:"events" (fun () ->
+      float_of_int (Scheduler.events_processed sched));
+  (* The timer closure needs [t] and [t] needs the timer: tie the knot
+     through a forward cell rather than a recursive value, keeping the
+     record free of option fields on the tick path. *)
+  let cell = ref None in
+  let timer =
+    Scheduler.Timer.create sched (fun () ->
+        match !cell with Some t -> tick t | None -> ())
+  in
+  let t =
+    { sched; series = Sim_obs.Series.create m; interval; timer; armed = false;
+      ticks = 0 }
+  in
+  cell := Some t;
+  t
+
+let start t =
+  if not t.armed then begin
+    t.armed <- true;
+    Scheduler.Timer.schedule_after t.timer t.interval
+  end
+
+let stop t =
+  t.armed <- false;
+  Scheduler.Timer.cancel t.timer
+
+let ticks t = t.ticks
+let series t = t.series
+
+let capture t =
+  stop t;
+  Sim_obs.Capture.of_series t.series

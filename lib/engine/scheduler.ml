@@ -157,6 +157,8 @@ let run ?until ?max_events t =
 let pending_events t =
   Event_heap.length t.heap - t.tombstones + Timer_wheel.live t.wheel
 
+let heap_pending t = Event_heap.length t.heap - t.tombstones
+let wheel_pending t = Timer_wheel.live t.wheel
 let events_processed t = t.processed
 
 module Timer = struct

@@ -54,6 +54,14 @@ val pending_events : t -> int
     tombstones, plus wheel residents. A backlog consisting only of
     cancelled events reports zero. *)
 
+val heap_pending : t -> int
+(** Live events resident in the near-future heap (net of tombstones).
+    With {!wheel_pending} this splits {!pending_events} by structure —
+    exposed for the {!Probe} sampler's scheduler self-profiling. *)
+
+val wheel_pending : t -> int
+(** Live timers resident in the far-future wheel. *)
+
 val cancelled_pending : t -> int
 (** Cancelled events still buried in the heap as tombstones (the
     compaction heuristic's input). Excludes wheel cancellations, which

@@ -3,6 +3,7 @@ type t = {
   mutable next_conn_id : int;
   mutable next_queue_id : int;
   trace : Trace.t;
+  metrics : Sim_obs.Metrics.t;
 }
 
 let create () =
@@ -11,6 +12,7 @@ let create () =
     next_conn_id = 0;
     next_queue_id = 0;
     trace = Trace.create ();
+    metrics = Sim_obs.Metrics.create ();
   }
 
 let fresh_packet_uid t =
@@ -26,3 +28,4 @@ let fresh_queue_id t =
   t.next_queue_id
 
 let trace t = t.trace
+let metrics t = t.metrics

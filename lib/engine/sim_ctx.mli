@@ -25,3 +25,8 @@ val trace : t -> Trace.t
 (** This simulation's trace configuration. Per-simulation so that
     enabling debug tracing in one run cannot leak into concurrent runs
     on sibling domains. *)
+
+val metrics : t -> Sim_obs.Metrics.t
+(** This simulation's metrics registry. Created disabled; {!Probe}
+    turns it on before components are constructed. Per-simulation for
+    the same reason as {!trace}. *)

@@ -1,22 +1,32 @@
 type level = Error | Warn | Info | Debug
 
-type t = { mutable current : level option }
+type t = {
+  mutable current : level option;
+  mutable components : string list option;
+}
 
 let severity = function Error -> 0 | Warn -> 1 | Info -> 2 | Debug -> 3
 let label = function Error -> "ERROR" | Warn -> "WARN" | Info -> "INFO" | Debug -> "DEBUG"
 
-let create () = { current = None }
+let create () = { current = None; components = None }
 
 let set_level t l = t.current <- l
 let level t = t.current
+
+let set_components t cs = t.components <- cs
+let components t = t.components
 
 let enabled t l =
   match t.current with
   | None -> false
   | Some threshold -> severity l <= severity threshold
 
+let enabled_for t l ~component =
+  enabled t l
+  && (match t.components with None -> true | Some cs -> List.mem component cs)
+
 let logf t lvl ~component fmt =
-  if enabled t lvl then
+  if enabled_for t lvl ~component then
     Format.kfprintf
       (fun ppf -> Format.fprintf ppf "@.")
       Format.err_formatter

@@ -23,7 +23,21 @@ val set_level : t -> level option -> unit
 
 val level : t -> level option
 
+val set_components : t -> string list option -> unit
+(** Restrict output to the given component tags (the [~component]
+    argument of the [*f] functions, e.g. ["tcp_tx"], ["pktqueue"]).
+    [None] (the default) logs every component. The filter composes
+    with the level threshold: a line is printed iff its level passes
+    {!set_level} {e and} its component passes this filter. *)
+
+val components : t -> string list option
+
 val enabled : t -> level -> bool
+(** Level check only; ignores the component filter. *)
+
+val enabled_for : t -> level -> component:string -> bool
+(** Full check: level threshold plus component filter — exactly the
+    condition under which the [*f] functions print. *)
 
 val errorf : t -> component:string -> ('a, Format.formatter, unit) format -> 'a
 val warnf : t -> component:string -> ('a, Format.formatter, unit) format -> 'a

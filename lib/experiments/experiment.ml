@@ -13,13 +13,14 @@ type ('p, 'r) spec = {
   run_point : Scale.t -> 'p -> 'r;
   render : Scale.t -> ('p * 'r) list -> unit;
   sinks : Scale.t -> ('p * 'r) list -> Sink.table list;
+  capture : 'r -> Sim_obs.Capture.t option;
 }
 
 type t = E : ('p, 'r) spec -> t
 
 let make ~name ~doc ~points ~point_label ~run_point ~render
-    ?(sinks = fun _ _ -> []) () =
-  E { name; doc; points; point_label; run_point; render; sinks }
+    ?(sinks = fun _ _ -> []) ?(capture = fun _ -> None) () =
+  E { name; doc; points; point_label; run_point; render; sinks; capture }
 
 let name (E s) = s.name
 let doc (E s) = s.doc
@@ -32,7 +33,7 @@ let run_job j = j.j_run ()
 type instance = {
   i_name : string;
   i_jobs : job list;
-  i_finish : unit -> Sink.table list;
+  i_finish : unit -> Sink.artifact list;
   i_point_seconds : unit -> (string * float) list;
 }
 
@@ -86,7 +87,14 @@ let instantiate ?(clock = fun () -> 0.) (E s) scale =
       (fun () ->
         let prs = pairs () in
         s.render scale prs;
-        s.sinks scale prs);
+        let tables = List.map (fun t -> Sink.Table t) (s.sinks scale prs) in
+        let captures =
+          List.filter_map
+            (fun (p, r) ->
+              Option.map (fun c -> (s.point_label p, c)) (s.capture r))
+            prs
+        in
+        tables @ Probe_sink.artifacts ~experiment:s.name captures);
     i_point_seconds =
       (fun () ->
         Array.to_list (Array.mapi (fun i l -> (l, seconds.(i))) labels));

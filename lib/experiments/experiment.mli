@@ -27,6 +27,10 @@ type ('p, 'r) spec = {
   sinks : Scale.t -> ('p * 'r) list -> Sink.table list;
       (** declarative artifact tables for [--out DIR]; [fun _ _ -> []]
           if the experiment exports nothing *)
+  capture : 'r -> Sim_obs.Capture.t option;
+      (** extract the probe capture from a point result, if the result
+          type carries one ([Scenario.result.obs]); rendered by
+          {!Probe_sink} into per-point time-series artifacts *)
 }
 
 type t = E : ('p, 'r) spec -> t  (** packed: point/result types are internal *)
@@ -39,6 +43,7 @@ val make :
   run_point:(Scale.t -> 'p -> 'r) ->
   render:(Scale.t -> ('p * 'r) list -> unit) ->
   ?sinks:(Scale.t -> ('p * 'r) list -> Sink.table list) ->
+  ?capture:('r -> Sim_obs.Capture.t option) ->
   unit ->
   t
 
@@ -76,10 +81,11 @@ val instance_jobs : instance -> job list
     {!Domain_pool} join gives the happens-before edge that makes
     their writes visible to {!finish}. *)
 
-val finish : instance -> Sink.table list
+val finish : instance -> Sink.artifact list
 (** Render the experiment (prints via {!Report}) and return its sink
-    tables. Must be called after every job of the instance has run —
-    [Invalid_argument] otherwise. *)
+    artifacts: the declared tables plus any probe time-series
+    artifacts extracted via [capture]. Must be called after every job
+    of the instance has run — [Invalid_argument] otherwise. *)
 
 val point_seconds : instance -> (string * float) list
 (** Per-point (label, duration) as measured by [clock], in [points]

@@ -64,4 +64,4 @@ let experiment =
     ~point_label:(fun (rate, name, _) -> Printf.sprintf "rate=%.0f %s" rate name)
     ~run_point:(fun scale (rate, _, protocol) ->
       Scenario.run (Scale.scenario_config { scale with Scale.rate } ~protocol))
-    ~render ~sinks ()
+    ~render ~sinks ~capture:(fun r -> r.Scenario.obs) ()

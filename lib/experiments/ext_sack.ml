@@ -61,4 +61,4 @@ let experiment =
           base with
           Scenario.params = { base.Scenario.params with Sim_tcp.Tcp_params.sack };
         })
-    ~render ~sinks ()
+    ~render ~sinks ~capture:(fun r -> r.Scenario.obs) ()

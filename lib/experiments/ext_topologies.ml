@@ -76,4 +76,4 @@ let experiment =
     ~point_label:(fun (tname, _, pname, _) -> tname ^ " " ^ pname)
     ~run_point:(fun scale (_, topo, _, protocol) ->
       Scenario.run { (Scale.scenario_config scale ~protocol) with Scenario.topo })
-    ~render ~sinks ()
+    ~render ~sinks ~capture:(fun r -> r.Scenario.obs) ()

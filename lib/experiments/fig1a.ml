@@ -60,4 +60,4 @@ let experiment =
     ~points:(fun scale -> configs scale)
     ~point_label:(fun (n, _) -> Printf.sprintf "subflows=%d" n)
     ~run_point:(fun _scale (_, cfg) -> Scenario.run cfg)
-    ~render ~sinks ()
+    ~render ~sinks ~capture:(fun r -> r.Scenario.obs) ()

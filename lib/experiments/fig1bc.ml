@@ -69,7 +69,7 @@ let make ~tag ~title ~doc ~protocol =
       match pairs with
       | [ ((), r) ] -> render_one ~title scale r
       | _ -> assert false)
-    ~sinks:(sinks ~tag) ()
+    ~sinks:(sinks ~tag) ~capture:(fun r -> r.Scenario.obs) ()
 
 let fig1b =
   make ~tag:"fig1b"

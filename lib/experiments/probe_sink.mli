@@ -1,0 +1,24 @@
+(** Render probe captures as sink artifacts.
+
+    One capture (one simulation point) becomes:
+
+    - per-component gauge time series
+      [probe-<experiment>-<point>-<component>] — long-format tables
+      with columns [t_ns, id, metric, units, value], rows in
+      (sample time, registration) order;
+    - a histogram dump [probe-<experiment>-<point>-hist] with one row
+      per bucket;
+    - a raw JSONL event stream
+      [probe-<experiment>-<point>-events.jsonl].
+
+    Empty streams produce no artifact. All ordering is derived from
+    registration and emission order inside the simulation, so the
+    rendered bytes are independent of job count. *)
+
+val artifacts :
+  experiment:string ->
+  (string * Sim_obs.Capture.t) list ->
+  Sink.artifact list
+(** [artifacts ~experiment pairs] renders every [(point_label,
+    capture)] pair, in list order. Labels are sanitised to
+    filename-safe characters. *)

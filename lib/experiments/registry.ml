@@ -43,19 +43,20 @@ let run ?clock ?out ?git ~jobs scale experiments =
   ignore (Runner.par_map ~jobs Experiment.run_job queue : unit list);
   (* Render in registry order only after everything ran: this is what
      keeps stdout byte-identical at every job count. *)
-  let tables = List.map (fun i -> (i, Experiment.finish i)) instances in
+  let artifacts = List.map (fun i -> (i, Experiment.finish i)) instances in
   match out with
   | None -> ()
   | Some dir ->
     let entries =
       List.map
-        (fun (inst, tabs) ->
+        (fun (inst, arts) ->
           {
             Sink.e_name = Experiment.instance_name inst;
-            e_artifacts = List.concat_map (fun t -> Sink.write ~dir t) tabs;
+            e_artifacts =
+              List.concat_map (fun a -> Sink.write_artifact ~dir a) arts;
             e_points = Experiment.point_seconds inst;
           })
-        tables
+        artifacts
     in
     let manifest =
       Sink.write_manifest ~dir ~scale ~jobs ~git

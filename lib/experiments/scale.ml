@@ -8,14 +8,23 @@ type t = {
   rate : float;
   seed : int;
   horizon_s : float;
+  obs : Scenario.obs_cfg;
 }
 
 (* Horizons: short-flow arrivals span well under a second at these
    rates; the rest of the horizon is tail budget for RTO-backoff
    stragglers. *)
-let tiny = { k = 4; oversub = 2; flows = 40; rate = 50.; seed = 3; horizon_s = 2. }
-let small = { k = 4; oversub = 4; flows = 500; rate = 25.; seed = 7; horizon_s = 8. }
-let full = { k = 8; oversub = 4; flows = 20_000; rate = 25.; seed = 7; horizon_s = 30. }
+let tiny =
+  { k = 4; oversub = 2; flows = 40; rate = 50.; seed = 3; horizon_s = 2.;
+    obs = Scenario.default_obs }
+
+let small =
+  { k = 4; oversub = 4; flows = 500; rate = 25.; seed = 7; horizon_s = 8.;
+    obs = Scenario.default_obs }
+
+let full =
+  { k = 8; oversub = 4; flows = 20_000; rate = 25.; seed = 7; horizon_s = 30.;
+    obs = Scenario.default_obs }
 
 let pp ppf t =
   Format.fprintf ppf "k=%d oversub=%d flows=%d rate=%.0f/s seed=%d horizon=%gs"
@@ -30,4 +39,5 @@ let scenario_config t ~protocol =
     short_flows = t.flows;
     short_rate = t.rate;
     horizon = Time.of_sec t.horizon_s;
+    obs = t.obs;
   }

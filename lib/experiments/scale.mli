@@ -14,6 +14,9 @@ type t = {
   rate : float;  (** Poisson arrivals per short host, flows/s *)
   seed : int;
   horizon_s : float;  (** simulation stop time *)
+  obs : Sim_workload.Scenario.obs_cfg;
+      (** observability switches applied to every point; presets carry
+          {!Sim_workload.Scenario.default_obs} (everything off) *)
 }
 
 val tiny : t

@@ -110,6 +110,15 @@ let write ~dir t =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Artifacts *)
+
+type artifact = Table of table | Raw of { basename : string; contents : string }
+
+let write_artifact ~dir = function
+  | Table t -> write ~dir t
+  | Raw { basename; contents } -> [ write_file ~dir ~basename contents ]
+
+(* ------------------------------------------------------------------ *)
 (* Manifest *)
 
 type experiment_entry = {

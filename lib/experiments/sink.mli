@@ -44,6 +44,21 @@ val write : dir:string -> table -> string list
     missing); returns the basenames written, CSV first. Raises
     [Sys_error] on unwritable paths. *)
 
+(** {2 Artifacts}
+
+    Most artifacts are tables (rendered as CSV + JSON); streams that
+    are not tabular — the probe sampler's JSONL event log — are raw
+    files written verbatim. *)
+
+type artifact =
+  | Table of table
+  | Raw of { basename : string; contents : string }
+
+val write_artifact : dir:string -> artifact -> string list
+(** Write one artifact under [dir]; returns the basenames written
+    ([name.csv; name.json] for a table, the single basename for a raw
+    file). *)
+
 (** {2 Run manifest} *)
 
 type experiment_entry = {

@@ -71,4 +71,4 @@ let experiment =
     ~point_label:(fun (name, _) -> name)
     ~run_point:(fun scale (_, protocol) ->
       Scenario.run (Scale.scenario_config scale ~protocol))
-    ~render ~sinks ()
+    ~render ~sinks ~capture:(fun r -> r.Scenario.obs) ()

@@ -38,6 +38,18 @@ let start ~src ~dst ~size ~subflows ?(params = Sim_tcp.Tcp_params.default)
       }
   in
   let t = Lazy.force t in
+  (let m = Sim_engine.Sim_ctx.metrics (Scheduler.ctx sched) in
+   if Sim_obs.Metrics.want_conn m conn then begin
+     let reg name units read =
+       Sim_obs.Metrics.register m ~component:"mptcp"
+         ~id:(Printf.sprintf "c%d" conn)
+         ~name ~units read
+     in
+     reg "subflows_active" "subflows" (fun () ->
+         float_of_int (Array.length t.txs));
+     reg "bytes_received" "bytes" (fun () ->
+         float_of_int (Dataplane.received_bytes t.plane))
+   end);
   let source =
     {
       Tcp_tx.pull = (fun ~max -> Dataplane.pull t.plane ~max);

@@ -61,21 +61,19 @@ let attach net =
               else Hashtbl.replace t.seen key ()
             end
           end);
-      Pktqueue.set_drop_hook (Link.queue link)
-        (Some
-           (fun pkt ->
-             let s = get t pkt.Packet.tcp.Packet.conn in
-             s.drops <- s.drops + 1;
-             s.drops_per_layer <- bump_layer s.drops_per_layer layer;
-             (* A segment dropped at the sender's own uplink never hits
-                the transmit tap; record it so its retransmission is
-                still recognised as one. *)
-             if Layer.equal layer Layer.Host_layer && Packet.is_data pkt then
-               Hashtbl.replace t.seen
-                 ( pkt.Packet.tcp.Packet.conn,
-                   pkt.Packet.tcp.Packet.subflow,
-                   pkt.Packet.tcp.Packet.seq )
-                 ())))
+      Pktqueue.add_drop_hook (Link.queue link) (fun pkt ->
+          let s = get t pkt.Packet.tcp.Packet.conn in
+          s.drops <- s.drops + 1;
+          s.drops_per_layer <- bump_layer s.drops_per_layer layer;
+          (* A segment dropped at the sender's own uplink never hits
+             the transmit tap; record it so its retransmission is
+             still recognised as one. *)
+          if Layer.equal layer Layer.Host_layer && Packet.is_data pkt then
+            Hashtbl.replace t.seen
+              ( pkt.Packet.tcp.Packet.conn,
+                pkt.Packet.tcp.Packet.subflow,
+                pkt.Packet.tcp.Packet.seq )
+              ()))
     net.Topology.links;
   t
 

@@ -24,9 +24,12 @@ type t = {
   red_rng : Sim_engine.Rng.t;
   mutable red_avg : float;
   lay : Layer.t;
+  qname : string;
   mutable backlog_bytes : int;
-  mutable drop_hook : (Packet.t -> unit) option;
+  (* Installation order; every hook sees every dropped packet. *)
+  mutable drop_hooks : (Packet.t -> unit) list;
   st : stats;
+  m : Sim_obs.Metrics.t option;  (* [Some] only when the registry is on *)
 }
 
 let create ?ecn_threshold ?red ~ctx ~capacity ~layer () =
@@ -41,20 +44,38 @@ let create ?ecn_threshold ?red ~ctx ~capacity ~layer () =
   (* Deterministic per-queue RED randomness: construction order within
      the simulation seeds. *)
   let queue_id = Sim_engine.Sim_ctx.fresh_queue_id ctx in
-  {
-    q = Queue.create ();
-    cap = capacity;
-    ecn_threshold = (if red = None then ecn_threshold else None);
-    red;
-    red_rng = Sim_engine.Rng.create ~seed:(0xEED + queue_id);
-    red_avg = 0.;
-    lay = layer;
-    backlog_bytes = 0;
-    drop_hook = None;
-    st = { enqueued = 0; dropped = 0; marked = 0; bytes_enqueued = 0; max_backlog = 0 };
-  }
+  let metrics = Sim_engine.Sim_ctx.metrics ctx in
+  let qname = Printf.sprintf "q%d.%s" queue_id (Layer.to_string layer) in
+  let t =
+    {
+      q = Queue.create ();
+      cap = capacity;
+      ecn_threshold = (if red = None then ecn_threshold else None);
+      red;
+      red_rng = Sim_engine.Rng.create ~seed:(0xEED + queue_id);
+      red_avg = 0.;
+      lay = layer;
+      qname;
+      backlog_bytes = 0;
+      drop_hooks = [];
+      st = { enqueued = 0; dropped = 0; marked = 0; bytes_enqueued = 0; max_backlog = 0 };
+      m = (if Sim_obs.Metrics.active metrics then Some metrics else None);
+    }
+  in
+  (match t.m with
+   | Some m ->
+     let reg name units read =
+       Sim_obs.Metrics.register m ~component:"pktqueue" ~id:qname ~name ~units
+         read
+     in
+     reg "depth_pkts" "pkts" (fun () -> float_of_int (Queue.length t.q));
+     reg "depth_bytes" "bytes" (fun () -> float_of_int t.backlog_bytes);
+     reg "drops" "pkts" (fun () -> float_of_int t.st.dropped);
+     reg "ecn_marks" "pkts" (fun () -> float_of_int t.st.marked)
+   | None -> ());
+  t
 
-let set_drop_hook t hook = t.drop_hook <- hook
+let add_drop_hook t hook = t.drop_hooks <- t.drop_hooks @ [ hook ]
 
 let red_average t = t.red_avg
 
@@ -91,7 +112,16 @@ let enqueue t pkt =
   in
   if Queue.length t.q >= t.cap || red_decision = `Drop then begin
     t.st.dropped <- t.st.dropped + 1;
-    (match t.drop_hook with Some f -> f pkt | None -> ());
+    (match t.m with
+     | Some m ->
+       Sim_obs.Metrics.emit m ~kind:"queue_drop"
+         ~conn:pkt.Packet.tcp.Packet.conn
+         ~subflow:pkt.Packet.tcp.Packet.subflow
+         ~info:
+           [ ("queue", t.qname); ("size", string_of_int pkt.Packet.size) ]
+         ()
+     | None -> ());
+    List.iter (fun f -> f pkt) t.drop_hooks;
     false
   end
   else begin

@@ -51,8 +51,13 @@ val create :
 val enqueue : t -> Packet.t -> bool
 (** [false] if the packet was dropped. *)
 
-val set_drop_hook : t -> (Packet.t -> unit) option -> unit
-(** Observe dropped packets (flow monitors); [None] uninstalls. *)
+val add_drop_hook : t -> (Packet.t -> unit) -> unit
+(** Register an observer called for every dropped packet. Multiple
+    observers may coexist (e.g. {!Flowmon} and the metrics layer);
+    they run in installation order, after the drop is counted in
+    {!stats} and after any [queue_drop] metrics event is emitted.
+    Hooks cannot be removed — an observer lives as long as its
+    queue. *)
 
 val dequeue : t -> Packet.t option
 val backlog_pkts : t -> int

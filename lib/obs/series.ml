@@ -1,0 +1,67 @@
+(* Columnar row store for sampled gauge values: three parallel
+   grow-by-doubling arrays, no per-row boxing. The gauge array is a
+   cached snapshot of the registry, refreshed only when the
+   registration count changes (connections appearing mid-run). *)
+
+type t = {
+  m : Metrics.t;
+  mutable insts : (Metrics.meta * (unit -> float)) array;
+  mutable t_ns : int array;
+  mutable idx : int array;
+  mutable v : float array;
+  mutable n : int;
+}
+
+let create m =
+  {
+    m;
+    insts = Metrics.gauges m;
+    t_ns = Array.make 64 0;
+    idx = Array.make 64 0;
+    v = Array.make 64 0.;
+    n = 0;
+  }
+
+let metrics t = t.m
+
+let ensure t extra =
+  let need = t.n + extra in
+  if need > Array.length t.t_ns then begin
+    let cap = ref (max 64 (Array.length t.t_ns)) in
+    while !cap < need do
+      cap := !cap * 2
+    done;
+    let grow_i a =
+      let b = Array.make !cap 0 in
+      Array.blit a 0 b 0 t.n;
+      b
+    in
+    let grow_f a =
+      let b = Array.make !cap 0. in
+      Array.blit a 0 b 0 t.n;
+      b
+    in
+    t.t_ns <- grow_i t.t_ns;
+    t.idx <- grow_i t.idx;
+    t.v <- grow_f t.v
+  end
+
+let sample t ~now_ns =
+  if Array.length t.insts <> Metrics.gauge_count t.m then
+    t.insts <- Metrics.gauges t.m;
+  let k = Array.length t.insts in
+  ensure t k;
+  for i = 0 to k - 1 do
+    let _, read = t.insts.(i) in
+    let j = t.n + i in
+    t.t_ns.(j) <- now_ns;
+    t.idx.(j) <- i;
+    t.v.(j) <- read ()
+  done;
+  t.n <- t.n + k
+
+let length t = t.n
+
+let get t i =
+  if i < 0 || i >= t.n then invalid_arg "Series.get";
+  (t.t_ns.(i), t.idx.(i), t.v.(i))

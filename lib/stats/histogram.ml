@@ -27,6 +27,16 @@ let count t = t.total
 let bucket_counts t = Array.copy t.counts
 let overflow t = t.counts.(t.buckets)
 
+let merge a b =
+  if a.lo <> b.lo || a.hi <> b.hi || a.buckets <> b.buckets then
+    invalid_arg "Histogram.merge: mismatched bucket layout";
+  let t = create ~lo:a.lo ~hi:a.hi ~buckets:a.buckets in
+  for i = 0 to a.buckets do
+    t.counts.(i) <- a.counts.(i) + b.counts.(i)
+  done;
+  t.total <- a.total + b.total;
+  t
+
 let bucket_bounds t i =
   if i < 0 || i > t.buckets then invalid_arg "Histogram.bucket_bounds";
   if i = t.buckets then (t.hi, infinity)

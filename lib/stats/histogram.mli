@@ -16,5 +16,13 @@ val bucket_bounds : t -> int -> float * float
 
 val overflow : t -> int
 
+val merge : t -> t -> t
+(** [merge a b] is a fresh histogram whose counts are the bucket-wise
+    sum of [a] and [b]. Both inputs are left untouched.
+
+    @raise Invalid_argument if the two histograms disagree on [lo],
+    [hi] or [buckets] — bucket-wise addition is only meaningful over
+    an identical layout. *)
+
 val render : ?width:int -> t -> string
 (** ASCII rendering, one line per non-empty bucket. *)

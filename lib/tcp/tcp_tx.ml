@@ -86,6 +86,8 @@ type t = {
   mutable all_acked_fired : bool;
   mutable sacked_bytes : int;  (* bytes in [segs] currently SACKed *)
   st : stats;
+  m : Sim_obs.Metrics.t option;  (* [Some] only when probing this conn *)
+  hist_rtt : Sim_stats.Histogram.t option;
 }
 
 let noop () = ()
@@ -102,6 +104,16 @@ let window t =
     srtt = (fun () -> Rtt_estimator.srtt t.rtt);
   }
 
+let mss t = t.params.Tcp_params.mss
+let flight t = t.snd_nxt - t.snd_una
+
+let current_rto t =
+  let base = Rtt_estimator.rto t.rtt in
+  let backed =
+    Time.scale base (Float.of_int (1 lsl min t.backoff 16))
+  in
+  Time.min backed t.params.Tcp_params.max_rto
+
 let create ~host ~peer ~conn ~subflow ~params ~src_port ~dst_port ~source ~cc
     ?dupack_threshold ?(on_established = noop) ?(on_dsn_acked = noop_dsn)
     ?(on_all_acked = noop) ?(on_dsack = noop) ?(on_first_congestion = noop) () =
@@ -109,6 +121,20 @@ let create ~host ~peer ~conn ~subflow ~params ~src_port ~dst_port ~source ~cc
     match dupack_threshold with
     | Some f -> f
     | None -> fun () -> params.Tcp_params.dupack_threshold
+  in
+  let metrics =
+    let m = Sim_engine.Sim_ctx.metrics (Scheduler.ctx (Host.sched host)) in
+    if Sim_obs.Metrics.want_conn m conn then Some m else None
+  in
+  let mid = Printf.sprintf "c%d.s%d" conn subflow in
+  let hist_rtt =
+    match metrics with
+    | Some m ->
+      (* Data-centre RTTs: 100 µs per bucket up to 5 ms, overflow
+         beyond (queue-buildup and RTO-scale outliers). *)
+      Sim_obs.Metrics.histogram m ~component:"tcp_tx" ~id:mid ~name:"rtt"
+        ~units:"us" ~lo:0. ~hi:5000. ~buckets:50
+    | None -> None
   in
   let t =
     {
@@ -155,22 +181,32 @@ let create ~host ~peer ~conn ~subflow ~params ~src_port ~dst_port ~source ~cc
           dsacks_received = 0;
           syn_sent = 0;
         };
+      m = metrics;
+      hist_rtt;
     }
   in
   t.cc <- cc (window t);
+  (match t.m with
+   | Some m ->
+     let reg name units read =
+       Sim_obs.Metrics.register m ~component:"tcp_tx" ~id:mid ~name ~units read
+     in
+     reg "cwnd" "bytes" (fun () -> t.cwnd);
+     reg "ssthresh" "bytes" (fun () ->
+         (* The initial "infinite" ssthresh would drown real values in
+            any plot; report it as 0 until congestion sets it. *)
+         if t.ssthresh > 1e18 then 0. else t.ssthresh);
+     reg "inflight" "bytes" (fun () -> float_of_int (t.snd_nxt - t.snd_una));
+     reg "rto" "ns" (fun () -> float_of_int (Time.to_ns (current_rto t)));
+     reg "srtt" "ns" (fun () ->
+         match Rtt_estimator.srtt t.rtt with
+         | Some s -> float_of_int (Time.to_ns s)
+         | None -> 0.);
+     reg "bytes_acked" "bytes" (fun () -> float_of_int t.snd_una)
+   | None -> ());
   t
 
 let set_cc t factory = t.cc <- factory (window t)
-
-let mss t = t.params.Tcp_params.mss
-let flight t = t.snd_nxt - t.snd_una
-
-let current_rto t =
-  let base = Rtt_estimator.rto t.rtt in
-  let backed =
-    Time.scale base (Float.of_int (1 lsl min t.backoff 16))
-  in
-  Time.min backed t.params.Tcp_params.max_rto
 
 let cancel_rto t =
   match t.rto_timer with
@@ -305,6 +341,13 @@ and on_rto t =
     end
   | Established when flight t > 0 ->
     t.st.rto_events <- t.st.rto_events + 1;
+    (match t.m with
+     | Some m ->
+       Sim_obs.Metrics.emit m ~kind:"rto_fired" ~conn:t.conn
+         ~subflow:t.subflow
+         ~info:[ ("backoff", string_of_int t.backoff) ]
+         ()
+     | None -> ());
     first_congestion t;
     t.cc.Cong.on_loss Cong.Timeout;
     t.dup_acks <- 0;
@@ -381,6 +424,13 @@ let check_all_acked t =
 
 let enter_fast_recovery t =
   t.st.fast_rtx_events <- t.st.fast_rtx_events + 1;
+  (match t.m with
+   | Some m ->
+     Sim_obs.Metrics.emit m ~kind:"fast_retransmit" ~conn:t.conn
+       ~subflow:t.subflow
+       ~info:[ ("dup_acks", string_of_int t.dup_acks) ]
+       ()
+   | None -> ());
   first_congestion t;
   t.cc.Cong.on_loss Cong.Fast_retransmit;
   t.cwnd <- t.cwnd +. (3. *. float_of_int (mss t));
@@ -412,7 +462,13 @@ let handle_new_ack t a ~ece =
   (match !sample with
    | Some sent_at ->
      let now = Scheduler.now t.sched in
-     Rtt_estimator.observe t.rtt (Time.diff now sent_at)
+     let rtt_sample = Time.diff now sent_at in
+     Rtt_estimator.observe t.rtt rtt_sample;
+     (match t.hist_rtt with
+      | Some h ->
+        Sim_stats.Histogram.add h
+          (float_of_int (Time.to_ns rtt_sample) /. 1e3)
+      | None -> ())
    | None -> ());
   (match t.recovery with
    | Fast_recovery ->

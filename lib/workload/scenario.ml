@@ -16,6 +16,21 @@ type topology_kind =
   | Vl2_topo of Sim_net.Vl2.params
   | Dumbbell_topo of { pairs : int; bottleneck : Sim_net.Topology.link_spec }
 
+type obs_cfg = {
+  probe_interval : Time.t option;
+  probe_conns : int list option;
+  trace_level : Sim_engine.Trace.level option;
+  trace_components : string list option;
+}
+
+let default_obs =
+  {
+    probe_interval = None;
+    probe_conns = None;
+    trace_level = None;
+    trace_components = None;
+  }
+
 type config = {
   topo : topology_kind;
   protocol : protocol;
@@ -28,6 +43,7 @@ type config = {
   short_rate : float;
   horizon : Time.t;
   params : Sim_tcp.Tcp_params.t;
+  obs : obs_cfg;
 }
 
 (* Link configuration for the paper experiments: 100 Mb/s with
@@ -59,6 +75,7 @@ let default_config =
     short_rate = 25.;
     horizon = Time.of_sec 20.;
     params = Sim_tcp.Tcp_params.default;
+    obs = default_obs;
   }
 
 let protocol_name = function
@@ -90,6 +107,7 @@ type result = {
   net : Sim_net.Topology.t;
   events : int;
   duration : Time.t;
+  obs : Sim_obs.Capture.t option;
 }
 
 (* A live flow: how to read its outcome after the run. *)
@@ -183,12 +201,31 @@ let start_flow cfg ~net ~rng ~src_id ~dst_id ~size ~is_long =
       l_bytes = (fun () -> Mmptcp.Mmptcp_conn.bytes_received c);
     }
 
-let run ?(progress = fun _ -> ()) cfg =
+let run ?(progress = fun _ -> ()) (cfg : config) =
   (* The scheduler owns all per-simulation state (clock, event heap,
      and the Sim_ctx identifier counters), so a run is self-contained:
      same [cfg] in, same result out, regardless of what else runs in
      this process — or concurrently on other domains. *)
   let sched = Scheduler.create () in
+  let trace = Sim_engine.Sim_ctx.trace (Scheduler.ctx sched) in
+  (match cfg.obs.trace_level with
+   | Some _ as l -> Sim_engine.Trace.set_level trace l
+   | None -> ());
+  (match cfg.obs.trace_components with
+   | Some _ as cs -> Sim_engine.Trace.set_components trace cs
+   | None -> ());
+  (* The probe must exist before the topology: queue gauges register at
+     queue construction, and the registry is consulted only then. *)
+  let probe =
+    match cfg.obs.probe_interval with
+    | Some interval ->
+      let p =
+        Sim_engine.Probe.create ?conns:cfg.obs.probe_conns sched ~interval
+      in
+      Sim_engine.Probe.start p;
+      Some p
+    | None -> None
+  in
   let rng = Rng.create ~seed:cfg.seed in
   let net = build_topology ~sched cfg.topo in
   let n = Topology.host_count net in
@@ -283,6 +320,7 @@ let run ?(progress = fun _ -> ()) cfg =
     net;
     events = Scheduler.events_processed sched;
     duration = Scheduler.now sched;
+    obs = Option.map Sim_engine.Probe.capture probe;
   }
 
 let short_fcts_ms r =

@@ -19,6 +19,21 @@ type topology_kind =
   | Vl2_topo of Sim_net.Vl2.params
   | Dumbbell_topo of { pairs : int; bottleneck : Sim_net.Topology.link_spec }
 
+(** Observability switches, all off by default. Probing and tracing
+    are read-only taps: they never change flow behaviour, only add
+    sampler timer events to the schedule. *)
+type obs_cfg = {
+  probe_interval : Time.t option;
+      (** sample registered gauges every this much virtual time *)
+  probe_conns : int list option;
+      (** restrict connection-scoped instruments to these conn ids *)
+  trace_level : Sim_engine.Trace.level option;
+  trace_components : string list option;
+      (** restrict trace output to these component tags *)
+}
+
+val default_obs : obs_cfg
+
 type config = {
   topo : topology_kind;
   protocol : protocol;
@@ -31,6 +46,7 @@ type config = {
   short_rate : float;  (** Poisson arrival rate per short host, flows/s *)
   horizon : Time.t;  (** hard stop *)
   params : Sim_tcp.Tcp_params.t;
+  obs : obs_cfg;
 }
 
 val paper_link_spec : Sim_net.Topology.link_spec
@@ -66,6 +82,8 @@ type result = {
   net : Sim_net.Topology.t;
   events : int;
   duration : Time.t;  (** simulated time actually elapsed *)
+  obs : Sim_obs.Capture.t option;
+      (** probe capture, when [config.obs.probe_interval] was set *)
 }
 
 val run : ?progress:(string -> unit) -> config -> result

@@ -35,7 +35,8 @@ let tiny_result () =
   let cfg =
     {
       (Scale.scenario_config
-         { Scale.k = 4; oversub = 1; flows = 20; rate = 50.; seed = 5; horizon_s = 3. }
+         { Scale.k = 4; oversub = 1; flows = 20; rate = 50.; seed = 5; horizon_s = 3.;
+           obs = Scenario.default_obs }
          ~protocol:Scenario.Tcp_proto)
       with
       Scenario.topo = Scenario.Fattree_topo (Scenario.paper_fattree ~k:4 ~oversub:1 ());

@@ -48,7 +48,11 @@ let test_jobs_invariant () =
     let log = ref [] in
     let inst = Experiment.instantiate (synthetic ~log ()) scale in
     run_jobs ~jobs inst;
-    let tables = Experiment.finish inst in
+    let tables =
+      List.filter_map
+        (function Sink.Table t -> Some t | Sink.Raw _ -> None)
+        (Experiment.finish inst)
+    in
     (!log, List.map Sink.rows tables)
   in
   let log1, rows1 = at 1 in

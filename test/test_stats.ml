@@ -80,6 +80,50 @@ let test_histogram_underflow_clamps () =
   Histogram.add h 3.;
   check_int "clamped to first bucket" 1 (Histogram.bucket_counts h).(0)
 
+let test_histogram_merge () =
+  let a = Histogram.create ~lo:0. ~hi:100. ~buckets:10 in
+  let b = Histogram.create ~lo:0. ~hi:100. ~buckets:10 in
+  List.iter (Histogram.add a) [ 5.; 15.; 150. ];
+  List.iter (Histogram.add b) [ 5.; 25.; 99. ];
+  let m = Histogram.merge a b in
+  check_int "merged total" 6 (Histogram.count m);
+  let counts = Histogram.bucket_counts m in
+  check_int "bucket 0 summed" 2 counts.(0);
+  check_int "bucket 1 from a" 1 counts.(1);
+  check_int "bucket 2 from b" 1 counts.(2);
+  check_int "overflow from a" 1 (Histogram.overflow m);
+  (* Inputs untouched. *)
+  check_int "a total unchanged" 3 (Histogram.count a);
+  check_int "b total unchanged" 3 (Histogram.count b)
+
+let test_histogram_merge_mismatch_rejected () =
+  let err = Invalid_argument "Histogram.merge: mismatched bucket layout" in
+  let base = Histogram.create ~lo:0. ~hi:100. ~buckets:10 in
+  Alcotest.check_raises "different lo" err (fun () ->
+      ignore
+        (Histogram.merge base (Histogram.create ~lo:1. ~hi:100. ~buckets:10)));
+  Alcotest.check_raises "different hi" err (fun () ->
+      ignore
+        (Histogram.merge base (Histogram.create ~lo:0. ~hi:50. ~buckets:10)));
+  Alcotest.check_raises "different buckets" err (fun () ->
+      ignore
+        (Histogram.merge base (Histogram.create ~lo:0. ~hi:100. ~buckets:5)))
+
+let prop_histogram_merge_is_concat =
+  QCheck.Test.make ~name:"merge equals adding both sample sets" ~count:200
+    QCheck.(
+      pair (list (float_bound_exclusive 200.)) (list (float_bound_exclusive 200.)))
+    (fun (la, lb) ->
+      let a = Histogram.create ~lo:0. ~hi:100. ~buckets:7 in
+      let b = Histogram.create ~lo:0. ~hi:100. ~buckets:7 in
+      List.iter (Histogram.add a) la;
+      List.iter (Histogram.add b) lb;
+      let m = Histogram.merge a b in
+      let direct = Histogram.create ~lo:0. ~hi:100. ~buckets:7 in
+      List.iter (Histogram.add direct) (la @ lb);
+      Histogram.bucket_counts m = Histogram.bucket_counts direct
+      && Histogram.count m = Histogram.count direct)
+
 let prop_histogram_conserves_count =
   QCheck.Test.make ~name:"histogram conserves count" ~count:200
     QCheck.(list (float_bound_exclusive 200.))
@@ -192,6 +236,10 @@ let () =
           Alcotest.test_case "buckets" `Quick test_histogram_buckets;
           Alcotest.test_case "bounds" `Quick test_histogram_bounds;
           Alcotest.test_case "underflow clamps" `Quick test_histogram_underflow_clamps;
+          Alcotest.test_case "merge" `Quick test_histogram_merge;
+          Alcotest.test_case "merge mismatch rejected" `Quick
+            test_histogram_merge_mismatch_rejected;
+          qt prop_histogram_merge_is_concat;
           qt prop_histogram_conserves_count;
         ] );
       ( "table",
