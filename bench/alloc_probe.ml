@@ -1,0 +1,49 @@
+(* Minor-allocation probe: Gc.minor_words around the packet-path
+   benches, independent of bechamel so the number is comparable across
+   trees whose micro.ml differ. *)
+
+module Stime = Sim_engine.Sim_time
+module Scheduler = Sim_engine.Scheduler
+
+let tcp_transfer () =
+  let sched = Scheduler.create () in
+  let net = Sim_net.Dumbbell.direct ~sched () in
+  let f =
+    Sim_tcp.Flow.start
+      ~src:(Sim_net.Topology.host net 0)
+      ~dst:(Sim_net.Topology.host net 1)
+      ~size:70_000 ()
+  in
+  Scheduler.run ~until:(Stime.of_sec 5.) sched;
+  assert (Sim_tcp.Flow.is_complete f)
+
+let measure name f =
+  f ();
+  let rounds = 50 in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to rounds do
+    f ()
+  done;
+  let w1 = Gc.minor_words () in
+  Printf.printf "%-24s %12.0f minor words/run\n" name
+    ((w1 -. w0) /. float_of_int rounds)
+
+let () = measure "packet:tcp-70KB" tcp_transfer
+
+let fig1a_inner () =
+  let cfg =
+    Sim_experiments.Scale.scenario_config Sim_experiments.Scale.tiny
+      ~protocol:(Sim_workload.Scenario.Mmptcp_proto Mmptcp.Strategy.default)
+  in
+  ignore (Sim_workload.Scenario.run cfg)
+
+let () =
+  let rounds = 5 in
+  fig1a_inner ();
+  let w0 = Gc.minor_words () in
+  for _ = 1 to rounds do
+    fig1a_inner ()
+  done;
+  let w1 = Gc.minor_words () in
+  Printf.printf "%-24s %12.0f minor words/run\n" "fig1a:inner"
+    ((w1 -. w0) /. float_of_int rounds)

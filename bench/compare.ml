@@ -1,0 +1,125 @@
+(* Regression gate over BENCH_engine.json files.
+
+   Usage: compare BASELINE.json CURRENT.json [--threshold PCT]
+
+   Exits 1 if any benchmark present in both files regressed by more
+   than the threshold (default 10%) in ns/run; benchmarks that exist
+   in only one file are reported but never fail the gate, so adding or
+   retiring a benchmark does not need a baseline refresh in the same
+   commit. Minor-words numbers are printed for context only — they
+   vary legitimately with measurement batching, and time is the gate.
+
+   The parser is matched to micro.ml's writer: a flat object, one
+   benchmark per line, first quoted string the name, numeric fields
+   given as `"key": value`. *)
+
+let fail_usage () =
+  prerr_endline "usage: compare BASELINE.json CURRENT.json [--threshold PCT]";
+  exit 2
+
+(* Extract the float following `"key": ` in [line], if any. *)
+let field_value line key =
+  let pat = Printf.sprintf "\"%s\":" key in
+  let plen = String.length pat in
+  let llen = String.length line in
+  let rec find i =
+    if i + plen > llen then None
+    else if String.sub line i plen = pat then begin
+      let j = ref (i + plen) in
+      while !j < llen && line.[!j] = ' ' do incr j done;
+      let k = ref !j in
+      while
+        !k < llen
+        && (match line.[!k] with '0' .. '9' | '.' | '-' | 'e' | '+' -> true
+           | _ -> false)
+      do
+        incr k
+      done;
+      float_of_string_opt (String.sub line !j (!k - !j))
+    end
+    else find (i + 1)
+  in
+  find 0
+
+let quoted_name line =
+  match String.split_on_char '"' line with
+  | _ :: name :: _ -> Some name
+  | _ -> None
+
+let parse_file path =
+  let ic =
+    try open_in path
+    with Sys_error m ->
+      prerr_endline ("compare: " ^ m);
+      exit 2
+  in
+  let rows = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       match (quoted_name line, field_value line "ns_per_run") with
+       | Some name, Some ns when name <> "ns_per_run" ->
+         let mw = Option.value ~default:0. (field_value line "mw_per_run") in
+         rows := (name, (ns, mw)) :: !rows
+       | _ -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !rows
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let threshold =
+    let rec find = function
+      | "--threshold" :: v :: _ -> (
+        match float_of_string_opt v with
+        | Some t when t > 0. -> t
+        | _ -> fail_usage ())
+      | _ :: rest -> find rest
+      | [] -> 10.
+    in
+    find args
+  in
+  let positional =
+    List.filteri (fun i _ -> i > 0) args
+    |> List.filter (fun a -> not (String.length a > 1 && a.[0] = '-'))
+  in
+  let baseline_path, current_path =
+    match positional with
+    | [ b; c ] -> (b, c)
+    | [ b; c; _ ] when List.mem "--threshold" args -> (b, c)
+    | _ -> fail_usage ()
+  in
+  let baseline = parse_file baseline_path in
+  let current = parse_file current_path in
+  let regressions = ref 0 in
+  Printf.printf "%-32s %12s %12s %8s\n" "benchmark" "baseline ns" "current ns"
+    "delta";
+  print_endline (String.make 68 '-');
+  List.iter
+    (fun (name, (cur_ns, cur_mw)) ->
+      match List.assoc_opt name baseline with
+      | None -> Printf.printf "%-32s %12s %12.1f %8s\n" name "(new)" cur_ns ""
+      | Some (base_ns, _) ->
+        let delta = (cur_ns -. base_ns) /. base_ns *. 100. in
+        let flag =
+          if delta > threshold then begin
+            incr regressions;
+            "  REGRESSED"
+          end
+          else ""
+        in
+        Printf.printf "%-32s %12.1f %12.1f %+7.1f%%%s  (mw %.0f)\n" name
+          base_ns cur_ns delta flag cur_mw)
+    current;
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name current) then
+        Printf.printf "%-32s (removed)\n" name)
+    baseline;
+  if !regressions > 0 then begin
+    Printf.printf "\n%d benchmark(s) regressed more than %.0f%%\n" !regressions
+      threshold;
+    exit 1
+  end
+  else Printf.printf "\nno regression beyond %.0f%%\n" threshold

@@ -203,21 +203,9 @@ let micro_tests =
   let ecmp_pkt =
     Sim_net.Packet.make
       ~ctx:(Sim_engine.Sim_ctx.create ())
-      ~src:(Sim_net.Addr.of_int 1) ~dst:(Sim_net.Addr.of_int 2)
-      ~tcp:
-        {
-          Sim_net.Packet.conn = 1;
-          subflow = 0;
-          src_port = 1234;
-          dst_port = 80;
-          seq = 0;
-          ack_seq = 0;
-          len = 1400;
-          flags = Sim_net.Packet.data_flags;
-          ece = false;
-          dup_seen = false;
-          dsn = 0; sack = [];
-        }
+      ~src:(Sim_net.Addr.of_int 1) ~dst:(Sim_net.Addr.of_int 2) ~conn:1
+      ~subflow:0 ~src_port:1234 ~dst_port:80 ~seq:0 ~ack_seq:0 ~len:1400
+      ~bits:Sim_net.Packet.data_bits ~dsn:0
   in
   [
     Test.make ~name:"micro:event-heap-1k" (Staged.stage heap);

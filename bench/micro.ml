@@ -85,22 +85,9 @@ let packet_hop () =
   for _ = 0 to 63 do
     let pkt =
       Sim_net.Packet.make ~ctx ~src:(Sim_net.Addr.of_int 1)
-        ~dst:(Sim_net.Addr.of_int 2)
-        ~tcp:
-          {
-            Sim_net.Packet.conn = 1;
-            subflow = 0;
-            src_port = 1234;
-            dst_port = 80;
-            seq = 0;
-            ack_seq = 0;
-            len = 1400;
-            flags = Sim_net.Packet.data_flags;
-            ece = false;
-            dup_seen = false;
-            dsn = 0;
-            sack = [];
-          }
+        ~dst:(Sim_net.Addr.of_int 2) ~conn:1 ~subflow:0 ~src_port:1234
+        ~dst_port:80 ~seq:0 ~ack_seq:0 ~len:1400
+        ~bits:Sim_net.Packet.data_bits ~dsn:0
     in
     Sim_net.Link.send link pkt
   done;
@@ -166,11 +153,14 @@ let benchmarks =
     ("fig1a:inner-loop", fig1a_inner);
   ]
 
+(* Per benchmark: (name, ns/run, minor words/run). Minor words are the
+   allocation-pressure number the packet-pool work targets; tracking
+   them next to time catches "faster but allocates more" trades. *)
 let run_bechamel () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
-  let instances = Instance.[ monotonic_clock ] in
+  let instances = Instance.[ monotonic_clock; minor_allocated ] in
   let cfg =
     Benchmark.cfg ~limit:50 ~quota:(Time.second 1.0) ~kde:None ~stabilize:false
       ()
@@ -180,13 +170,21 @@ let run_bechamel () =
   in
   let grouped = Test.make_grouped ~name:"engine" ~fmt:"%s/%s" tests in
   let raw = Benchmark.all cfg instances grouped in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
-  Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
-  |> List.sort compare
-  |> List.filter_map (fun (name, ols) ->
-         match Analyze.OLS.estimates ols with
-         | Some (est :: _) -> Some (name, est)
-         | Some [] | None -> None)
+  let estimates instance =
+    let results = Analyze.all ols instance raw in
+    Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+    |> List.sort compare
+    |> List.filter_map (fun (name, ols) ->
+           match Analyze.OLS.estimates ols with
+           | Some (est :: _) -> Some (name, est)
+           | Some [] | None -> None)
+  in
+  let ns = estimates Instance.monotonic_clock in
+  let mw = estimates Instance.minor_allocated in
+  List.map
+    (fun (name, t) ->
+      (name, t, Option.value ~default:0. (List.assoc_opt name mw)))
+    ns
 
 let pretty ns =
   if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
@@ -200,16 +198,41 @@ let write_json path rows =
   let oc = open_out path in
   output_string oc "{\n";
   List.iteri
-    (fun i (name, est) ->
-      Printf.fprintf oc "  %S: { \"ns_per_run\": %.1f }%s\n" name est
+    (fun i (name, ns, mw) ->
+      Printf.fprintf oc "  %S: { \"ns_per_run\": %.1f, \"mw_per_run\": %.1f }%s\n"
+        name ns mw
         (if i = List.length rows - 1 then "" else ","))
     rows;
   output_string oc "}\n";
   close_out oc
 
+(* One JSONL line per invocation, appended to the committed
+   BENCH_history.jsonl. Commit and date arrive as arguments — sampling
+   them here would make reruns of the same tree disagree — so the line
+   is a pure function of (tree, machine). *)
+let append_history path ~commit ~date rows =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  Printf.fprintf oc "{\"commit\": %S, \"date\": %S, \"results\": {" commit date;
+  List.iteri
+    (fun i (name, ns, mw) ->
+      Printf.fprintf oc "%s%S: {\"ns_per_run\": %.1f, \"mw_per_run\": %.1f}"
+        (if i = 0 then "" else ", ")
+        name ns mw)
+    rows;
+  output_string oc "}}\n";
+  close_out oc
+
 let () =
   Gc.set { (Gc.get ()) with minor_heap_size = 262_144; space_overhead = 120 };
   let args = Array.to_list Sys.argv in
+  let opt name =
+    let rec find = function
+      | flag :: v :: _ when flag = name -> Some v
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
   if List.mem "--smoke" args then begin
     List.iter
       (fun (name, f) ->
@@ -219,20 +242,21 @@ let () =
     print_endline "smoke: all benchmarks ran"
   end
   else begin
-    let out =
-      let rec find = function
-        | "--out" :: v :: _ -> v
-        | _ :: rest -> find rest
-        | [] -> "BENCH_engine.json"
-      in
-      find args
-    in
+    let out = Option.value ~default:"BENCH_engine.json" (opt "--out") in
     let rows = run_bechamel () in
-    Printf.printf "%-32s %16s\n" "benchmark" "time/run";
-    print_endline (String.make 49 '-');
+    Printf.printf "%-32s %16s %16s\n" "benchmark" "time/run" "minor words/run";
+    print_endline (String.make 66 '-');
     List.iter
-      (fun (name, est) -> Printf.printf "%-32s %16s\n" name (pretty est))
+      (fun (name, ns, mw) ->
+        Printf.printf "%-32s %16s %16.0f\n" name (pretty ns) mw)
       rows;
     write_json out rows;
-    Printf.printf "\nwrote %s\n" out
+    Printf.printf "\nwrote %s\n" out;
+    match opt "--history" with
+    | None -> ()
+    | Some path ->
+      let commit = Option.value ~default:"unknown" (opt "--commit") in
+      let date = Option.value ~default:"unknown" (opt "--date") in
+      append_history path ~commit ~date rows;
+      Printf.printf "appended %s\n" path
   end

@@ -202,6 +202,36 @@ let jobs_term =
            identical for any value; the default is the recommended domain \
            count minus one.")
 
+let exec_mode_conv =
+  let parse s =
+    match Registry.exec_mode_of_string s with
+    | Some m -> Ok m
+    | None -> Error (`Msg "expected domains or processes")
+  in
+  Arg.conv
+    ( parse,
+      fun ppf m -> Format.pp_print_string ppf (Registry.exec_mode_to_string m)
+    )
+
+let exec_mode_term =
+  Arg.(
+    value
+    & opt exec_mode_conv Registry.Processes
+    & info [ "exec-mode" ] ~docv:"MODE"
+        ~doc:
+          "How --jobs fans simulations out: $(b,processes) (the default) \
+           re-executes this binary as worker processes with private heaps — \
+           the mode that actually scales, since domains contend on the \
+           shared major heap — while $(b,domains) keeps everything in one \
+           process on OCaml domains. Output is byte-identical either way; \
+           --jobs 1 runs sequentially in-process in both modes.")
+
+(* Hidden protocol flag: `mmptcp_sim <cmd> <args> --worker` turns the
+   invocation into a Proc_pool worker serving job indices on stdin for
+   the identical parent command line. *)
+let worker_term =
+  Arg.(value & flag & info [ "worker" ] ~docs:Manpage.s_none)
+
 let out_term =
   Arg.(
     value
@@ -225,16 +255,35 @@ let git_describe () =
     | _ -> None
   with _ -> None
 
-let run_registry experiments jobs out scale =
-  Registry.run ~clock:Unix.gettimeofday ?out ?git:(git_describe ()) ~jobs scale
-    experiments;
-  0
+(* The command line workers are spawned with: this invocation's argv
+   (so they re-derive the same experiments, scale and seeds) plus the
+   hidden --worker flag. argv.(0) is replaced by the executable's
+   resolved path because Proc_pool does not search $PATH. *)
+let worker_argv () =
+  let argv = Array.copy Sys.argv in
+  argv.(0) <- Sys.executable_name;
+  Array.append argv [| "--worker" |]
+
+let run_registry experiments jobs exec_mode worker out scale =
+  if worker then begin
+    Registry.worker ~clock:Unix.gettimeofday scale experiments;
+    0
+  end
+  else begin
+    Registry.run ~clock:Unix.gettimeofday ?out ?git:(git_describe ())
+      ~exec_mode ~worker_argv:(worker_argv ()) ~jobs scale experiments;
+    0
+  end
 
 let experiment_cmd e =
-  let run jobs out scale = run_registry [ e ] jobs out scale in
+  let run jobs exec_mode worker out scale =
+    run_registry [ e ] jobs exec_mode worker out scale
+  in
   Cmd.v
     (Cmd.info (Experiment.name e) ~doc:(Experiment.doc e))
-    Term.(const run $ jobs_term $ out_term $ scale_term)
+    Term.(
+      const run $ jobs_term $ exec_mode_term $ worker_term $ out_term
+      $ scale_term)
 
 let only_conv =
   let parse s =
@@ -265,7 +314,7 @@ let all_cmd =
             "Restrict to a comma-separated subset of experiments; they run \
              and render in registry order regardless of the order given.")
   in
-  let run only jobs out scale =
+  let run only jobs exec_mode worker out scale =
     let experiments =
       match only with
       | None -> Registry.all
@@ -274,7 +323,7 @@ let all_cmd =
         | Ok es -> es
         | Error _ -> assert false (* validated by only_conv *))
     in
-    run_registry experiments jobs out scale
+    run_registry experiments jobs exec_mode worker out scale
   in
   Cmd.v
     (Cmd.info "all"
@@ -282,7 +331,9 @@ let all_cmd =
          "Run every experiment (or an --only subset) on one shared job \
           queue: all simulation points fan out together with no barrier \
           between experiments, and results render in registry order.")
-    Term.(const run $ only $ jobs_term $ out_term $ scale_term)
+    Term.(
+      const run $ only $ jobs_term $ exec_mode_term $ worker_term $ out_term
+      $ scale_term)
 
 let cmds = List.map experiment_cmd Registry.all @ [ all_cmd ]
 

@@ -201,12 +201,12 @@ let start ~src ~dst ~size ~rng ?(strategy = Strategy.default)
   in
   t.ps_tx <- Some ps_tx;
   Host.bind src ~conn (fun pkt ->
-      let i = pkt.Packet.tcp.Packet.subflow in
+      let i = pkt.Packet.subflow in
       if i = 0 then Tcp_tx.handle ps_tx pkt
       else if i >= 1 && i <= Array.length t.mp_txs then
         Tcp_tx.handle t.mp_txs.(i - 1) pkt);
   Host.bind dst ~conn (fun pkt ->
-      let i = pkt.Packet.tcp.Packet.subflow in
+      let i = pkt.Packet.subflow in
       if i >= 0 && i < Array.length t.rxs then Tcp_rx.handle t.rxs.(i) pkt);
   if size = 0 then Dataplane.deliver t.plane ~dsn:0 ~len:0;
   (match strategy.Strategy.switch with

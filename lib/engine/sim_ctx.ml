@@ -1,9 +1,12 @@
+type ext = ..
+
 type t = {
   mutable next_packet_uid : int;
   mutable next_conn_id : int;
   mutable next_queue_id : int;
   trace : Trace.t;
   metrics : Sim_obs.Metrics.t;
+  mutable ext : ext option;
 }
 
 let create () =
@@ -13,6 +16,7 @@ let create () =
     next_queue_id = 0;
     trace = Trace.create ();
     metrics = Sim_obs.Metrics.create ();
+    ext = None;
   }
 
 let fresh_packet_uid t =
@@ -29,3 +33,5 @@ let fresh_queue_id t =
 
 let trace t = t.trace
 let metrics t = t.metrics
+let ext t = t.ext
+let set_ext t e = t.ext <- Some e

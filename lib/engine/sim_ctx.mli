@@ -10,6 +10,13 @@
 
 type t
 
+type ext = ..
+(** Open extension point: state that must live per-simulation but
+    whose type a higher layer owns. The engine cannot name, say, the
+    packet type, so {!Sim_net.Packet} extends this variant with its
+    freelist and stashes it here via {!set_ext}/{!ext}. One slot per
+    context; today its only occupant is the packet pool. *)
+
 val create : unit -> t
 
 val fresh_packet_uid : t -> int
@@ -30,3 +37,9 @@ val metrics : t -> Sim_obs.Metrics.t
 (** This simulation's metrics registry. Created disabled; {!Probe}
     turns it on before components are constructed. Per-simulation for
     the same reason as {!trace}. *)
+
+val ext : t -> ext option
+(** The extension slot, [None] until {!set_ext}. *)
+
+val set_ext : t -> ext -> unit
+(** Install (or replace) the extension payload. *)

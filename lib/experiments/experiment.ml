@@ -25,10 +25,24 @@ let make ~name ~doc ~points ~point_label ~run_point ~render
 let name (E s) = s.name
 let doc (E s) = s.doc
 
-type job = { j_label : string; j_run : unit -> unit }
+type job = {
+  j_label : string;
+  j_owner : string;
+  j_run : unit -> unit;
+  j_serial : unit -> string;
+  j_accept : string -> unit;
+}
 
 let job_label j = j.j_label
+let job_experiment j = j.j_owner
 let run_job j = j.j_run ()
+
+let run_job_serial j =
+  match j.j_serial () with
+  | payload -> Ok payload
+  | exception e -> Error (Printexc.to_string e)
+
+let accept_job j payload = j.j_accept payload
 
 type instance = {
   i_name : string;
@@ -51,6 +65,7 @@ let instantiate ?(clock = fun () -> 0.) (E s) scale =
   let job i =
     {
       j_label = labels.(i);
+      j_owner = s.name;
       j_run =
         (fun () ->
           let t0 = clock () in
@@ -64,6 +79,20 @@ let instantiate ?(clock = fun () -> 0.) (E s) scale =
                 bt
           in
           seconds.(i) <- clock () -. t0;
+          results.(i) <- Some r);
+      (* The serial pair lives where ['r] is in scope, so the bytes a
+         worker produces unmarshal back at the matching slot's type in
+         the coordinator — the only place Marshal's type-unsafety
+         could bite, closed off by construction. *)
+      j_serial =
+        (fun () ->
+          let t0 = clock () in
+          let r = s.run_point scale points.(i) in
+          Marshal.to_string (clock () -. t0, r) []);
+      j_accept =
+        (fun payload ->
+          let dt, r = Marshal.from_string payload 0 in
+          seconds.(i) <- dt;
           results.(i) <- Some r);
     }
   in

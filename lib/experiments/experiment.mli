@@ -61,10 +61,29 @@ val doc : t -> string
 type job
 
 val job_label : job -> string
+
+val job_experiment : job -> string
+(** Name of the experiment the job belongs to — the coordinator's
+    metadata for attributing a worker-process failure. *)
+
 val run_job : job -> unit
 (** Run the point on the calling domain, stashing its result and
     duration in the owning instance. Raises {!Runner.Point_failed}
     around any escaping exception. *)
+
+val run_job_serial : job -> (string, string) result
+(** Worker-process side: run the point and return its result (and
+    [clock] duration) as marshalled bytes instead of stashing them —
+    nothing is written into the instance. [Error] is
+    [Printexc.to_string] of whatever the point raised. *)
+
+val accept_job : job -> string -> unit
+(** Coordinator side: store a payload produced by {!run_job_serial}
+    for the {e same} job (same experiment list, scale and point index)
+    into the instance, as if {!run_job} had run locally. The identical
+    job must have produced the bytes — [instantiate] builds both
+    closures over the same result type, which is what makes the
+    unmarshal well-typed. *)
 
 type instance
 

@@ -30,7 +30,42 @@ let select requested =
   | None ->
     Ok (List.filter (fun e -> List.mem (Experiment.name e) requested) all)
 
-let run ?clock ?out ?git ~jobs scale experiments =
+type exec_mode = Domains | Processes
+
+let exec_mode_to_string = function
+  | Domains -> "domains"
+  | Processes -> "processes"
+
+let exec_mode_of_string = function
+  | "domains" -> Some Domains
+  | "processes" -> Some Processes
+  | _ -> None
+
+(* Fan the flat job queue out to worker processes. Results land in the
+   instances via accept_job as replies arrive; failures are collected
+   and the earliest-index one re-raised after the pool drains, exactly
+   par_map's semantics. *)
+let run_sharded ~jobs ~worker_argv queue =
+  let failures = ref [] in
+  Sim_engine.Proc_pool.run ~jobs ~worker_argv ~n:(Array.length queue)
+    ~deliver:(fun i outcome ->
+      match outcome with
+      | Ok payload -> Experiment.accept_job queue.(i) payload
+      | Error cause -> failures := (i, cause) :: !failures);
+  match List.sort compare !failures with
+  | [] -> ()
+  | (i, cause) :: _ ->
+    let j = queue.(i) in
+    raise
+      (Runner.Point_failed
+         {
+           experiment = Experiment.job_experiment j;
+           point = Experiment.job_label j;
+           exn = Runner.Remote cause;
+         })
+
+let run ?clock ?out ?git ?(exec_mode = Domains) ?worker_argv ~jobs scale
+    experiments =
   let now () = match clock with Some c -> c () | None -> 0. in
   let t0 = now () in
   let instances =
@@ -40,7 +75,12 @@ let run ?clock ?out ?git ~jobs scale experiments =
      on the shared pool; par_map's join is the barrier that makes
      every instance's result slots readable. *)
   let queue = List.concat_map Experiment.instance_jobs instances in
-  ignore (Runner.par_map ~jobs Experiment.run_job queue : unit list);
+  (match (exec_mode, worker_argv) with
+   | Processes, Some argv when jobs > 1 && queue <> [] ->
+     run_sharded ~jobs ~worker_argv:argv (Array.of_list queue)
+   | (Domains | Processes), _ ->
+     (* jobs = 1 stays sequential in-process in either mode. *)
+     ignore (Runner.par_map ~jobs Experiment.run_job queue : unit list));
   (* Render in registry order only after everything ran: this is what
      keeps stdout byte-identical at every job count. *)
   let artifacts = List.map (fun i -> (i, Experiment.finish i)) instances in
@@ -63,3 +103,15 @@ let run ?clock ?out ?git ~jobs scale experiments =
         ~total_seconds:(now () -. t0) entries
     in
     Report.printf "[artifacts + %s written to %s]\n" manifest dir
+
+let worker ?clock scale experiments =
+  let instances =
+    List.map (fun e -> Experiment.instantiate ?clock e scale) experiments
+  in
+  let queue =
+    Array.of_list (List.concat_map Experiment.instance_jobs instances)
+  in
+  Sim_engine.Proc_pool.serve ~run:(fun i ->
+      if i < 0 || i >= Array.length queue then
+        Error (Printf.sprintf "worker: job index %d out of range" i)
+      else Experiment.run_job_serial queue.(i))

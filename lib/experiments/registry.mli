@@ -17,20 +17,43 @@ val select : string list -> (Experiment.t list, string) result
     (duplicates collapsed), or [Error name] for the first unknown
     name. *)
 
+type exec_mode =
+  | Domains  (** fan out over OCaml domains in this process *)
+  | Processes
+      (** fan out over worker processes, each with a private heap —
+          the scalable mode; allocation-heavy simulations contend on
+          the domains' shared major heap *)
+
+val exec_mode_to_string : exec_mode -> string
+val exec_mode_of_string : string -> exec_mode option
+
 val run :
   ?clock:(unit -> float) ->
   ?out:string ->
   ?git:string ->
+  ?exec_mode:exec_mode ->
+  ?worker_argv:string array ->
   jobs:int ->
   Scale.t ->
   Experiment.t list ->
   unit
 (** Run the given experiments as one batch: every point of every
-    experiment is flattened into a single {!Runner.par_map}
-    submission over one shared domain pool — no barrier between
-    experiments, so a straggler point in one experiment cannot idle
-    the others' domains — then each experiment renders in list order.
-    Stdout is therefore byte-identical at every [jobs] value.
+    experiment is flattened into a single shared job queue — no
+    barrier between experiments, so a straggler point in one
+    experiment cannot idle the others' workers — then each experiment
+    renders in list order. All rendering and artifact writing happens
+    here in the coordinating process after every point has finished,
+    which is what keeps stdout and [--out] artifacts byte-identical
+    at every [jobs] value and in both exec modes.
+
+    [exec_mode] (default [Domains]) picks the fan-out backend for
+    [jobs > 1]; [jobs = 1] always runs sequentially in-process.
+    [Processes] requires [worker_argv] — the command line of a
+    process that will call {!worker} with the {e same} scale and
+    experiment list (conventionally this process's own argv plus a
+    hidden [--worker] flag) — and falls back to the sequential path
+    when it is missing. A failed point raises {!Runner.Point_failed}
+    (earliest point first) in either mode.
 
     [out] writes each experiment's sink tables (CSV + JSON) and a
     [manifest.json] (scale, jobs, [git], per-point timings from
@@ -38,3 +61,10 @@ val run :
     missing, and prints a final one-line note. [clock] should be the
     executable's wall-clock (library code must not read the clock
     itself); without it the manifest's timings are zero. *)
+
+val worker : ?clock:(unit -> float) -> Scale.t -> Experiment.t list -> unit
+(** Worker-process body for [Processes] mode: rebuild the same flat
+    job queue as {!run} (determinism of [instantiate] makes parent
+    and worker agree on what index [i] means), then serve job indices
+    from stdin until the coordinator closes it. Never renders, never
+    writes artifacts; stdout carries only the reply protocol. *)

@@ -1,6 +1,7 @@
 module Domain_pool = Sim_engine.Domain_pool
 
 exception Point_failed of { experiment : string; point : string; exn : exn }
+exception Remote of string
 
 let () =
   Printexc.register_printer (function
@@ -8,6 +9,10 @@ let () =
       Some
         (Printf.sprintf "experiment %s, point [%s]: %s" experiment point
            (Printexc.to_string exn))
+    (* The payload is already a printed exception: render it verbatim
+       so a failure reads the same whether it crossed a process
+       boundary or not. *)
+    | Remote cause -> Some cause
     | _ -> None)
 
 let default_jobs () = Domain_pool.recommended_jobs ()

@@ -15,6 +15,14 @@ exception Point_failed of { experiment : string; point : string; exn : exn }
     printer is registered, so [Printexc.to_string] renders
     ["experiment NAME, point [LABEL]: <cause>"]. *)
 
+exception Remote of string
+(** A point failure reported by a worker process. Exceptions do not
+    survive marshalling, so the worker sends [Printexc.to_string] of
+    the original and the coordinator wraps that cause string in
+    [Remote] inside a reconstructed {!Point_failed}. Its printer
+    renders the payload verbatim, making the failure message identical
+    to the in-process one. *)
+
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count () - 1], floored at 1. *)
 

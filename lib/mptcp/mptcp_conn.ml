@@ -77,10 +77,10 @@ let start ~src ~dst ~size ~subflows ?(params = Sim_tcp.Tcp_params.default)
   t.txs <- Array.map fst pairs;
   t.rxs <- Array.map snd pairs;
   Host.bind src ~conn (fun pkt ->
-      let i = pkt.Packet.tcp.Packet.subflow in
+      let i = pkt.Packet.subflow in
       if i >= 0 && i < subflows then Tcp_tx.handle t.txs.(i) pkt);
   Host.bind dst ~conn (fun pkt ->
-      let i = pkt.Packet.tcp.Packet.subflow in
+      let i = pkt.Packet.subflow in
       if i >= 0 && i < subflows then Tcp_rx.handle t.rxs.(i) pkt);
   if size = 0 then Dataplane.deliver t.plane ~dsn:0 ~len:0;
   Array.iter Tcp_tx.connect t.txs;

@@ -16,10 +16,10 @@ let hash_fields ~src ~dst ~sport ~dport ~salt =
 
 let flow_hash (p : Packet.t) =
   hash_fields ~src:(Addr.to_int p.src) ~dst:(Addr.to_int p.dst)
-    ~sport:p.tcp.src_port ~dport:p.tcp.dst_port ~salt:0
+    ~sport:p.src_port ~dport:p.dst_port ~salt:0
 
 let select (p : Packet.t) ~salt ~n =
   if n <= 0 then invalid_arg "Ecmp.select: n must be positive";
   hash_fields ~src:(Addr.to_int p.src) ~dst:(Addr.to_int p.dst)
-    ~sport:p.tcp.src_port ~dport:p.tcp.dst_port ~salt
+    ~sport:p.src_port ~dport:p.dst_port ~salt
   mod n

@@ -46,15 +46,15 @@ let attach net =
       let layer = Pktqueue.layer (Link.queue link) in
       Link.add_tap link (fun pkt ->
           if Packet.is_data pkt then begin
-            let s = get t pkt.Packet.tcp.Packet.conn in
+            let s = get t pkt.Packet.conn in
             s.tx_packets <- s.tx_packets + 1;
             s.tx_bytes <- s.tx_bytes + pkt.Packet.size;
             s.per_layer_packets <- bump_layer s.per_layer_packets layer;
             if Layer.equal layer Layer.Host_layer then begin
               let key =
-                ( pkt.Packet.tcp.Packet.conn,
-                  pkt.Packet.tcp.Packet.subflow,
-                  pkt.Packet.tcp.Packet.seq )
+                ( pkt.Packet.conn,
+                  pkt.Packet.subflow,
+                  pkt.Packet.seq )
               in
               if Hashtbl.mem t.seen key then
                 s.retransmitted_segments <- s.retransmitted_segments + 1
@@ -62,7 +62,7 @@ let attach net =
             end
           end);
       Pktqueue.add_drop_hook (Link.queue link) (fun pkt ->
-          let s = get t pkt.Packet.tcp.Packet.conn in
+          let s = get t pkt.Packet.conn in
           s.drops <- s.drops + 1;
           s.drops_per_layer <- bump_layer s.drops_per_layer layer;
           (* A segment dropped at the sender's own uplink never hits
@@ -70,9 +70,9 @@ let attach net =
              still recognised as one. *)
           if Layer.equal layer Layer.Host_layer && Packet.is_data pkt then
             Hashtbl.replace t.seen
-              ( pkt.Packet.tcp.Packet.conn,
-                pkt.Packet.tcp.Packet.subflow,
-                pkt.Packet.tcp.Packet.seq )
+              ( pkt.Packet.conn,
+                pkt.Packet.subflow,
+                pkt.Packet.seq )
               ()))
     net.Topology.links;
   t

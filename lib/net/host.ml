@@ -23,10 +23,14 @@ let send t pkt =
     let i = Ecmp.select pkt ~salt:(Addr.to_int t.addr + 0x5115) ~n in
     Link.send t.nics.(i) pkt
 
+(* The host is the end of a packet's life: once the bound handler has
+   read it (handlers must not retain packets), the record goes back to
+   the simulation's pool. *)
 let receive t pkt =
-  match Hashtbl.find_opt t.demux pkt.Packet.tcp.Packet.conn with
-  | Some handler -> handler pkt
-  | None -> t.unmatched <- t.unmatched + 1
+  (match Hashtbl.find_opt t.demux pkt.Packet.conn with
+   | Some handler -> handler pkt
+   | None -> t.unmatched <- t.unmatched + 1);
+  Packet.free ~ctx:(Sim_engine.Scheduler.ctx t.sched) pkt
 
 let bind t ~conn handler =
   if Hashtbl.mem t.demux conn then

@@ -1,50 +1,162 @@
-type flags = { syn : bool; ack : bool; fin : bool }
-
-type tcp = {
-  conn : int;
-  subflow : int;
-  src_port : int;
-  dst_port : int;
-  seq : int;
-  ack_seq : int;
-  len : int;
-  flags : flags;
-  ece : bool;
-  dup_seen : bool;
-  dsn : int;
-  sack : (int * int) list;
-}
-
 type t = {
-  uid : int;
-  src : Addr.t;
-  dst : Addr.t;
-  size : int;
-  tcp : tcp;
+  mutable uid : int;
+  mutable src : Addr.t;
+  mutable dst : Addr.t;
+  mutable size : int;
+  mutable conn : int;
+  mutable subflow : int;
+  mutable src_port : int;
+  mutable dst_port : int;
+  mutable seq : int;
+  mutable ack_seq : int;
+  mutable len : int;
+  mutable bits : int;
+  mutable dsn : int;
+  mutable sack_count : int;
+  sack : int array;
   mutable ce : bool;
 }
 
 let header_bytes = 40
+let max_sack_blocks = 3
 
-let data_flags = { syn = false; ack = false; fin = false }
-let pure_ack_flags = { syn = false; ack = true; fin = false }
-let syn_flags = { syn = true; ack = false; fin = false }
-let syn_ack_flags = { syn = true; ack = true; fin = false }
+let syn_bit = 1
+let ack_bit = 2
+let fin_bit = 4
+let ece_bit = 8
+let dup_bit = 16
 
-let make ~ctx ~src ~dst ~tcp =
+let data_bits = 0
+let pure_ack_bits = ack_bit
+let syn_bits = syn_bit
+let syn_ack_bits = syn_bit lor ack_bit
+
+let ack_bits ~ece ~dup_seen =
+  ack_bit lor (if ece then ece_bit else 0) lor (if dup_seen then dup_bit else 0)
+
+let syn t = t.bits land syn_bit <> 0
+let ack t = t.bits land ack_bit <> 0
+let fin t = t.bits land fin_bit <> 0
+let ece t = t.bits land ece_bit <> 0
+let dup_seen t = t.bits land dup_bit <> 0
+
+(* ------------------------------------------------------------------ *)
+(* Per-simulation freelist, hung off the context's extension slot so
+   the engine layer needn't know the packet type. A plain stack: [free]
+   pushes, [make] pops. Records in the pool are dead — nothing else
+   references them — so reuse only has to reinitialise every field
+   [make] promises. *)
+
+type pool = { mutable items : t array; mutable count : int }
+
+type Sim_engine.Sim_ctx.ext += Pool of pool
+
+let dummy =
+  {
+    uid = 0;
+    src = Addr.of_int 0;
+    dst = Addr.of_int 0;
+    size = 0;
+    conn = 0;
+    subflow = 0;
+    src_port = 0;
+    dst_port = 0;
+    seq = 0;
+    ack_seq = 0;
+    len = 0;
+    bits = 0;
+    dsn = -1;
+    sack_count = 0;
+    sack = [||];
+    ce = false;
+  }
+
+let pool_of ctx =
+  match Sim_engine.Sim_ctx.ext ctx with
+  | Some (Pool p) -> p
+  | _ ->
+    let p = { items = Array.make 64 dummy; count = 0 } in
+    Sim_engine.Sim_ctx.set_ext ctx (Pool p);
+    p
+
+let make ~ctx ~src ~dst ~conn ~subflow ~src_port ~dst_port ~seq ~ack_seq ~len
+    ~bits ~dsn =
   let uid = Sim_engine.Sim_ctx.fresh_packet_uid ctx in
-  { uid; src; dst; size = header_bytes + tcp.len; tcp; ce = false }
+  let p = pool_of ctx in
+  if p.count = 0 then
+    {
+      uid;
+      src;
+      dst;
+      size = header_bytes + len;
+      conn;
+      subflow;
+      src_port;
+      dst_port;
+      seq;
+      ack_seq;
+      len;
+      bits;
+      dsn;
+      sack_count = 0;
+      sack = Array.make (2 * max_sack_blocks) 0;
+      ce = false;
+    }
+  else begin
+    p.count <- p.count - 1;
+    let t = p.items.(p.count) in
+    p.items.(p.count) <- dummy;
+    t.uid <- uid;
+    t.src <- src;
+    t.dst <- dst;
+    t.size <- header_bytes + len;
+    t.conn <- conn;
+    t.subflow <- subflow;
+    t.src_port <- src_port;
+    t.dst_port <- dst_port;
+    t.seq <- seq;
+    t.ack_seq <- ack_seq;
+    t.len <- len;
+    t.bits <- bits;
+    t.dsn <- dsn;
+    t.sack_count <- 0;
+    t.ce <- false;
+    t
+  end
 
-let is_data t = t.tcp.len > 0
-let is_pure_ack t = t.tcp.len = 0 && t.tcp.flags.ack && not t.tcp.flags.syn
+let copy ~ctx t =
+  let d =
+    make ~ctx ~src:t.src ~dst:t.dst ~conn:t.conn ~subflow:t.subflow
+      ~src_port:t.src_port ~dst_port:t.dst_port ~seq:t.seq ~ack_seq:t.ack_seq
+      ~len:t.len ~bits:t.bits ~dsn:t.dsn
+  in
+  d.ce <- t.ce;
+  d.sack_count <- t.sack_count;
+  Array.blit t.sack 0 d.sack 0 (2 * t.sack_count);
+  d
+
+let free ~ctx t =
+  let p = pool_of ctx in
+  if p.count = Array.length p.items then begin
+    let items = Array.make (2 * p.count) dummy in
+    Array.blit p.items 0 items 0 p.count;
+    p.items <- items
+  end;
+  p.items.(p.count) <- t;
+  p.count <- p.count + 1
+
+let sack_blocks t =
+  List.init t.sack_count (fun i -> (t.sack.(2 * i), t.sack.((2 * i) + 1)))
+
+let is_data t = t.len > 0
+let is_pure_ack t = t.len = 0 && ack t && not (syn t)
 
 let pp ppf t =
-  let f = t.tcp.flags in
-  Format.fprintf ppf "#%d %a->%a c%d.%d %s seq=%d ack=%d len=%d%s"
-    t.uid Addr.pp t.src Addr.pp t.dst t.tcp.conn t.tcp.subflow
-    (if f.syn && f.ack then "SYNACK"
-     else if f.syn then "SYN"
-     else if t.tcp.len > 0 then "DATA"
+  Format.fprintf ppf "#%d %a->%a c%d.%d %s seq=%d ack=%d len=%d%s" t.uid
+    Addr.pp t.src Addr.pp t.dst t.conn t.subflow
+    (if syn t && ack t then "SYNACK"
+     else if syn t then "SYN"
+     else if t.len > 0 then "DATA"
      else "ACK")
-    t.tcp.seq t.tcp.ack_seq t.tcp.len
+    t.seq t.ack_seq t.len
     (if t.ce then " CE" else "")

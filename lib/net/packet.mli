@@ -1,51 +1,121 @@
 (** Simulated packets.
 
-    Every packet carries a TCP segment. The segment header includes the
-    standard 5-tuple fields plus the simulation-level connection id
-    (which stands in for full connection demultiplexing state at the
-    hosts) and an optional MPTCP data-sequence mapping. *)
+    Every packet carries a TCP segment, flattened into one mutable
+    record: the standard 5-tuple fields plus the simulation-level
+    connection id (which stands in for full connection demultiplexing
+    state at the hosts) and an optional MPTCP data-sequence mapping.
 
-type flags = { syn : bool; ack : bool; fin : bool }
-
-type tcp = {
-  conn : int;  (** simulation-global connection identifier *)
-  subflow : int;  (** subflow index within the connection; 0 for plain TCP *)
-  src_port : int;
-  dst_port : int;
-  seq : int;  (** subflow-level byte sequence of the first payload byte *)
-  ack_seq : int;  (** cumulative acknowledgement (valid when [flags.ack]) *)
-  len : int;  (** payload bytes *)
-  flags : flags;
-  ece : bool;  (** ECN echo (receiver -> sender, for DCTCP) *)
-  dup_seen : bool;  (** duplicate-arrival signal, a DSACK stand-in *)
-  dsn : int;  (** MPTCP data-level sequence of the payload; -1 when absent *)
-  sack : (int * int) list;
-      (** selective-acknowledgement blocks [(start, stop)] above the
-          cumulative ACK; at most 3, empty when the receiver holds no
-          out-of-order data (or SACK is unused by the sender) *)
-}
+    Packets are pooled per simulation. {!make} reuses a record freed
+    earlier in the same {!Sim_engine.Sim_ctx.t} when one is available,
+    so the per-segment cost on the hot path is field writes, not
+    allocation. The two sinks of a packet's life — final delivery at a
+    host and a queue drop — call {!free}; in between, components may
+    read the packet but must not retain it past their handler (copy
+    the fields, or {!sack_blocks} for the SACK payload). Boolean
+    header flags live in {!bits}, an int bitset, so no flags record
+    exists to allocate. *)
 
 type t = {
-  uid : int;  (** unique per packet, for tracing *)
-  src : Addr.t;
-  dst : Addr.t;
-  size : int;  (** bytes on the wire, header included *)
-  tcp : tcp;
+  mutable uid : int;  (** unique per packet, for tracing *)
+  mutable src : Addr.t;
+  mutable dst : Addr.t;
+  mutable size : int;  (** bytes on the wire, header included *)
+  mutable conn : int;  (** simulation-global connection identifier *)
+  mutable subflow : int;
+      (** subflow index within the connection; 0 for plain TCP *)
+  mutable src_port : int;
+  mutable dst_port : int;
+  mutable seq : int;
+      (** subflow-level byte sequence of the first payload byte *)
+  mutable ack_seq : int;
+      (** cumulative acknowledgement (valid when the ack bit is set) *)
+  mutable len : int;  (** payload bytes *)
+  mutable bits : int;  (** header booleans, see the [*_bit] masks *)
+  mutable dsn : int;
+      (** MPTCP data-level sequence of the payload; -1 when absent *)
+  mutable sack_count : int;  (** live SACK blocks in [sack] *)
+  sack : int array;
+      (** selective-acknowledgement blocks above the cumulative ACK,
+          block [i] spanning [sack.(2*i), sack.(2*i+1))]; at most
+          {!max_sack_blocks}, none when the receiver holds no
+          out-of-order data (or SACK is unused by the sender) *)
   mutable ce : bool;  (** ECN congestion-experienced mark, set by queues *)
 }
 
 val header_bytes : int
 (** Combined IP + TCP header size charged to every segment (40). *)
 
-val data_flags : flags
-val pure_ack_flags : flags
-val syn_flags : flags
-val syn_ack_flags : flags
+val max_sack_blocks : int
+(** Capacity of the [sack] scratch array, in blocks (3). *)
 
-val make : ctx:Sim_engine.Sim_ctx.t -> src:Addr.t -> dst:Addr.t -> tcp:tcp -> t
-(** Builds a packet; [size] is [header_bytes + tcp.len]. The [uid] is
-    drawn from the simulation's {!Sim_engine.Sim_ctx.t} so concurrent
+(** {2 Header bits}
+
+    [bits] is the OR of the masks below. The [*_bits] constants are
+    the common whole-header values, mirroring the flag-record
+    constants the pooled representation replaced. *)
+
+val syn_bit : int
+val ack_bit : int
+val fin_bit : int
+val ece_bit : int
+(** ECN echo (receiver -> sender, for DCTCP). *)
+
+val dup_bit : int
+(** Duplicate-arrival signal, a DSACK stand-in. *)
+
+val data_bits : int
+(** No flags: a plain data segment. *)
+
+val pure_ack_bits : int
+
+val syn_bits : int
+val syn_ack_bits : int
+
+val ack_bits : ece:bool -> dup_seen:bool -> int
+(** [ack_bit] plus the requested signal bits — the receiver's ACK
+    emission path, computed without allocating. *)
+
+val syn : t -> bool
+val ack : t -> bool
+val fin : t -> bool
+val ece : t -> bool
+val dup_seen : t -> bool
+
+val make :
+  ctx:Sim_engine.Sim_ctx.t ->
+  src:Addr.t ->
+  dst:Addr.t ->
+  conn:int ->
+  subflow:int ->
+  src_port:int ->
+  dst_port:int ->
+  seq:int ->
+  ack_seq:int ->
+  len:int ->
+  bits:int ->
+  dsn:int ->
+  t
+(** Builds a packet; [size] is [header_bytes + len], [ce] is clear and
+    [sack_count] is 0. The record comes from [ctx]'s pool when one is
+    free, otherwise it is allocated (and joins the pool when freed).
+    Either way the [uid] is fresh from {!Sim_engine.Sim_ctx.t}, so uid
+    sequences are identical with or without reuse and concurrent
     simulations never share numbering. *)
+
+val copy : ctx:Sim_engine.Sim_ctx.t -> t -> t
+(** A second physical packet with the same header (fresh [uid]) — for
+    taps that duplicate traffic: each copy then has its own pooled
+    lifetime, where re-injecting the original would double-{!free}. *)
+
+val free : ctx:Sim_engine.Sim_ctx.t -> t -> unit
+(** Return [t] to [ctx]'s pool for reuse by a later {!make}. Only the
+    packet's final owner (host delivery, queue drop) may call this,
+    exactly once; the caller must hold no reference afterwards. *)
+
+val sack_blocks : t -> (int * int) list
+(** The SACK blocks as a fresh [(start, stop)] list — an allocating
+    convenience for tests and diagnostics; the hot path reads the
+    [sack] array directly. *)
 
 val is_data : t -> bool
 val is_pure_ack : t -> bool

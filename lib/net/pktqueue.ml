@@ -18,6 +18,7 @@ let default_red = { min_th = 5; max_th = 15; max_p = 0.1; weight = 0.002; mark =
 
 type t = {
   q : Packet.t Queue.t;
+  ctx : Sim_engine.Sim_ctx.t;
   cap : int;
   ecn_threshold : int option;
   red : red option;
@@ -49,6 +50,7 @@ let create ?ecn_threshold ?red ~ctx ~capacity ~layer () =
   let t =
     {
       q = Queue.create ();
+      ctx;
       cap = capacity;
       ecn_threshold = (if red = None then ecn_threshold else None);
       red;
@@ -115,13 +117,15 @@ let enqueue t pkt =
     (match t.m with
      | Some m ->
        Sim_obs.Metrics.emit m ~kind:"queue_drop"
-         ~conn:pkt.Packet.tcp.Packet.conn
-         ~subflow:pkt.Packet.tcp.Packet.subflow
+         ~conn:pkt.Packet.conn
+         ~subflow:pkt.Packet.subflow
          ~info:
            [ ("queue", t.qname); ("size", string_of_int pkt.Packet.size) ]
          ()
      | None -> ());
     List.iter (fun f -> f pkt) t.drop_hooks;
+    (* A drop ends the packet's life; hooks have all seen it. *)
+    Packet.free ~ctx:t.ctx pkt;
     false
   end
   else begin

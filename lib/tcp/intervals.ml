@@ -49,3 +49,17 @@ let is_covered t ~start ~stop =
 
 let spans t = t.spans
 let span_count t = List.length t.spans
+
+let fill_above t ~above ~max_blocks ~dst =
+  let rec go i = function
+    | [] -> i
+    | (s, e) :: rest ->
+      if i >= max_blocks then i
+      else if s > above then begin
+        dst.(2 * i) <- s;
+        dst.((2 * i) + 1) <- e;
+        go (i + 1) rest
+      end
+      else go i rest
+  in
+  go 0 t.spans

@@ -24,3 +24,11 @@ val spans : t -> (int * int) list
 (** The normalised ranges, sorted. *)
 
 val span_count : t -> int
+
+val fill_above : t -> above:int -> max_blocks:int -> dst:int array -> int
+(** [fill_above t ~above ~max_blocks ~dst] writes the first
+    [max_blocks] ranges whose start exceeds [above] into [dst] as
+    flattened pairs (range [i] at [dst.(2i), dst.(2i+1)]) and returns
+    how many it wrote. Allocation-free: this is the receive path's
+    SACK-block encoder, writing straight into a packet's scratch
+    array. *)

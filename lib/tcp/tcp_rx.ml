@@ -41,14 +41,6 @@ let create ?(params = Tcp_params.default) ~host ~peer ~conn ~subflow ~on_data ()
     delack_timer = None;
   }
 
-(* Up to three SACK blocks: the out-of-order spans above the
-   cumulative acknowledgement, most recently useful first (we send them
-   in ascending order; fine for a simulator receiver). *)
-let sack_blocks t =
-  Intervals.spans t.received
-  |> List.filter (fun (start, _) -> start > t.rcv_nxt)
-  |> List.filteri (fun i _ -> i < 3)
-
 let cancel_delack t =
   match t.delack_timer with
   | Some tm -> Scheduler.Timer.cancel tm
@@ -59,28 +51,21 @@ let delack_pending t =
   | Some tm -> Scheduler.Timer.is_pending tm
   | None -> false
 
-let emit_ack t ~src_port ~dst_port ~ece ~dup_seen ~flags =
-  let tcp =
-    {
-      Packet.conn = t.conn;
-      subflow = t.subflow;
-      src_port;
-      dst_port;
-      seq = 0;
-      ack_seq = t.rcv_nxt;
-      len = 0;
-      flags;
-      ece;
-      dup_seen;
-      dsn = -1;
-      sack = sack_blocks t;
-    }
-  in
+let emit_ack t ~src_port ~dst_port ~bits =
   t.acks_sent <- t.acks_sent + 1;
-  Host.send t.host
-    (Packet.make
-       ~ctx:(Scheduler.ctx (Host.sched t.host))
-       ~src:(Host.addr t.host) ~dst:t.peer ~tcp)
+  let pkt =
+    Packet.make
+      ~ctx:(Scheduler.ctx (Host.sched t.host))
+      ~src:(Host.addr t.host) ~dst:t.peer ~conn:t.conn ~subflow:t.subflow
+      ~src_port ~dst_port ~seq:0 ~ack_seq:t.rcv_nxt ~len:0 ~bits ~dsn:(-1)
+  in
+  (* Up to three SACK blocks: the out-of-order spans above the
+     cumulative acknowledgement, in ascending order, written straight
+     into the packet's scratch array (nothing allocated here). *)
+  pkt.Packet.sack_count <-
+    Intervals.fill_above t.received ~above:t.rcv_nxt
+      ~max_blocks:Packet.max_sack_blocks ~dst:pkt.Packet.sack;
+  Host.send t.host pkt
 
 let flush_ack t ~ece ~dup_seen =
   match t.reply_ports with
@@ -89,7 +74,7 @@ let flush_ack t ~ece ~dup_seen =
     cancel_delack t;
     t.pending <- 0;
     t.pending_ece <- false;
-    emit_ack t ~src_port ~dst_port ~ece ~dup_seen ~flags:Packet.pure_ack_flags
+    emit_ack t ~src_port ~dst_port ~bits:(Packet.ack_bits ~ece ~dup_seen)
 
 let on_delack_timeout t =
   if t.pending > 0 then flush_ack t ~ece:t.pending_ece ~dup_seen:false
@@ -108,23 +93,22 @@ let arm_delack t =
   Scheduler.Timer.schedule_after tm t.params.Tcp_params.delack_timeout
 
 let handle t pkt =
-  let tcp = pkt.Packet.tcp in
-  if tcp.Packet.flags.Packet.syn && not tcp.Packet.flags.Packet.ack then begin
+  if Packet.syn pkt && not (Packet.ack pkt) then begin
     (* Passive open (or duplicate SYN): always answer. *)
-    t.reply_ports <- Some (tcp.Packet.dst_port, tcp.Packet.src_port);
-    emit_ack t ~src_port:tcp.Packet.dst_port ~dst_port:tcp.Packet.src_port
-      ~ece:false ~dup_seen:false ~flags:Packet.syn_ack_flags
+    t.reply_ports <- Some (pkt.Packet.dst_port, pkt.Packet.src_port);
+    emit_ack t ~src_port:pkt.Packet.dst_port ~dst_port:pkt.Packet.src_port
+      ~bits:Packet.syn_ack_bits
   end
-  else if tcp.Packet.len > 0 then begin
-    let start = tcp.Packet.seq in
-    let stop = start + tcp.Packet.len in
+  else if pkt.Packet.len > 0 then begin
+    let start = pkt.Packet.seq in
+    let stop = start + pkt.Packet.len in
     let before = t.rcv_nxt in
     let added = Intervals.add t.received ~start ~stop in
     t.rcv_nxt <- Intervals.contiguous_from t.received 0;
     let dup = added = 0 in
     if dup then t.dup_segments <- t.dup_segments + 1;
-    t.on_data ~dsn:tcp.Packet.dsn ~len:tcp.Packet.len;
-    t.reply_ports <- Some (tcp.Packet.dst_port, tcp.Packet.src_port);
+    t.on_data ~dsn:pkt.Packet.dsn ~len:pkt.Packet.len;
+    t.reply_ports <- Some (pkt.Packet.dst_port, pkt.Packet.src_port);
     let in_order_advance = (not dup) && t.rcv_nxt > before in
     if in_order_advance && Intervals.span_count t.received = 1 then begin
       (* Clean in-order progress: eligible for coalescing. *)

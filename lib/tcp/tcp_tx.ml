@@ -219,47 +219,21 @@ let rto_pending t =
   | None -> false
 
 let emit_segment t seg =
-  let tcp =
-    {
-      Packet.conn = t.conn;
-      subflow = t.subflow;
-      src_port = t.src_port ();
-      dst_port = t.dst_port;
-      seq = seg.ssn;
-      ack_seq = 0;
-      len = seg.len;
-      flags = Packet.data_flags;
-      ece = false;
-      dup_seen = false;
-      dsn = seg.dsn; sack = [];
-    }
-  in
   t.st.segments_sent <- t.st.segments_sent + 1;
   t.st.bytes_sent <- t.st.bytes_sent + seg.len;
   Host.send t.host
     (Packet.make ~ctx:(Scheduler.ctx t.sched) ~src:(Host.addr t.host)
-       ~dst:t.peer ~tcp)
+       ~dst:t.peer ~conn:t.conn ~subflow:t.subflow ~src_port:(t.src_port ())
+       ~dst_port:t.dst_port ~seq:seg.ssn ~ack_seq:0 ~len:seg.len
+       ~bits:Packet.data_bits ~dsn:seg.dsn)
 
 let send_syn t =
-  let tcp =
-    {
-      Packet.conn = t.conn;
-      subflow = t.subflow;
-      src_port = t.src_port ();
-      dst_port = t.dst_port;
-      seq = 0;
-      ack_seq = 0;
-      len = 0;
-      flags = Packet.syn_flags;
-      ece = false;
-      dup_seen = false;
-      dsn = -1; sack = [];
-    }
-  in
   t.st.syn_sent <- t.st.syn_sent + 1;
   Host.send t.host
     (Packet.make ~ctx:(Scheduler.ctx t.sched) ~src:(Host.addr t.host)
-       ~dst:t.peer ~tcp)
+       ~dst:t.peer ~conn:t.conn ~subflow:t.subflow ~src_port:(t.src_port ())
+       ~dst_port:t.dst_port ~seq:0 ~ack_seq:0 ~len:0 ~bits:Packet.syn_bits
+       ~dsn:(-1))
 
 let first_congestion t =
   if not t.congestion_seen then begin
@@ -276,21 +250,29 @@ let retransmit_front t =
     t.st.segments_rtx <- t.st.segments_rtx + 1;
     emit_segment t seg
 
-(* Mark segments covered by the ACK's SACK blocks. *)
-let process_sack t blocks =
-  if t.params.Tcp_params.sack && blocks <> [] then
+(* Mark segments covered by the ACK's SACK blocks, read straight off
+   the packet's scratch array (nothing allocated here). *)
+let process_sack t (pkt : Packet.t) =
+  let nblocks = pkt.Packet.sack_count in
+  if t.params.Tcp_params.sack && nblocks > 0 then begin
+    let blocks = pkt.Packet.sack in
     Queue.iter
       (fun seg ->
-        if
-          (not seg.sacked)
-          && List.exists
-               (fun (s, e) -> s <= seg.ssn && seg.ssn + seg.len <= e)
-               blocks
-        then begin
-          seg.sacked <- true;
-          t.sacked_bytes <- t.sacked_bytes + seg.len
+        if not seg.sacked then begin
+          let covered = ref false in
+          for i = 0 to nblocks - 1 do
+            if
+              blocks.(2 * i) <= seg.ssn
+              && seg.ssn + seg.len <= blocks.((2 * i) + 1)
+            then covered := true
+          done;
+          if !covered then begin
+            seg.sacked <- true;
+            t.sacked_bytes <- t.sacked_bytes + seg.len
+          end
         end)
       t.segs
+  end
 
 (* Retransmit the earliest hole (unSACKed, un-retransmitted this
    recovery, below the recovery point). *)
@@ -518,9 +500,7 @@ let handle_dup_ack t =
     else try_send t
 
 let handle t pkt =
-  let tcp = pkt.Packet.tcp in
-  let f = tcp.Packet.flags in
-  if f.Packet.syn && f.Packet.ack then begin
+  if Packet.syn pkt && Packet.ack pkt then begin
     (* SYN-ACK: establish (duplicates ignored). *)
     match t.state with
     | Syn_sent ->
@@ -533,15 +513,15 @@ let handle t pkt =
       check_all_acked t
     | Closed | Established | Failed -> ()
   end
-  else if f.Packet.ack && t.state = Established then begin
+  else if Packet.ack pkt && t.state = Established then begin
     t.st.acks_received <- t.st.acks_received + 1;
-    if tcp.Packet.dup_seen then begin
+    if Packet.dup_seen pkt then begin
       t.st.dsacks_received <- t.st.dsacks_received + 1;
       t.on_dsack ()
     end;
-    process_sack t tcp.Packet.sack;
-    let a = tcp.Packet.ack_seq in
-    if a > t.snd_una then handle_new_ack t a ~ece:tcp.Packet.ece
+    process_sack t pkt;
+    let a = pkt.Packet.ack_seq in
+    if a > t.snd_una then handle_new_ack t a ~ece:(Packet.ece pkt)
     else if a = t.snd_una && flight t > 0 then handle_dup_ack t
   end
 

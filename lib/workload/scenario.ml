@@ -100,11 +100,17 @@ type flow_result = {
   bytes_received : int;
 }
 
+type net_stats = {
+  ns_core_loss : float;
+  ns_agg_loss : float;
+  ns_core_utilisation : float;
+}
+
 type result = {
   config : config;
   shorts : flow_result array;
   longs : flow_result array;
-  net : Sim_net.Topology.t;
+  net : net_stats;
   events : int;
   duration : Time.t;
   obs : Sim_obs.Capture.t option;
@@ -317,7 +323,13 @@ let run ?(progress = fun _ -> ()) (cfg : config) =
     config = cfg;
     shorts;
     longs;
-    net;
+    net =
+      {
+        ns_core_loss = Topology.layer_loss_rate net Sim_net.Layer.Core_layer;
+        ns_agg_loss = Topology.layer_loss_rate net Sim_net.Layer.Agg_layer;
+        ns_core_utilisation =
+          Topology.layer_utilisation net Sim_net.Layer.Core_layer;
+      };
     events = Scheduler.events_processed sched;
     duration = Scheduler.now sched;
     obs = Option.map Sim_engine.Probe.capture probe;
@@ -346,6 +358,6 @@ let long_goodput_mbps r =
       else float_of_int f.bytes_received *. 8. /. active /. 1e6)
     r.longs
 
-let core_loss r = Topology.layer_loss_rate r.net Sim_net.Layer.Core_layer
-let agg_loss r = Topology.layer_loss_rate r.net Sim_net.Layer.Agg_layer
-let core_utilisation r = Topology.layer_utilisation r.net Sim_net.Layer.Core_layer
+let core_loss r = r.net.ns_core_loss
+let agg_loss r = r.net.ns_agg_loss
+let core_utilisation r = r.net.ns_core_utilisation

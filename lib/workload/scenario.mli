@@ -75,11 +75,21 @@ type flow_result = {
   bytes_received : int;
 }
 
+type net_stats = {
+  ns_core_loss : float;
+  ns_agg_loss : float;
+  ns_core_utilisation : float;
+}
+(** Network-side aggregates, read off the topology before it is
+    discarded. Precomputed (rather than keeping the topology handle in
+    the result) so a [result] is pure data end to end — process-mode
+    workers marshal results back to the coordinating process. *)
+
 type result = {
   config : config;
   shorts : flow_result array;  (** sorted by start time *)
   longs : flow_result array;
-  net : Sim_net.Topology.t;
+  net : net_stats;
   events : int;
   duration : Time.t;  (** simulated time actually elapsed *)
   obs : Sim_obs.Capture.t option;

@@ -145,7 +145,7 @@ let test_congestion_event_switches () =
      RTO) is the first congestion event and must flip the phase. *)
   let dropped = ref false in
   let keep pkt =
-    if (not !dropped) && Packet.is_data pkt && pkt.Packet.tcp.Packet.seq = 14_000
+    if (not !dropped) && Packet.is_data pkt && pkt.Packet.seq = 14_000
     then begin
       dropped := true;
       false
@@ -217,13 +217,19 @@ let test_adaptive_threshold_grows_on_dsack () =
   let sched = Scheduler.create () in
   let net = Dumbbell.direct ~sched () in
   let src = Topology.host net 0 and dst = Topology.host net 1 in
+  (* Copy before delivering: [Host.receive] returns the packet to the
+     pool, so the duplicate must be its own physical packet. *)
   Link.attach net.Topology.links.(0) (fun pkt ->
+      let dup =
+        if (not !duplicated) && Packet.is_data pkt && pkt.Packet.seq = 14_000
+        then begin
+          duplicated := true;
+          Some (Packet.copy ~ctx:(Scheduler.ctx sched) pkt)
+        end
+        else None
+      in
       Host.receive dst pkt;
-      if (not !duplicated) && Packet.is_data pkt && pkt.Packet.tcp.Packet.seq = 14_000
-      then begin
-        duplicated := true;
-        Host.receive dst pkt
-      end);
+      Option.iter (Host.receive dst) dup);
   let c =
     Conn.start ~src ~dst ~size:70_000 ~rng:(Rng.create ~seed:10)
       ~strategy:
@@ -242,8 +248,13 @@ let test_adaptive_threshold_capped () =
   let src = Topology.host net 0 and dst = Topology.host net 1 in
   (* Duplicate every data packet: threshold must stop at the cap. *)
   Link.attach net.Topology.links.(0) (fun pkt ->
+      let dup =
+        if Packet.is_data pkt then
+          Some (Packet.copy ~ctx:(Scheduler.ctx sched) pkt)
+        else None
+      in
       Host.receive dst pkt;
-      if Packet.is_data pkt then Host.receive dst pkt);
+      Option.iter (Host.receive dst) dup);
   let c =
     Conn.start ~src ~dst ~size:140_000 ~rng:(Rng.create ~seed:11)
       ~strategy:
@@ -268,7 +279,7 @@ let test_ps_randomises_source_ports () =
   let src = Topology.host net 0 and dst = Topology.host net 1 in
   Link.attach net.Topology.links.(0) (fun pkt ->
       if Packet.is_data pkt then
-        Hashtbl.replace ports pkt.Packet.tcp.Packet.src_port ();
+        Hashtbl.replace ports pkt.Packet.src_port ();
       Host.receive dst pkt);
   let c =
     Conn.start ~src ~dst ~size:70_000 ~rng:(Rng.create ~seed:12) ()
@@ -285,8 +296,8 @@ let test_mp_phase_uses_fixed_ports () =
   let src = Topology.host net 0 and dst = Topology.host net 1 in
   Link.attach net.Topology.links.(0) (fun pkt ->
       if Packet.is_data pkt then begin
-        let tbl = if pkt.Packet.tcp.Packet.subflow = 0 then ps_ports else mp_ports in
-        Hashtbl.replace tbl pkt.Packet.tcp.Packet.src_port ()
+        let tbl = if pkt.Packet.subflow = 0 then ps_ports else mp_ports in
+        Hashtbl.replace tbl pkt.Packet.src_port ()
       end;
       Host.receive dst pkt);
   let c =

@@ -17,25 +17,11 @@ let check_bool = Alcotest.(check bool)
    simulation; a file-level context supplies their ids. *)
 let ctx = Sim_engine.Sim_ctx.create ()
 
-let mk_tcp ?(conn = 1) ?(subflow = 0) ?(src_port = 1000) ?(dst_port = 2000)
-    ?(seq = 0) ?(ack_seq = 0) ?(len = 0) ?(flags = Packet.data_flags) () =
-  {
-    Packet.conn;
-    subflow;
-    src_port;
-    dst_port;
-    seq;
-    ack_seq;
-    len;
-    flags;
-    ece = false;
-    dup_seen = false;
-    dsn = -1; sack = [];
-  }
-
-let mk_pkt ?(src = 0) ?(dst = 1) ?(len = 1000) () =
-  Packet.make ~ctx ~src:(Addr.of_int src) ~dst:(Addr.of_int dst)
-    ~tcp:(mk_tcp ~len ())
+let mk_pkt ?(src = 0) ?(dst = 1) ?(conn = 1) ?(subflow = 0) ?(src_port = 1000)
+    ?(dst_port = 2000) ?(seq = 0) ?(ack_seq = 0) ?(len = 1000)
+    ?(bits = Packet.data_bits) () =
+  Packet.make ~ctx ~src:(Addr.of_int src) ~dst:(Addr.of_int dst) ~conn ~subflow
+    ~src_port ~dst_port ~seq ~ack_seq ~len ~bits ~dsn:(-1)
 
 (* ------------------------------------------------------------------ *)
 (* Packet *)
@@ -52,10 +38,7 @@ let test_packet_classify () =
   let data = mk_pkt ~len:100 () in
   check_bool "data" true (Packet.is_data data);
   check_bool "data not ack" false (Packet.is_pure_ack data);
-  let ack =
-    Packet.make ~ctx ~src:(Addr.of_int 0) ~dst:(Addr.of_int 1)
-      ~tcp:(mk_tcp ~len:0 ~flags:Packet.pure_ack_flags ())
-  in
+  let ack = mk_pkt ~len:0 ~bits:Packet.pure_ack_bits () in
   check_bool "pure ack" true (Packet.is_pure_ack ack)
 
 let test_addr () =
@@ -84,8 +67,7 @@ let prop_ecmp_in_range =
     QCheck.(quad small_int small_int small_int (int_range 1 64))
     (fun (sport, dport, salt, n) ->
       let p =
-        Packet.make ~ctx ~src:(Addr.of_int 1) ~dst:(Addr.of_int 2)
-          ~tcp:(mk_tcp ~src_port:sport ~dst_port:dport ~len:10 ())
+        mk_pkt ~src:1 ~dst:2 ~src_port:sport ~dst_port:dport ~len:10 ()
       in
       let v = Ecmp.select p ~salt ~n in
       v >= 0 && v < n)
@@ -103,8 +85,7 @@ let prop_ecmp_pure_function =
         (pair small_int (int_range 1 64)))
     (fun ((src, dst, sport, dport), (salt, n)) ->
       let mk len =
-        Packet.make ~ctx ~src:(Addr.of_int src) ~dst:(Addr.of_int dst)
-          ~tcp:(mk_tcp ~src_port:sport ~dst_port:dport ~len ())
+        mk_pkt ~src ~dst ~src_port:sport ~dst_port:dport ~len ()
       in
       let a = mk 10 and b = mk 1000 in
       let first = Ecmp.select a ~salt ~n in
@@ -149,10 +130,7 @@ let test_ecmp_port_spread () =
   let n = 8 in
   let counts = Array.make n 0 in
   for sport = 1000 to 1999 do
-    let p =
-      Packet.make ~ctx ~src:(Addr.of_int 1) ~dst:(Addr.of_int 2)
-        ~tcp:(mk_tcp ~src_port:sport ~len:10 ())
-    in
+    let p = mk_pkt ~src:1 ~dst:2 ~src_port:sport ~len:10 () in
     let i = Ecmp.select p ~salt:0 ~n in
     counts.(i) <- counts.(i) + 1
   done;
@@ -347,9 +325,9 @@ let test_host_demux () =
   let sched = Scheduler.create () in
   let h = Host.create ~sched ~addr:(Addr.of_int 9) in
   let got = ref [] in
-  Host.bind h ~conn:7 (fun p -> got := p.Packet.tcp.Packet.conn :: !got);
-  let p7 = Packet.make ~ctx ~src:(Addr.of_int 0) ~dst:(Addr.of_int 9) ~tcp:(mk_tcp ~conn:7 ~len:1 ()) in
-  let p8 = Packet.make ~ctx ~src:(Addr.of_int 0) ~dst:(Addr.of_int 9) ~tcp:(mk_tcp ~conn:8 ~len:1 ()) in
+  Host.bind h ~conn:7 (fun p -> got := p.Packet.conn :: !got);
+  let p7 = mk_pkt ~src:0 ~dst:9 ~conn:7 ~len:1 () in
+  let p8 = mk_pkt ~src:0 ~dst:9 ~conn:8 ~len:1 () in
   Host.receive h p7;
   Host.receive h p8;
   Alcotest.(check (list int)) "bound conn delivered" [ 7 ] !got;

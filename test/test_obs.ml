@@ -170,25 +170,11 @@ let test_histogram_through_registry () =
 (* ------------------------------------------------------------------ *)
 (* Queue instrumentation *)
 
-let mk_tcp ~conn =
-  {
-    Sim_net.Packet.conn;
-    subflow = 0;
-    src_port = 1000;
-    dst_port = 2000;
-    seq = 0;
-    ack_seq = 0;
-    len = 1000;
-    flags = Sim_net.Packet.data_flags;
-    ece = false;
-    dup_seen = false;
-    dsn = -1;
-    sack = [];
-  }
-
 let mk_pkt ctx ~conn =
   Sim_net.Packet.make ~ctx ~src:(Sim_net.Addr.of_int 0)
-    ~dst:(Sim_net.Addr.of_int 1) ~tcp:(mk_tcp ~conn)
+    ~dst:(Sim_net.Addr.of_int 1) ~conn ~subflow:0 ~src_port:1000
+    ~dst_port:2000 ~seq:0 ~ack_seq:0 ~len:1000
+    ~bits:Sim_net.Packet.data_bits ~dsn:(-1)
 
 let test_drop_hooks_run_in_install_order () =
   let ctx = Sim_engine.Sim_ctx.create () in

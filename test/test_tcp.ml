@@ -23,6 +23,14 @@ let check_bool = Alcotest.(check bool)
    simulation; a file-level context supplies their ids. *)
 let ctx = Sim_engine.Sim_ctx.create ()
 
+(* Raw data segment through the labelled constructor; defaults match
+   what the old record literals spelled out at every site. *)
+let mk_seg ?(conn = 0) ?(subflow = 0) ?(src_port = 1) ?(dst_port = 2)
+    ?(seq = 0) ?(ack_seq = 0) ?(len = 100) ?(bits = Packet.data_bits)
+    ?(dsn = -1) ~src ~dst () =
+  Packet.make ~ctx ~src ~dst ~conn ~subflow ~src_port ~dst_port ~seq ~ack_seq
+    ~len ~bits ~dsn
+
 (* ------------------------------------------------------------------ *)
 (* Intervals *)
 
@@ -260,7 +268,7 @@ let test_fast_retransmit_on_single_loss () =
      fast retransmit, not an RTO. *)
   let dropped = ref false in
   let keep pkt =
-    if (not !dropped) && Packet.is_data pkt && pkt.Packet.tcp.Packet.seq = 14_000
+    if (not !dropped) && Packet.is_data pkt && pkt.Packet.seq = 14_000
     then begin
       dropped := true;
       false
@@ -284,7 +292,7 @@ let test_rto_on_tail_loss () =
   let last_seq = 3 * mss in
   let dropped = ref false in
   let keep pkt =
-    if (not !dropped) && Packet.is_data pkt && pkt.Packet.tcp.Packet.seq = last_seq
+    if (not !dropped) && Packet.is_data pkt && pkt.Packet.seq = last_seq
     then begin
       dropped := true;
       false
@@ -307,7 +315,7 @@ let test_high_dupack_threshold_forces_rto () =
      tiny windows in Figure 1(b). *)
   let dropped = ref false in
   let keep pkt =
-    if (not !dropped) && Packet.is_data pkt && pkt.Packet.tcp.Packet.seq = 14_000
+    if (not !dropped) && Packet.is_data pkt && pkt.Packet.seq = 14_000
     then begin
       dropped := true;
       false
@@ -328,7 +336,7 @@ let test_high_dupack_threshold_forces_rto () =
 let test_syn_loss_recovered () =
   let dropped = ref false in
   let keep pkt =
-    if (not !dropped) && pkt.Packet.tcp.Packet.flags.Packet.syn then begin
+    if (not !dropped) && Packet.syn pkt then begin
       dropped := true;
       false
     end
@@ -350,8 +358,8 @@ let test_burst_loss_recovered () =
   let to_drop = Hashtbl.create 8 in
   List.iter (fun i -> Hashtbl.replace to_drop (i * mss) true) [ 10; 11; 12; 13; 14 ];
   let keep pkt =
-    if Packet.is_data pkt && Hashtbl.mem to_drop pkt.Packet.tcp.Packet.seq then begin
-      Hashtbl.remove to_drop pkt.Packet.tcp.Packet.seq;
+    if Packet.is_data pkt && Hashtbl.mem to_drop pkt.Packet.seq then begin
+      Hashtbl.remove to_drop pkt.Packet.seq;
       false
     end
     else true
@@ -382,8 +390,10 @@ let test_receiver_dup_seen_flag () =
   let sched = Scheduler.create () in
   let net = Dumbbell.direct ~sched () in
   let src = Topology.host net 0 and dst = Topology.host net 1 in
+  (* Record the flag at delivery time: the packet itself returns to the
+     pool once the host handler finishes, so it must not be retained. *)
   let acks = ref [] in
-  Host.bind src ~conn:42 (fun pkt -> acks := pkt :: !acks);
+  Host.bind src ~conn:42 (fun pkt -> acks := Packet.dup_seen pkt :: !acks);
   let rx =
     Tcp_rx.create ~host:dst ~peer:(Host.addr src) ~conn:42 ~subflow:0
       ~on_data:(fun ~dsn:_ ~len:_ -> ())
@@ -391,27 +401,14 @@ let test_receiver_dup_seen_flag () =
   in
   Host.bind dst ~conn:42 (Tcp_rx.handle rx);
   let make_seg () =
-    Packet.make ~ctx ~src:(Host.addr src) ~dst:(Host.addr dst)
-      ~tcp:
-        {
-          Packet.conn = 42;
-          subflow = 0;
-          src_port = 1;
-          dst_port = 2;
-          seq = 0;
-          ack_seq = 0;
-          len = 1000;
-          flags = Packet.data_flags;
-          ece = false;
-          dup_seen = false;
-          dsn = 0; sack = [];
-        }
+    mk_seg ~src:(Host.addr src) ~dst:(Host.addr dst) ~conn:42 ~len:1000 ~dsn:0
+      ()
   in
   Host.send src (make_seg ());
   Scheduler.run sched;
   Host.send src (make_seg ());
   Scheduler.run sched;
-  match List.rev_map (fun p -> p.Packet.tcp.Packet.dup_seen) !acks with
+  match List.rev !acks with
   | [ first; second ] ->
     check_bool "first ack clean" false first;
     check_bool "second ack flags duplicate" true second;
@@ -423,7 +420,7 @@ let test_receiver_reordering () =
   let net = Dumbbell.direct ~sched () in
   let src = Topology.host net 0 and dst = Topology.host net 1 in
   let acks = ref [] in
-  Host.bind src ~conn:43 (fun pkt -> acks := pkt.Packet.tcp.Packet.ack_seq :: !acks);
+  Host.bind src ~conn:43 (fun pkt -> acks := pkt.Packet.ack_seq :: !acks);
   let rx =
     Tcp_rx.create ~host:dst ~peer:(Host.addr src) ~conn:43 ~subflow:0
       ~on_data:(fun ~dsn:_ ~len:_ -> ())
@@ -431,21 +428,7 @@ let test_receiver_reordering () =
   in
   Host.bind dst ~conn:43 (Tcp_rx.handle rx);
   let seg seq =
-    Packet.make ~ctx ~src:(Host.addr src) ~dst:(Host.addr dst)
-      ~tcp:
-        {
-          Packet.conn = 43;
-          subflow = 0;
-          src_port = 1;
-          dst_port = 2;
-          seq;
-          ack_seq = 0;
-          len = 100;
-          flags = Packet.data_flags;
-          ece = false;
-          dup_seen = false;
-          dsn = seq; sack = [];
-        }
+    mk_seg ~src:(Host.addr src) ~dst:(Host.addr dst) ~conn:43 ~seq ~dsn:seq ()
   in
   (* Arrivals: 0, 200 (hole at 100), 100 (fills). Cumulative ACKs must
      be 100, 100 (dup), 300. *)
@@ -464,7 +447,7 @@ let test_receiver_echoes_ecn () =
   let net = Dumbbell.direct ~sched () in
   let src = Topology.host net 0 and dst = Topology.host net 1 in
   let ece = ref None in
-  Host.bind src ~conn:44 (fun pkt -> ece := Some pkt.Packet.tcp.Packet.ece);
+  Host.bind src ~conn:44 (fun pkt -> ece := Some (Packet.ece pkt));
   let rx =
     Tcp_rx.create ~host:dst ~peer:(Host.addr src) ~conn:44 ~subflow:0
       ~on_data:(fun ~dsn:_ ~len:_ -> ())
@@ -472,21 +455,7 @@ let test_receiver_echoes_ecn () =
   in
   Host.bind dst ~conn:44 (Tcp_rx.handle rx);
   let seg =
-    Packet.make ~ctx ~src:(Host.addr src) ~dst:(Host.addr dst)
-      ~tcp:
-        {
-          Packet.conn = 44;
-          subflow = 0;
-          src_port = 1;
-          dst_port = 2;
-          seq = 0;
-          ack_seq = 0;
-          len = 100;
-          flags = Packet.data_flags;
-          ece = false;
-          dup_seen = false;
-          dsn = 0; sack = [];
-        }
+    mk_seg ~src:(Host.addr src) ~dst:(Host.addr dst) ~conn:44 ~dsn:0 ()
   in
   seg.Packet.ce <- true;
   Host.send src seg;
@@ -504,8 +473,8 @@ let drop_burst_filter segs =
   let mss = Tcp_params.default.Tcp_params.mss in
   List.iter (fun i -> Hashtbl.replace to_drop (i * mss) true) segs;
   fun pkt ->
-    if Packet.is_data pkt && Hashtbl.mem to_drop pkt.Packet.tcp.Packet.seq then begin
-      Hashtbl.remove to_drop pkt.Packet.tcp.Packet.seq;
+    if Packet.is_data pkt && Hashtbl.mem to_drop pkt.Packet.seq then begin
+      Hashtbl.remove to_drop pkt.Packet.seq;
       false
     end
     else true
@@ -566,7 +535,9 @@ let test_receiver_advertises_sack_blocks () =
   let net = Dumbbell.direct ~sched () in
   let src = Topology.host net 0 and dst = Topology.host net 1 in
   let sacks = ref [] in
-  Host.bind src ~conn:45 (fun pkt -> sacks := pkt.Packet.tcp.Packet.sack :: !sacks);
+  (* [sack_blocks] copies out of the packet's scratch array, so the
+     list stays valid after the packet returns to the pool. *)
+  Host.bind src ~conn:45 (fun pkt -> sacks := Packet.sack_blocks pkt :: !sacks);
   let rx =
     Tcp_rx.create ~host:dst ~peer:(Host.addr src) ~conn:45 ~subflow:0
       ~on_data:(fun ~dsn:_ ~len:_ -> ())
@@ -574,22 +545,7 @@ let test_receiver_advertises_sack_blocks () =
   in
   Host.bind dst ~conn:45 (Tcp_rx.handle rx);
   let seg seq =
-    Packet.make ~ctx ~src:(Host.addr src) ~dst:(Host.addr dst)
-      ~tcp:
-        {
-          Packet.conn = 45;
-          subflow = 0;
-          src_port = 1;
-          dst_port = 2;
-          seq;
-          ack_seq = 0;
-          len = 100;
-          flags = Packet.data_flags;
-          ece = false;
-          dup_seen = false;
-          dsn = seq;
-          sack = [];
-        }
+    mk_seg ~src:(Host.addr src) ~dst:(Host.addr dst) ~conn:45 ~seq ~dsn:seq ()
   in
   Host.send src (seg 0);
   Scheduler.run sched;
@@ -640,22 +596,7 @@ let test_delack_timer_flushes_single_segment () =
   in
   Host.bind dst ~conn:46 (Tcp_rx.handle rx);
   let seg =
-    Packet.make ~ctx ~src:(Host.addr src) ~dst:(Host.addr dst)
-      ~tcp:
-        {
-          Packet.conn = 46;
-          subflow = 0;
-          src_port = 1;
-          dst_port = 2;
-          seq = 0;
-          ack_seq = 0;
-          len = 100;
-          flags = Packet.data_flags;
-          ece = false;
-          dup_seen = false;
-          dsn = 0;
-          sack = [];
-        }
+    mk_seg ~src:(Host.addr src) ~dst:(Host.addr dst) ~conn:46 ~dsn:0 ()
   in
   Host.send src seg;
   Scheduler.run sched;
@@ -679,22 +620,7 @@ let test_delack_out_of_order_still_immediate () =
   in
   Host.bind dst ~conn:47 (Tcp_rx.handle rx);
   let seg seq =
-    Packet.make ~ctx ~src:(Host.addr src) ~dst:(Host.addr dst)
-      ~tcp:
-        {
-          Packet.conn = 47;
-          subflow = 0;
-          src_port = 1;
-          dst_port = 2;
-          seq;
-          ack_seq = 0;
-          len = 100;
-          flags = Packet.data_flags;
-          ece = false;
-          dup_seen = false;
-          dsn = seq;
-          sack = [];
-        }
+    mk_seg ~src:(Host.addr src) ~dst:(Host.addr dst) ~conn:47 ~seq ~dsn:seq ()
   in
   (* A gap: the out-of-order segment must be ACKed instantly, well
      before any delack timer. *)

@@ -18,6 +18,11 @@ let check_bool = Alcotest.(check bool)
    simulation; a file-level context supplies their ids. *)
 let ctx = Sim_engine.Sim_ctx.create ()
 
+(* Raw data packet for forwarding probes. *)
+let mk_pkt ?(conn = 1) ?(src_port = 1234) ?(len = 100) ~src ~dst () =
+  Packet.make ~ctx ~src ~dst ~conn ~subflow:0 ~src_port ~dst_port:80 ~seq:0
+    ~ack_seq:0 ~len ~bits:Packet.data_bits ~dsn:(-1)
+
 let probe ?(conn = 999) ?(sport = 1234) net ~src ~dst =
   (* Send one raw data packet from host [src] to host [dst]; return
      whether it arrived within 10 ms of simulated time. *)
@@ -25,24 +30,10 @@ let probe ?(conn = 999) ?(sport = 1234) net ~src ~dst =
   let arrived = ref false in
   let dst_host = Topology.host net dst in
   Host.bind dst_host ~conn (fun _ -> arrived := true);
-  let tcp =
-    {
-      Packet.conn;
-      subflow = 0;
-      src_port = sport;
-      dst_port = 80;
-      seq = 0;
-      ack_seq = 0;
-      len = 100;
-      flags = Packet.data_flags;
-      ece = false;
-      dup_seen = false;
-      dsn = -1; sack = [];
-    }
-  in
   let src_host = Topology.host net src in
   Host.send src_host
-    (Packet.make ~ctx ~src:(Host.addr src_host) ~dst:(Host.addr dst_host) ~tcp);
+    (mk_pkt ~conn ~src_port:sport ~src:(Host.addr src_host)
+       ~dst:(Host.addr dst_host) ());
   Scheduler.run ~until:(Time.add (Scheduler.now sched) (Time.of_ms 10.)) sched;
   Host.unbind dst_host ~conn;
   !arrived
@@ -138,23 +129,9 @@ let test_fattree_scatter_uses_all_uplinks () =
   Host.bind dst_host ~conn:1 ignore;
   let src_host = Topology.host net 0 in
   for sport = 1 to 200 do
-    let tcp =
-      {
-        Packet.conn = 1;
-        subflow = 0;
-        src_port = sport * 7919;
-        dst_port = 80;
-        seq = 0;
-        ack_seq = 0;
-        len = 100;
-        flags = Packet.data_flags;
-        ece = false;
-        dup_seen = false;
-        dsn = -1; sack = [];
-      }
-    in
     Host.send src_host
-      (Packet.make ~ctx ~src:(Host.addr src_host) ~dst:(Host.addr dst_host) ~tcp)
+      (mk_pkt ~src_port:(sport * 7919) ~src:(Host.addr src_host)
+         ~dst:(Host.addr dst_host) ())
   done;
   Scheduler.run sched;
   (* Count how many distinct edge-layer fabric links carried traffic
@@ -240,23 +217,9 @@ let test_vl2_scatter_spreads_intermediates () =
   Host.bind dst_host ~conn:1 ignore;
   let src_host = Topology.host net 0 in
   for sport = 1 to 300 do
-    let tcp =
-      {
-        Packet.conn = 1;
-        subflow = 0;
-        src_port = sport * 6151;
-        dst_port = 80;
-        seq = 0;
-        ack_seq = 0;
-        len = 100;
-        flags = Packet.data_flags;
-        ece = false;
-        dup_seen = false;
-        dsn = -1; sack = [];
-      }
-    in
     Host.send src_host
-      (Packet.make ~ctx ~src:(Host.addr src_host) ~dst:(Host.addr dst_host) ~tcp)
+      (mk_pkt ~src_port:(sport * 6151) ~src:(Host.addr src_host)
+         ~dst:(Host.addr dst_host) ())
   done;
   Scheduler.run sched;
   (* All intermediate downlinks towards the destination agg pair should
@@ -313,23 +276,9 @@ let test_layer_loss_rate_counts_drops () =
       Host.bind dst_host ~conn ignore;
       let src_host = Topology.host net src in
       for i = 0 to 30 do
-        let tcp =
-          {
-            Packet.conn;
-            subflow = 0;
-            src_port = 1000 + i;
-            dst_port = 80;
-            seq = 0;
-            ack_seq = 0;
-            len = 1400;
-            flags = Packet.data_flags;
-            ece = false;
-            dup_seen = false;
-            dsn = -1; sack = [];
-          }
-        in
         Host.send src_host
-          (Packet.make ~ctx ~src:(Host.addr src_host) ~dst:(Host.addr dst_host) ~tcp)
+          (mk_pkt ~conn ~src_port:(1000 + i) ~len:1400
+             ~src:(Host.addr src_host) ~dst:(Host.addr dst_host) ())
       done)
     [ (0, 2, 50); (1, 3, 51) ];
   Scheduler.run sched;

@@ -4,12 +4,14 @@
    simulation being a pure function of its inputs: no module-level
    mutable state, no ambient randomness or wall-clock reads, no
    unstable polymorphic hashing, console output confined to the
-   report layer, and raw concurrency primitives confined to
-   Domain_pool. This pass parses each [.ml] with compiler-libs and
+   report layer, raw concurrency primitives confined to Domain_pool,
+   and process spawning confined to Proc_pool (a stray fork would
+   duplicate simulation state and break the worker pipe protocol).
+   This pass parses each [.ml] with compiler-libs and
    walks the Parsetree; it sees syntax only (no typing), so the rules
    are name-based and an allowlist covers deliberate exceptions. *)
 
-type rule = D001 | D002 | D003 | D004 | D005
+type rule = D001 | D002 | D003 | D004 | D005 | D006
 
 let rule_id = function
   | D001 -> "D001"
@@ -17,6 +19,7 @@ let rule_id = function
   | D003 -> "D003"
   | D004 -> "D004"
   | D005 -> "D005"
+  | D006 -> "D006"
 
 let rule_of_id = function
   | "D001" -> Some D001
@@ -24,6 +27,7 @@ let rule_of_id = function
   | "D003" -> Some D003
   | "D004" -> Some D004
   | "D005" -> Some D005
+  | "D006" -> Some D006
   | _ -> None
 
 type finding = {
@@ -56,6 +60,7 @@ let exempt file rule =
   | D001 -> base = "sim_ctx.ml"
   | D002 -> base = "rng.ml"
   | D005 -> base = "domain_pool.ml"
+  | D006 -> base = "proc_pool.ml"
   | D003 | D004 -> false
 
 (* ------------------------------------------------------------------ *)
@@ -249,6 +254,16 @@ let ident_rule name =
         name
         ^ " writes directly to the console; library code must stay silent \
            (route experiment output through Report)" )
+  else if
+    name = "Unix.fork" || name = "Unix.system"
+    || String.starts_with ~prefix:"Unix.create_process" name
+    || String.starts_with ~prefix:"Unix.open_process" name
+  then
+    Some
+      ( D006,
+        name
+        ^ " spawns a process; worker-process fan-out lives only in \
+           Sim_engine.Proc_pool" )
   else
     let root = lid_root_of_string name in
     if root = "Domain" || root = "Mutex" || root = "Condition" || root = "Atomic"
@@ -355,7 +370,7 @@ let parse_allow_line ~lineno line =
       | None ->
         raise
           (Allow_syntax
-             (Printf.sprintf "line %d: unknown rule %S (expected D001-D005)"
+             (Printf.sprintf "line %d: unknown rule %S (expected D001-D006)"
                 lineno rid))
       | Some r -> Some { a_file = path; a_rule = r; a_line = lineno })
 

@@ -19,12 +19,16 @@
       the report layer (allowlisted in [simlint.allow]).
     - [D005] no [Domain]/[Mutex]/[Condition]/[Atomic] use. Built-in
       exemption: [domain_pool.ml].
+    - [D006] no raw process spawning ([Unix.fork],
+      [Unix.create_process*], [Unix.open_process*], [Unix.system]) — a
+      stray fork duplicates simulation state and bypasses the worker
+      pipe protocol. Built-in exemption: [proc_pool.ml].
 
     The analysis is purely syntactic (compiler-libs parser, no typing):
     precise enough for a curated codebase, with [simlint.allow] as the
     escape hatch for deliberate exceptions. *)
 
-type rule = D001 | D002 | D003 | D004 | D005
+type rule = D001 | D002 | D003 | D004 | D005 | D006
 
 val rule_id : rule -> string
 val rule_of_id : string -> rule option

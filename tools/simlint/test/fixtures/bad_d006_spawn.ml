@@ -1,0 +1,7 @@
+(* Fixture: raw process spawning outside Proc_pool. *)
+let clone () = Unix.fork ()
+
+let spawn argv =
+  Unix.create_process argv.(0) argv Unix.stdin Unix.stdout Unix.stderr
+
+let shell cmd = Unix.open_process_in cmd

@@ -1,0 +1,5 @@
+(* Fixture named like the exempt module: D006 must not fire here. *)
+let spawn argv =
+  Unix.create_process argv.(0) argv Unix.stdin Unix.stdout Unix.stderr
+
+let clone () = Unix.fork ()

@@ -45,6 +45,11 @@ let test_d005_domain () =
   check_rules "concurrency primitives" "bad_d005_domain.ml"
     [ L.D005; L.D005; L.D005; L.D005 ]
 
+let test_d006_spawn () =
+  (* Unix.fork, Unix.create_process, Unix.open_process_in *)
+  check_rules "process spawning" "bad_d006_spawn.ml"
+    [ L.D006; L.D006; L.D006 ]
+
 (* --- clean code and built-in exemptions --- *)
 
 let test_clean_local_state () =
@@ -55,6 +60,9 @@ let test_exempt_sim_ctx () =
 
 let test_exempt_domain_pool () =
   check_rules "domain_pool.ml may use Domain" "domain_pool.ml" []
+
+let test_exempt_proc_pool () =
+  check_rules "proc_pool.ml may spawn processes" "proc_pool.ml" []
 
 let test_clean_file_sink () =
   (* D004 is scoped to console I/O: a file-writing sink (open_out,
@@ -123,7 +131,7 @@ let test_allow_rejects_garbage () =
       output_string oc "lib/foo.ml:D999\n";
       close_out oc;
       Alcotest.check_raises "unknown rule"
-        (L.Allow_syntax "line 1: unknown rule \"D999\" (expected D001-D005)")
+        (L.Allow_syntax "line 1: unknown rule \"D999\" (expected D001-D006)")
         (fun () -> ignore (L.parse_allow_file tmp)))
 
 (* --- tree scanning --- *)
@@ -152,12 +160,14 @@ let () =
           Alcotest.test_case "D003 polymorphic hash" `Quick test_d003_polyhash;
           Alcotest.test_case "D004 console output" `Quick test_d004_print;
           Alcotest.test_case "D005 concurrency" `Quick test_d005_domain;
+          Alcotest.test_case "D006 process spawning" `Quick test_d006_spawn;
         ] );
       ( "exemptions",
         [
           Alcotest.test_case "local state clean" `Quick test_clean_local_state;
           Alcotest.test_case "sim_ctx exempt from D001" `Quick test_exempt_sim_ctx;
           Alcotest.test_case "domain_pool exempt from D005" `Quick test_exempt_domain_pool;
+          Alcotest.test_case "proc_pool exempt from D006" `Quick test_exempt_proc_pool;
           Alcotest.test_case "file sinks outside D004" `Quick test_clean_file_sink;
         ] );
       ( "output",
