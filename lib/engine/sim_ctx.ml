@@ -7,6 +7,7 @@ type t = {
   trace : Trace.t;
   metrics : Sim_obs.Metrics.t;
   mutable ext : ext option;
+  mutable pool_live : int;
 }
 
 let create () =
@@ -17,6 +18,7 @@ let create () =
     trace = Trace.create ();
     metrics = Sim_obs.Metrics.create ();
     ext = None;
+    pool_live = 0;
   }
 
 let fresh_packet_uid t =
@@ -30,6 +32,9 @@ let fresh_conn_id t =
 let fresh_queue_id t =
   t.next_queue_id <- t.next_queue_id + 1;
   t.next_queue_id
+
+let pool_live t = t.pool_live
+let pool_track t delta = t.pool_live <- t.pool_live + delta
 
 let trace t = t.trace
 let metrics t = t.metrics

@@ -15,6 +15,7 @@ type t = {
   mutable sack_count : int;
   sack : int array;
   mutable ce : bool;
+  mutable gen : int;
 }
 
 let header_bytes = 40
@@ -34,54 +35,89 @@ let syn_ack_bits = syn_bit lor ack_bit
 let ack_bits ~ece ~dup_seen =
   ack_bit lor (if ece then ece_bit else 0) lor (if dup_seen then dup_bit else 0)
 
-let syn t = t.bits land syn_bit <> 0
-let ack t = t.bits land ack_bit <> 0
-let fin t = t.bits land fin_bit <> 0
-let ece t = t.bits land ece_bit <> 0
-let dup_seen t = t.bits land dup_bit <> 0
+(* ------------------------------------------------------------------ *)
+(* Pool sanitizer (debug profiles only; [sanitizer] is a compile-time
+   constant, so release builds pay one predictable branch per guarded
+   operation and nothing else).
+
+   [gen] counts the record's trips through the pool: odd = live
+   (issued by [make]), even = pooled (returned by [free]). [free]
+   flips the parity and poisons every header field, so a stale alias
+   that survives its handler either trips a generation check at the
+   next accessor call or reads values no valid segment can carry —
+   both of which the debug test battery catches deterministically
+   instead of corrupting a sequence number in silence. *)
+
+let sanitizer = Sim_engine.Sanitizer_mode.on
+
+(* Poison sits far outside any valid sequence/length so arithmetic on
+   a dead packet produces wildly wrong, not plausibly wrong, values. *)
+let poison = 0x7EAD_DEAD_DEAD
+
+let dead t = t.gen land 1 = 0
+
+let check_live t ~op =
+  if sanitizer && dead t then
+    invalid_arg
+      (Printf.sprintf
+         "Packet.%s: use-after-free of pooled packet uid %d (pool generation \
+          %d; the record was returned to the pool — retaining components must \
+          Packet.copy)"
+         op t.uid t.gen)
+
+let syn t = check_live t ~op:"syn"; t.bits land syn_bit <> 0
+let ack t = check_live t ~op:"ack"; t.bits land ack_bit <> 0
+let fin t = check_live t ~op:"fin"; t.bits land fin_bit <> 0
+let ece t = check_live t ~op:"ece"; t.bits land ece_bit <> 0
+let dup_seen t = check_live t ~op:"dup_seen"; t.bits land dup_bit <> 0
 
 (* ------------------------------------------------------------------ *)
 (* Per-simulation freelist, hung off the context's extension slot so
    the engine layer needn't know the packet type. A plain stack: [free]
    pushes, [make] pops. Records in the pool are dead — nothing else
    references them — so reuse only has to reinitialise every field
-   [make] promises. *)
+   [make] promises. The [dummy] fill element lives in the pool record
+   itself (allocated per simulation with the pool), so freed slots
+   hold no live packet and no module-level state exists to share
+   across simulations. *)
 
-type pool = { mutable items : t array; mutable count : int }
+type pool = { mutable items : t array; mutable count : int; dummy : t }
 
 type Sim_engine.Sim_ctx.ext += Pool of pool
-
-let dummy =
-  {
-    uid = 0;
-    src = Addr.of_int 0;
-    dst = Addr.of_int 0;
-    size = 0;
-    conn = 0;
-    subflow = 0;
-    src_port = 0;
-    dst_port = 0;
-    seq = 0;
-    ack_seq = 0;
-    len = 0;
-    bits = 0;
-    dsn = -1;
-    sack_count = 0;
-    sack = [||];
-    ce = false;
-  }
 
 let pool_of ctx =
   match Sim_engine.Sim_ctx.ext ctx with
   | Some (Pool p) -> p
   | _ ->
-    let p = { items = Array.make 64 dummy; count = 0 } in
+    let dummy =
+      {
+        uid = 0;
+        src = Addr.of_int 0;
+        dst = Addr.of_int 0;
+        size = 0;
+        conn = 0;
+        subflow = 0;
+        src_port = 0;
+        dst_port = 0;
+        seq = 0;
+        ack_seq = 0;
+        len = 0;
+        bits = 0;
+        dsn = -1;
+        sack_count = 0;
+        sack = [||];
+        ce = false;
+        gen = 0;
+      }
+    in
+    let p = { items = Array.make 64 dummy; count = 0; dummy } in
     Sim_engine.Sim_ctx.set_ext ctx (Pool p);
     p
 
 let make ~ctx ~src ~dst ~conn ~subflow ~src_port ~dst_port ~seq ~ack_seq ~len
     ~bits ~dsn =
   let uid = Sim_engine.Sim_ctx.fresh_packet_uid ctx in
+  if sanitizer then Sim_engine.Sim_ctx.pool_track ctx 1;
   let p = pool_of ctx in
   if p.count = 0 then
     {
@@ -101,11 +137,21 @@ let make ~ctx ~src ~dst ~conn ~subflow ~src_port ~dst_port ~seq ~ack_seq ~len
       sack_count = 0;
       sack = Array.make (2 * max_sack_blocks) 0;
       ce = false;
+      gen = 1;
     }
   else begin
     p.count <- p.count - 1;
     let t = p.items.(p.count) in
-    p.items.(p.count) <- dummy;
+    p.items.(p.count) <- p.dummy;
+    if sanitizer then begin
+      if not (dead t) then
+        invalid_arg
+          (Printf.sprintf
+             "Packet.make: pool corruption — freelist slot holds a live \
+              record (uid %d, generation %d)"
+             t.uid t.gen);
+      t.gen <- t.gen + 1 (* odd again: reissued *)
+    end;
     t.uid <- uid;
     t.src <- src;
     t.dst <- dst;
@@ -125,6 +171,7 @@ let make ~ctx ~src ~dst ~conn ~subflow ~src_port ~dst_port ~seq ~ack_seq ~len
   end
 
 let copy ~ctx t =
+  check_live t ~op:"copy";
   let d =
     make ~ctx ~src:t.src ~dst:t.dst ~conn:t.conn ~subflow:t.subflow
       ~src_port:t.src_port ~dst_port:t.dst_port ~seq:t.seq ~ack_seq:t.ack_seq
@@ -136,9 +183,33 @@ let copy ~ctx t =
   d
 
 let free ~ctx t =
+  if sanitizer then begin
+    if dead t then
+      invalid_arg
+        (Printf.sprintf
+           "Packet.free: double free of pooled packet uid %d (pool \
+            generation %d; only the packet's final owner — host delivery or \
+            queue drop — frees, exactly once)"
+           t.uid t.gen);
+    t.gen <- t.gen + 1;
+    (* even: pooled *)
+    Sim_engine.Sim_ctx.pool_track ctx (-1);
+    (* Poison the header so a stale direct field read (which no
+       accessor guard can intercept) yields values outside any valid
+       segment. [uid] is kept for the diagnostic above. *)
+    t.seq <- poison;
+    t.ack_seq <- poison;
+    t.len <- poison;
+    t.size <- poison;
+    t.dsn <- poison;
+    t.conn <- poison;
+    t.subflow <- poison;
+    t.sack_count <- 0;
+    Array.fill t.sack 0 (Array.length t.sack) poison
+  end;
   let p = pool_of ctx in
   if p.count = Array.length p.items then begin
-    let items = Array.make (2 * p.count) dummy in
+    let items = Array.make (2 * p.count) p.dummy in
     Array.blit p.items 0 items 0 p.count;
     p.items <- items
   end;
@@ -146,12 +217,17 @@ let free ~ctx t =
   p.count <- p.count + 1
 
 let sack_blocks t =
+  check_live t ~op:"sack_blocks";
   List.init t.sack_count (fun i -> (t.sack.(2 * i), t.sack.((2 * i) + 1)))
 
-let is_data t = t.len > 0
-let is_pure_ack t = t.len = 0 && ack t && not (syn t)
+let is_data t = check_live t ~op:"is_data"; t.len > 0
+
+let is_pure_ack t =
+  check_live t ~op:"is_pure_ack";
+  t.len = 0 && t.bits land ack_bit <> 0 && t.bits land syn_bit = 0
 
 let pp ppf t =
+  check_live t ~op:"pp";
   Format.fprintf ppf "#%d %a->%a c%d.%d %s seq=%d ack=%d len=%d%s" t.uid
     Addr.pp t.src Addr.pp t.dst t.conn t.subflow
     (if syn t && ack t then "SYNACK"

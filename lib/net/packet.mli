@@ -11,9 +11,19 @@
     allocation. The two sinks of a packet's life — final delivery at a
     host and a queue drop — call {!free}; in between, components may
     read the packet but must not retain it past their handler (copy
-    the fields, or {!sack_blocks} for the SACK payload). Boolean
-    header flags live in {!bits}, an int bitset, so no flags record
-    exists to allocate. *)
+    the fields, or {!sack_blocks} for the SACK payload; duplicate the
+    whole packet with {!copy}). Boolean header flags live in {!bits},
+    an int bitset, so no flags record exists to allocate.
+
+    The ownership contract is machine-checked twice over (DESIGN.md
+    §4i): statically by simlint rule D007, which rejects any
+    expression of this type that escapes its handler scope without
+    flowing through {!copy}; and dynamically, in every build profile
+    except [release], by the pool sanitizer — {!free} flips the
+    record's {!gen} parity and poisons the header fields, and every
+    accessor asserts the packet is live, so a retained alias fails
+    loudly under [dune runtest] instead of corrupting a later
+    simulation's segment. *)
 
 type t = {
   mutable uid : int;  (** unique per packet, for tracing *)
@@ -40,6 +50,12 @@ type t = {
           {!max_sack_blocks}, none when the receiver holds no
           out-of-order data (or SACK is unused by the sender) *)
   mutable ce : bool;  (** ECN congestion-experienced mark, set by queues *)
+  mutable gen : int;
+      (** pool generation: odd while issued by {!make}, even while in
+          the freelist. Maintained (and asserted) only when
+          {!sanitizer} is set; constant 1 in release builds. Not
+          simulation state — never read it to make a protocol
+          decision. *)
 }
 
 val header_bytes : int
@@ -110,7 +126,17 @@ val copy : ctx:Sim_engine.Sim_ctx.t -> t -> t
 val free : ctx:Sim_engine.Sim_ctx.t -> t -> unit
 (** Return [t] to [ctx]'s pool for reuse by a later {!make}. Only the
     packet's final owner (host delivery, queue drop) may call this,
-    exactly once; the caller must hold no reference afterwards. *)
+    exactly once; the caller must hold no reference afterwards. Under
+    {!sanitizer}, a second [free] of the same record raises
+    [Invalid_argument], the header fields are poisoned, and the
+    context's {!Sim_engine.Sim_ctx.pool_live} counter is decremented
+    (a clean teardown balances it back to 0). *)
+
+val sanitizer : bool
+(** Whether the runtime pool sanitizer is compiled in — equal to
+    {!Sim_engine.Sanitizer_mode.on}, i.e. [true] in every profile but
+    [release]. Tests that plant deliberate ownership violations gate
+    their expectations on this. *)
 
 val sack_blocks : t -> (int * int) list
 (** The SACK blocks as a fresh [(start, stop)] list — an allocating

@@ -124,7 +124,10 @@ let enqueue t pkt =
          ()
      | None -> ());
     List.iter (fun f -> f pkt) t.drop_hooks;
-    (* A drop ends the packet's life; hooks have all seen it. *)
+    (* A drop ends the packet's life; hooks have all seen it. The
+       order is a contract (pktqueue.mli): free strictly after the
+       last hook, so hooks read a live packet but must copy to
+       retain. *)
     Packet.free ~ctx:t.ctx pkt;
     false
   end

@@ -57,7 +57,17 @@ val add_drop_hook : t -> (Packet.t -> unit) -> unit
     they run in installation order, after the drop is counted in
     {!stats} and after any [queue_drop] metrics event is emitted.
     Hooks cannot be removed — an observer lives as long as its
-    queue. *)
+    queue.
+
+    {b Aliasing rule}: every hook runs strictly before the queue
+    returns the packet to the pool ({!Packet.free} happens only after
+    the last hook), so a hook may read any field of its argument — but
+    the argument is a lease, not a gift. The moment the hook returns,
+    the record may be recycled into an unrelated segment; a hook that
+    wants to keep the packet (or any alias to it) past its own return
+    must retain a {!Packet.copy}. The debug-profile pool sanitizer
+    turns a violation into [Invalid_argument]; simlint rule D007
+    rejects it statically. *)
 
 val dequeue : t -> Packet.t option
 val backlog_pkts : t -> int

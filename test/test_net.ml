@@ -41,6 +41,90 @@ let test_packet_classify () =
   let ack = mk_pkt ~len:0 ~bits:Packet.pure_ack_bits () in
   check_bool "pure ack" true (Packet.is_pure_ack ack)
 
+(* --- pool ownership & sanitizer ---------------------------------- *)
+
+let test_pool_copy_independent () =
+  let p = mk_pkt ~seq:500 ~len:700 () in
+  p.Packet.sack.(0) <- 100;
+  p.Packet.sack.(1) <- 200;
+  p.Packet.sack_count <- 1;
+  let c = Packet.copy ~ctx p in
+  Packet.free ~ctx p;
+  (* The copy owns its record: freeing (and, in debug, poisoning) the
+     original must not be observable through it. *)
+  check_int "seq survives original's free" 500 c.Packet.seq;
+  check_int "len survives original's free" 700 c.Packet.len;
+  Alcotest.(check (list (pair int int)))
+    "sack blocks survive original's free" [ (100, 200) ]
+    (Packet.sack_blocks c)
+
+let test_pool_fresh_uid_on_reuse () =
+  let a = mk_pkt () in
+  let uid_a = a.Packet.uid in
+  Packet.free ~ctx a;
+  let b = mk_pkt () in
+  (* LIFO freelist: the record just freed is the one reissued... *)
+  check_bool "record is physically reused" true (b == a);
+  (* ...but with a fresh uid, so uid sequences are identical with or
+     without reuse. *)
+  check_bool "fresh uid on reuse" true (b.Packet.uid <> uid_a)
+
+let test_pool_sack_isolation () =
+  let a = mk_pkt () in
+  a.Packet.sack.(0) <- 100;
+  a.Packet.sack.(1) <- 200;
+  a.Packet.sack_count <- 1;
+  let c = Packet.copy ~ctx a in
+  Packet.free ~ctx a;
+  let b = mk_pkt () in
+  (* [b] reuses [a]'s record: its SACK state must be reset, not the
+     stale (in debug: poisoned) scratch contents. *)
+  check_int "reused packet has no sack blocks" 0 b.Packet.sack_count;
+  Alcotest.(check (list (pair int int)))
+    "sack_blocks empty after reuse" [] (Packet.sack_blocks b);
+  (* And the copy's scratch array is its own, not shared with the
+     recycled record. *)
+  b.Packet.sack.(0) <- 7;
+  Alcotest.(check (list (pair int int)))
+    "copy's sack unaffected by reuse" [ (100, 200) ]
+    (Packet.sack_blocks c)
+
+let test_pool_sanitizer_catches_uaf () =
+  (* Plant a deliberate use-after-free and a double free; in debug
+     profiles the sanitizer must turn both into Invalid_argument. In
+     release (sanitizer compiled out) the test is vacuous — skip
+     rather than corrupt the pool. *)
+  if Packet.sanitizer then begin
+    let p = mk_pkt () in
+    Packet.free ~ctx p;
+    check_bool "accessor raises on freed packet" true
+      (match Packet.is_data p with
+      | _ -> false
+      | exception Invalid_argument _ -> true);
+    check_bool "double free raises" true
+      (match Packet.free ~ctx p with
+      | () -> false
+      | exception Invalid_argument _ -> true)
+  end
+
+let test_pool_live_counter () =
+  if Packet.sanitizer then begin
+    let ctx = Sim_engine.Sim_ctx.create () in
+    let mk () =
+      Packet.make ~ctx ~src:(Addr.of_int 0) ~dst:(Addr.of_int 1) ~conn:1
+        ~subflow:0 ~src_port:1 ~dst_port:2 ~seq:0 ~ack_seq:0 ~len:0
+        ~bits:Packet.data_bits ~dsn:(-1)
+    in
+    check_int "starts balanced" 0 (Sim_engine.Sim_ctx.pool_live ctx);
+    let a = mk () in
+    let b = mk () in
+    check_int "two live" 2 (Sim_engine.Sim_ctx.pool_live ctx);
+    Packet.free ~ctx a;
+    Packet.free ~ctx b;
+    check_int "clean teardown balances to zero" 0
+      (Sim_engine.Sim_ctx.pool_live ctx)
+  end
+
 let test_addr () =
   check_int "round trip" 5 (Addr.to_int (Addr.of_int 5));
   check_bool "equal" true (Addr.equal (Addr.of_int 3) (Addr.of_int 3));
@@ -443,6 +527,16 @@ let () =
           Alcotest.test_case "wire size" `Quick test_packet_size;
           Alcotest.test_case "unique uids" `Quick test_packet_uids_unique;
           Alcotest.test_case "classification" `Quick test_packet_classify;
+          Alcotest.test_case "copy independent of freed original" `Quick
+            test_pool_copy_independent;
+          Alcotest.test_case "fresh uid on pool reuse" `Quick
+            test_pool_fresh_uid_on_reuse;
+          Alcotest.test_case "sack scratch isolation" `Quick
+            test_pool_sack_isolation;
+          Alcotest.test_case "sanitizer catches use-after-free" `Quick
+            test_pool_sanitizer_catches_uaf;
+          Alcotest.test_case "pool live counter balances" `Quick
+            test_pool_live_counter;
           Alcotest.test_case "addresses" `Quick test_addr;
         ] );
       ( "ecmp",

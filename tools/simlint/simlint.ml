@@ -2,9 +2,16 @@
 
    Usage: simlint [--allow FILE] PATH...
 
-   PATHs are .ml files or directories (scanned recursively). Exit 0
-   when clean, 1 on findings, 2 on usage/parse errors. Stale allowlist
-   entries warn on stderr but do not fail the run. *)
+   PATHs are .cmt files, .ml files or directories (scanned
+   recursively; directories yield every .cmt below them, including
+   dune's hidden `*.objs` dirs). The analysis runs on the typed trees
+   in the .cmt files; .ml files are used only to check that each
+   source is covered by some analysed cmt — build the tree first
+   (`dune build`) so the cmts exist.
+
+   Exit 0 when clean, 1 on findings, 2 on usage/read errors. Stale
+   allowlist entries and uncovered sources warn on stderr but do not
+   fail the run on their own. *)
 
 let usage () =
   prerr_endline "usage: simlint [--allow FILE] PATH...";
@@ -26,21 +33,47 @@ let () =
   in
   parse_args (List.tl (Array.to_list Sys.argv));
   if !paths = [] then usage ();
-  let files =
-    List.concat_map Simlint_core.scan_tree (List.rev !paths)
-    |> List.sort_uniq compare
+  let cmts, mls =
+    let cs, ms =
+      List.fold_left
+        (fun (cs, ms) p ->
+          let c, m = Simlint_core.scan_tree p in
+          (c :: cs, m :: ms))
+        ([], []) (List.rev !paths)
+    in
+    ( List.sort_uniq compare (List.concat cs),
+      List.sort_uniq compare (List.concat ms) )
   in
-  let parse_errors = ref 0 in
-  let findings =
-    List.concat_map
-      (fun file ->
-        try Simlint_core.lint_file file
+  let read_errors = ref 0 in
+  let lints =
+    List.filter_map
+      (fun cmt ->
+        try Some (Simlint_core.lint_cmt cmt)
         with exn ->
-          incr parse_errors;
-          Location.report_exception Format.err_formatter exn;
-          [])
-      files
+          incr read_errors;
+          Printf.eprintf "simlint: %s: %s\n" cmt (Printexc.to_string exn);
+          None)
+      cmts
   in
+  let findings =
+    List.sort Simlint_core.compare_finding
+      (List.concat_map (fun l -> l.Simlint_core.cl_findings) lints)
+  in
+  let sources =
+    List.filter_map (fun l -> l.Simlint_core.cl_source) lints
+  in
+  let uncovered =
+    List.filter
+      (fun ml -> not (List.exists (Simlint_core.same_source ml) sources))
+      mls
+  in
+  List.iter
+    (fun ml ->
+      Printf.eprintf
+        "simlint: warning: %s has no .cmt under the scanned paths — the file \
+         was not analysed (build first, or lint its library's *.objs dir)\n"
+        ml)
+    uncovered;
   let entries =
     match !allow_file with
     | None -> []
@@ -66,11 +99,11 @@ let () =
         e.a_line)
     stale;
   if kept <> [] then begin
-    Printf.eprintf "simlint: %d violation%s in %d file%s scanned\n"
+    Printf.eprintf "simlint: %d violation%s in %d compilation unit%s analysed\n"
       (List.length kept)
       (if List.length kept = 1 then "" else "s")
-      (List.length files)
-      (if List.length files = 1 then "" else "s");
+      (List.length lints)
+      (if List.length lints = 1 then "" else "s");
     exit 1
   end;
-  if !parse_errors > 0 then exit 2
+  if !read_errors > 0 then exit 2

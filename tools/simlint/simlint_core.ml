@@ -5,201 +5,111 @@
    mutable state, no ambient randomness or wall-clock reads, no
    unstable polymorphic hashing, console output confined to the
    report layer, raw concurrency primitives confined to Domain_pool,
-   and process spawning confined to Proc_pool (a stray fork would
-   duplicate simulation state and break the worker pipe protocol).
-   This pass parses each [.ml] with compiler-libs and
-   walks the Parsetree; it sees syntax only (no typing), so the rules
-   are name-based and an allowlist covers deliberate exceptions. *)
+   process spawning confined to Proc_pool, and — D007, Simlint_pool —
+   no pooled packet escaping the handler it was leased to.
 
-type rule = D001 | D002 | D003 | D004 | D005 | D006
+   Since v2 the pass runs on the *typed* tree: it reads the [.cmt]
+   files dune already produces (dune passes [-bin-annot] by default)
+   and walks the Typedtree, so every identifier is the path the
+   typechecker resolved. `open Unix` no longer hides [gettimeofday],
+   a local [let print_endline] no longer false-fires D004, and D007
+   can key on expression *types* ([Sim_net.Packet.t]) rather than
+   variable names. The [.ml] sources are still scanned, but only to
+   verify cmt coverage: a source file with no corresponding cmt is a
+   hole in the lint and is reported. *)
 
-let rule_id = function
-  | D001 -> "D001"
-  | D002 -> "D002"
-  | D003 -> "D003"
-  | D004 -> "D004"
-  | D005 -> "D005"
-  | D006 -> "D006"
-
-let rule_of_id = function
-  | "D001" -> Some D001
-  | "D002" -> Some D002
-  | "D003" -> Some D003
-  | "D004" -> Some D004
-  | "D005" -> Some D005
-  | "D006" -> Some D006
-  | _ -> None
-
-type finding = {
-  file : string;
-  line : int;
-  col : int;
-  rule : rule;
-  msg : string;
-}
-
-let compare_finding a b =
-  let c = compare a.file b.file in
-  if c <> 0 then c
-  else
-    let c = compare a.line b.line in
-    if c <> 0 then c
-    else
-      let c = compare a.col b.col in
-      if c <> 0 then c else compare (rule_id a.rule) (rule_id b.rule)
-
-let pp_finding f =
-  Printf.sprintf "%s:%d:%d [%s] %s" f.file f.line f.col (rule_id f.rule) f.msg
-
-(* Built-in scopes: the one module allowed to own each class of state.
-   Everything else goes through the allowlist file so exceptions stay
-   visible in review. *)
-let exempt file rule =
-  let base = Filename.basename file in
-  match rule with
-  | D001 -> base = "sim_ctx.ml"
-  | D002 -> base = "rng.ml"
-  | D005 -> base = "domain_pool.ml"
-  | D006 -> base = "proc_pool.ml"
-  | D003 | D004 -> false
-
-(* ------------------------------------------------------------------ *)
-(* Longident helpers                                                   *)
-
-let rec lid_to_string = function
-  | Longident.Lident s -> s
-  | Longident.Ldot (t, s) -> lid_to_string t ^ "." ^ s
-  | Longident.Lapply (a, b) -> lid_to_string a ^ "(" ^ lid_to_string b ^ ")"
-
-let strip_stdlib s =
-  let prefix = "Stdlib." in
-  let n = String.length prefix in
-  if String.length s > n && String.sub s 0 n = prefix then
-    String.sub s n (String.length s - n)
-  else s
+include Simlint_defs
 
 (* ------------------------------------------------------------------ *)
 (* D001: module-level mutable state                                    *)
 
-let mutable_ctor name =
-  match name with
-  | "ref" -> Some "`ref`"
-  | "Hashtbl.create" | "Hashtbl.of_seq" -> Some "`Hashtbl.create`"
-  | "Queue.create" -> Some "`Queue.create`"
-  | "Buffer.create" -> Some "`Buffer.create`"
-  | "Stack.create" -> Some "`Stack.create`"
-  | "Array.make" | "Array.init" | "Array.create_float" -> Some ("`" ^ name ^ "`")
-  | "Bytes.create" | "Bytes.make" -> Some ("`" ^ name ^ "`")
+let mutable_ctor p =
+  let stdlib = from_stdlib p in
+  match components p with
+  | [ "ref" ] when stdlib -> Some "`ref`"
+  | [ "Hashtbl"; ("create" | "of_seq") ] -> Some "`Hashtbl.create`"
+  | [ "Queue"; "create" ] -> Some "`Queue.create`"
+  | [ "Buffer"; "create" ] -> Some "`Buffer.create`"
+  | [ "Stack"; "create" ] -> Some "`Stack.create`"
+  | [ "Array"; ("make" | "init" | "create_float") ]
+  | [ "Bytes"; ("create" | "make") ] ->
+    Some ("`" ^ path_string p ^ "`")
   | _ -> None
 
-(* Labels declared [mutable] anywhere in this file; a toplevel record
-   literal mentioning one of them is module-level mutable state. Label
-   resolution is per-file (no typing), which is exactly the scope that
-   matters: the state type and its global instance live together. *)
-let mutable_labels structure =
-  let labels = Hashtbl.create 16 in
-  let it =
-    {
-      Ast_iterator.default_iterator with
-      type_declaration =
-        (fun self td ->
-          (match td.Parsetree.ptype_kind with
-          | Parsetree.Ptype_record fields ->
-            List.iter
-              (fun ld ->
-                if ld.Parsetree.pld_mutable = Asttypes.Mutable then
-                  Hashtbl.replace labels ld.Parsetree.pld_name.txt ())
-              fields
-          | _ -> ());
-          Ast_iterator.default_iterator.type_declaration self td);
-    }
-  in
-  it.structure it structure;
-  labels
-
-let scan_toplevel_expr ~file ~labels ~emit expr =
+(* Walk one module-initialisation expression; function bodies allocate
+   at call time, not module init, so descent stops at lambdas. The
+   typed tree tells us record mutability directly from the resolved
+   label, wherever the type was declared. *)
+let scan_toplevel_expr ~emit expr =
   let finding loc what =
-    let p = loc.Location.loc_start in
     emit
-      {
-        file;
-        line = p.Lexing.pos_lnum;
-        col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
-        rule = D001;
-        msg =
-          Printf.sprintf
-            "module-level mutable state (%s) escapes Sim_ctx; allocate it \
-             per-simulation instead"
-            what;
-      }
+      (finding_at ~rule:D001
+         ~msg:
+           (Printf.sprintf
+              "module-level mutable state (%s) escapes Sim_ctx; allocate it \
+               per-simulation instead"
+              what)
+         loc)
   in
   let it =
     {
-      Ast_iterator.default_iterator with
+      Tast_iterator.default_iterator with
       expr =
         (fun self e ->
-          match e.Parsetree.pexp_desc with
-          (* Function bodies allocate at call time, not module init:
-             stop descending. *)
-          | Parsetree.Pexp_fun _ | Parsetree.Pexp_function _
-          | Parsetree.Pexp_newtype _ ->
-            ()
-          | Parsetree.Pexp_apply
-              ({ pexp_desc = Parsetree.Pexp_ident { txt; _ }; _ }, _) ->
-            (match mutable_ctor (strip_stdlib (lid_to_string txt)) with
-            | Some what -> finding e.Parsetree.pexp_loc what
+          match e.Typedtree.exp_desc with
+          | Typedtree.Texp_function _ -> ()
+          | Typedtree.Texp_apply
+              ({ exp_desc = Typedtree.Texp_ident (p, _, _); _ }, _) ->
+            (match mutable_ctor p with
+            | Some what -> finding e.Typedtree.exp_loc what
             | None -> ());
-            Ast_iterator.default_iterator.expr self e
-          | Parsetree.Pexp_record (fields, _) ->
+            Tast_iterator.default_iterator.expr self e
+          | Typedtree.Texp_record { fields; _ } ->
             if
-              List.exists
-                (fun ((lbl : Longident.t Location.loc), _) ->
-                  let name =
-                    match lbl.txt with
-                    | Longident.Lident s | Longident.Ldot (_, s) -> s
-                    | Longident.Lapply _ -> ""
-                  in
-                  Hashtbl.mem labels name)
+              Array.exists
+                (fun ((lbl : Types.label_description), _) ->
+                  lbl.lbl_mut = Asttypes.Mutable)
                 fields
-            then finding e.Parsetree.pexp_loc "record literal with mutable field(s)";
-            Ast_iterator.default_iterator.expr self e
-          | Parsetree.Pexp_array _ ->
-            finding e.Parsetree.pexp_loc "array literal";
-            Ast_iterator.default_iterator.expr self e
-          | _ -> Ast_iterator.default_iterator.expr self e);
+            then finding e.Typedtree.exp_loc "record literal with mutable field(s)";
+            Tast_iterator.default_iterator.expr self e
+          | Typedtree.Texp_array _ ->
+            finding e.Typedtree.exp_loc "array literal";
+            Tast_iterator.default_iterator.expr self e
+          | _ -> Tast_iterator.default_iterator.expr self e);
     }
   in
   it.expr it expr
 
-let rec scan_structure_d001 ~file ~labels ~emit structure =
+let rec scan_structure_d001 ~emit (str : Typedtree.structure) =
   List.iter
-    (fun item ->
-      match item.Parsetree.pstr_desc with
-      | Parsetree.Pstr_value (_, vbs) ->
+    (fun (item : Typedtree.structure_item) ->
+      match item.str_desc with
+      | Typedtree.Tstr_value (_, vbs) ->
         List.iter
-          (fun vb -> scan_toplevel_expr ~file ~labels ~emit vb.Parsetree.pvb_expr)
+          (fun (vb : Typedtree.value_binding) ->
+            scan_toplevel_expr ~emit vb.vb_expr)
           vbs
-      | Parsetree.Pstr_eval (e, _) -> scan_toplevel_expr ~file ~labels ~emit e
-      | Parsetree.Pstr_module mb -> scan_module_d001 ~file ~labels ~emit mb.Parsetree.pmb_expr
-      | Parsetree.Pstr_recmodule mbs ->
+      | Typedtree.Tstr_eval (e, _) -> scan_toplevel_expr ~emit e
+      | Typedtree.Tstr_module mb -> scan_module_d001 ~emit mb.mb_expr
+      | Typedtree.Tstr_recmodule mbs ->
         List.iter
-          (fun mb -> scan_module_d001 ~file ~labels ~emit mb.Parsetree.pmb_expr)
+          (fun (mb : Typedtree.module_binding) ->
+            scan_module_d001 ~emit mb.mb_expr)
           mbs
-      | Parsetree.Pstr_include incl ->
-        scan_module_d001 ~file ~labels ~emit incl.Parsetree.pincl_mod
+      | Typedtree.Tstr_include incl -> scan_module_d001 ~emit incl.incl_mod
       | _ -> ())
-    structure
+    str.str_items
 
-and scan_module_d001 ~file ~labels ~emit mexpr =
-  match mexpr.Parsetree.pmod_desc with
-  | Parsetree.Pmod_structure s -> scan_structure_d001 ~file ~labels ~emit s
-  | Parsetree.Pmod_constraint (me, _) -> scan_module_d001 ~file ~labels ~emit me
-  (* Functor bodies allocate per application; applications are opaque
-     without typing. *)
+and scan_module_d001 ~emit (mexpr : Typedtree.module_expr) =
+  match mexpr.mod_desc with
+  | Typedtree.Tmod_structure s -> scan_structure_d001 ~emit s
+  | Typedtree.Tmod_constraint (me, _, _, _) -> scan_module_d001 ~emit me
+  (* Functor bodies allocate per application; applications of opaque
+     functors stay out of scope, as in v1. *)
   | _ -> ()
 
 (* ------------------------------------------------------------------ *)
-(* D002-D005: forbidden identifiers anywhere in the file               *)
+(* D002-D006: forbidden identifiers anywhere in the file               *)
 
 let d004_toplevel =
   [
@@ -209,204 +119,155 @@ let d004_toplevel =
     "prerr_float"; "prerr_bytes";
   ]
 
-let lid_root_of_string s =
-  match String.index_opt s '.' with
-  | None -> s
-  | Some i -> String.sub s 0 i
-
-let ident_rule name =
-  let name = strip_stdlib name in
-  if name = "Random.self_init" then
+(* Bare names ([print_endline], [ref]) demand stdlib resolution so a
+   local binding of the same name cannot fire the rule — the payoff of
+   linting after the typechecker. Qualified names match on normalised
+   resolved components, so they are caught through [open], module
+   aliases and wrapped-library spellings alike. *)
+let ident_rule p =
+  let name = path_string p in
+  match components p with
+  | [ "Random"; "self_init" ] ->
     Some
       ( D002,
         "Random.self_init seeds from the environment and destroys \
          reproducibility; use Sim_engine.Rng with an explicit seed" )
-  else if lid_root_of_string name = "Random" then
+  | "Random" :: _ :: _ ->
     Some
       ( D002,
         name
         ^ " draws from the ambient PRNG; thread a seeded Sim_engine.Rng \
            through instead" )
-  else if name = "Unix.gettimeofday" || name = "Unix.time" || name = "Sys.time"
-  then
+  | [ "Unix"; ("gettimeofday" | "time") ] | [ "Sys"; "time" ] ->
     Some
       ( D002,
         name
         ^ " reads the wall clock; simulations must use virtual time \
            (Sim_time)" )
-  else if
-    name = "Hashtbl.hash" || name = "Hashtbl.seeded_hash"
-    || name = "Hashtbl.hash_param"
-    || name = "Hashtbl.seeded_hash_param"
-  then
+  | [ "Hashtbl"; ("hash" | "seeded_hash" | "hash_param" | "seeded_hash_param") ]
+    ->
     Some
       ( D003,
         name
         ^ " is the polymorphic hash, whose value may change across compiler \
            versions; use a dedicated stable hash (see Ecmp)" )
-  else if
-    name = "Printf.printf" || name = "Printf.eprintf" || name = "Format.printf"
-    || name = "Format.eprintf"
-    || List.mem name d004_toplevel
-  then
+  | [ ("Printf" | "Format"); ("printf" | "eprintf") ] ->
     Some
       ( D004,
         name
         ^ " writes directly to the console; library code must stay silent \
            (route experiment output through Report)" )
-  else if
-    name = "Unix.fork" || name = "Unix.system"
-    || String.starts_with ~prefix:"Unix.create_process" name
-    || String.starts_with ~prefix:"Unix.open_process" name
-  then
+  | [ n ] when from_stdlib p && List.mem n d004_toplevel ->
+    Some
+      ( D004,
+        n
+        ^ " writes directly to the console; library code must stay silent \
+           (route experiment output through Report)" )
+  | [ "Unix"; f ]
+    when f = "fork" || f = "system"
+         || String.starts_with ~prefix:"create_process" f
+         || String.starts_with ~prefix:"open_process" f ->
     Some
       ( D006,
         name
         ^ " spawns a process; worker-process fan-out lives only in \
            Sim_engine.Proc_pool" )
-  else
-    let root = lid_root_of_string name in
-    if root = "Domain" || root = "Mutex" || root = "Condition" || root = "Atomic"
-    then
-      Some
-        ( D005,
-          name
-          ^ " is a concurrency primitive; cross-domain coordination lives \
-             only in Sim_engine.Domain_pool" )
-    else None
+  | m :: _ :: _ when m = "Domain" || m = "Mutex" || m = "Condition" || m = "Atomic"
+    ->
+    Some
+      ( D005,
+        name
+        ^ " is a concurrency primitive; cross-domain coordination lives \
+           only in Sim_engine.Domain_pool" )
+  | _ -> None
 
-let scan_idents ~file ~emit structure =
+let scan_idents ~emit (str : Typedtree.structure) =
   let it =
     {
-      Ast_iterator.default_iterator with
+      Tast_iterator.default_iterator with
       expr =
         (fun self e ->
-          (match e.Parsetree.pexp_desc with
-          | Parsetree.Pexp_ident { txt; _ } -> (
-            match ident_rule (lid_to_string txt) with
-            | Some (rule, msg) ->
-              let p = e.Parsetree.pexp_loc.Location.loc_start in
-              emit
-                {
-                  file;
-                  line = p.Lexing.pos_lnum;
-                  col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
-                  rule;
-                  msg;
-                }
+          (match e.Typedtree.exp_desc with
+          | Typedtree.Texp_ident (p, _, _) -> (
+            match ident_rule p with
+            | Some (rule, msg) -> emit (finding_at ~rule ~msg e.Typedtree.exp_loc)
             | None -> ())
           | _ -> ());
-          Ast_iterator.default_iterator.expr self e);
+          Tast_iterator.default_iterator.expr self e);
     }
   in
-  it.structure it structure
+  it.structure it str
 
 (* ------------------------------------------------------------------ *)
 (* Entry points                                                        *)
 
-let lint_structure ~file structure =
+let lint_structure (str : Typedtree.structure) =
   let acc = ref [] in
   let emit f = if not (exempt f.file f.rule) then acc := f :: !acc in
-  let labels = mutable_labels structure in
-  scan_structure_d001 ~file ~labels ~emit structure;
-  scan_idents ~file ~emit structure;
+  scan_structure_d001 ~emit str;
+  scan_idents ~emit str;
+  Simlint_pool.scan ~emit str;
   List.sort compare_finding !acc
 
-let lint_file path =
-  let structure = Pparse.parse_implementation ~tool_name:"simlint" path in
-  lint_structure ~file:path structure
+type cmt_lint = {
+  cl_source : string option;
+      (* the implementation's source path as recorded at compile time;
+         None when the cmt holds no [.ml] implementation (interfaces,
+         dune's generated alias modules) *)
+  cl_findings : finding list;
+}
 
+let lint_cmt path =
+  let info = Cmt_format.read_cmt path in
+  let source =
+    match info.cmt_sourcefile with
+    | Some s when Filename.check_suffix s ".ml" -> Some s
+    | _ -> None
+  in
+  match (info.cmt_annots, source) with
+  | Cmt_format.Implementation str, Some _ ->
+    { cl_source = source; cl_findings = lint_structure str }
+  | _ -> { cl_source = None; cl_findings = [] }
+
+(* A source file and a cmt_sourcefile name the same module when their
+   normalised paths coincide up to a leading-directory prefix (the
+   lint may be invoked from a different root than the compiler was). *)
+let same_source a b =
+  let a = normalize_path a and b = normalize_path b in
+  let suffix ~of_:whole part =
+    let lw = String.length whole and lp = String.length part in
+    lw >= lp
+    && String.sub whole (lw - lp) lp = part
+    && (lw = lp || whole.[lw - lp - 1] = '/')
+  in
+  a = b || suffix ~of_:a b || suffix ~of_:b a
+
+(* Collect the inputs under [root]: every [.cmt] (descending into
+   dune's hidden [*.objs] dirs, where they live) and every visible
+   [.ml] source (for coverage checking). *)
 let scan_tree root =
-  let acc = ref [] in
-  let rec walk dir =
+  let cmts = ref [] and mls = ref [] in
+  let rec walk dir ~hidden =
     let entries = Sys.readdir dir in
     Array.sort compare entries;
     Array.iter
       (fun name ->
-        if String.length name > 0 && name.[0] <> '.' && name <> "_build" then begin
+        if String.length name > 0 then begin
           let path = Filename.concat dir name in
-          if Sys.is_directory path then walk path
-          else if Filename.check_suffix name ".ml" then acc := path :: !acc
+          if Sys.is_directory path then begin
+            if name = "_build" || name = ".git" then ()
+            else if name.[0] = '.' then begin
+              if Filename.check_suffix name ".objs" then walk path ~hidden:true
+            end
+            else walk path ~hidden
+          end
+          else if Filename.check_suffix name ".cmt" then cmts := path :: !cmts
+          else if (not hidden) && Filename.check_suffix name ".ml" then
+            mls := path :: !mls
         end)
       entries
   in
-  if Sys.is_directory root then walk root
-  else if Filename.check_suffix root ".ml" then acc := [ root ];
-  List.sort compare !acc
-
-(* ------------------------------------------------------------------ *)
-(* Allowlist                                                           *)
-
-type allow_entry = { a_file : string; a_rule : rule; a_line : int }
-
-let normalize_path p =
-  let p =
-    if String.length p > 2 && String.sub p 0 2 = "./" then
-      String.sub p 2 (String.length p - 2)
-    else p
-  in
-  String.concat "/" (String.split_on_char '\\' p)
-
-exception Allow_syntax of string
-
-let parse_allow_line ~lineno line =
-  let line =
-    match String.index_opt line '#' with
-    | Some i -> String.sub line 0 i
-    | None -> line
-  in
-  let line = String.trim line in
-  if line = "" then None
-  else
-    match String.rindex_opt line ':' with
-    | None ->
-      raise
-        (Allow_syntax
-           (Printf.sprintf "line %d: expected `path:RULE`, got %S" lineno line))
-    | Some i -> (
-      let path = normalize_path (String.trim (String.sub line 0 i)) in
-      let rid = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
-      match rule_of_id rid with
-      | None ->
-        raise
-          (Allow_syntax
-             (Printf.sprintf "line %d: unknown rule %S (expected D001-D006)"
-                lineno rid))
-      | Some r -> Some { a_file = path; a_rule = r; a_line = lineno })
-
-let parse_allow_file path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () ->
-      let entries = ref [] in
-      let lineno = ref 0 in
-      (try
-         while true do
-           let line = input_line ic in
-           incr lineno;
-           match parse_allow_line ~lineno:!lineno line with
-           | Some e -> entries := e :: !entries
-           | None -> ()
-         done
-       with End_of_file -> ());
-      List.rev !entries)
-
-(* Partition findings through the allowlist; also report entries that
-   suppressed nothing so the file can't rot. *)
-let apply_allow entries findings =
-  let used = Hashtbl.create 8 in
-  let kept =
-    List.filter
-      (fun f ->
-        let matching =
-          List.filter
-            (fun e -> e.a_rule = f.rule && normalize_path f.file = e.a_file)
-            entries
-        in
-        List.iter (fun e -> Hashtbl.replace used e.a_line ()) matching;
-        matching = [])
-      findings
-  in
-  let stale = List.filter (fun e -> not (Hashtbl.mem used e.a_line)) entries in
-  (kept, stale)
+  if Sys.is_directory root then walk root ~hidden:false
+  else if Filename.check_suffix root ".cmt" then cmts := [ root ]
+  else if Filename.check_suffix root ".ml" then mls := [ root ];
+  (List.sort compare !cmts, List.sort compare !mls)

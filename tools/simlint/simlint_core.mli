@@ -1,14 +1,14 @@
-(** Determinism & parallel-safety lint over the simulator's Parsetree.
+(** Determinism & parallel-safety lint over the simulator's typed tree.
 
-    Rules (see DESIGN.md, "Determinism invariants"):
+    Rules (see DESIGN.md, "Determinism invariants", and §4i for D007):
 
     - [D001] no module-level mutable state (toplevel [ref],
       [Hashtbl.create], [Queue.create], [Buffer.create], [Stack.create],
       [Array.make]/[init]/[create_float], [Bytes.create]/[make], array
-      literals, record literals with fields this file declares
-      [mutable]) — such state leaks between simulations that share the
-      process. Built-in exemption: [sim_ctx.ml], the one module whose
-      job is to own per-simulation state.
+      literals, record literals with [mutable] fields) — such state
+      leaks between simulations that share the process. Built-in
+      exemption: [sim_ctx.ml], the one module whose job is to own
+      per-simulation state.
     - [D002] no ambient nondeterminism ([Random.*], [Unix.gettimeofday],
       [Unix.time], [Sys.time]). Built-in exemption: [rng.ml].
     - [D003] no polymorphic [Hashtbl.hash] family — its output is not
@@ -23,17 +23,26 @@
       [Unix.create_process*], [Unix.open_process*], [Unix.system]) — a
       stray fork duplicates simulation state and bypasses the worker
       pipe protocol. Built-in exemption: [proc_pool.ml].
+    - [D007] no pooled [Sim_net.Packet.t] escaping its handler without
+      [Packet.copy]: stores into fields/containers, capture by
+      scheduler/timer closures, returns from packet handlers, double
+      frees and frees through copy-less aliases (see {!Simlint_pool}).
+      Built-in exemption: the owning data plane — [packet.ml],
+      [pktqueue.ml], [link.ml].
 
-    The analysis is purely syntactic (compiler-libs parser, no typing):
-    precise enough for a curated codebase, with [simlint.allow] as the
-    escape hatch for deliberate exceptions. *)
+    Since v2 the analysis runs on [.cmt] files ([Cmt_format], produced
+    by dune's default [-bin-annot]): identifiers are matched on
+    typechecker-resolved paths, so [open]/aliases cannot hide a
+    forbidden call, local shadowing cannot false-fire a rule, and D007
+    keys on expression types. [simlint.allow] remains the escape hatch
+    for deliberate exceptions. *)
 
-type rule = D001 | D002 | D003 | D004 | D005 | D006
+type rule = Simlint_defs.rule = D001 | D002 | D003 | D004 | D005 | D006 | D007
 
 val rule_id : rule -> string
 val rule_of_id : string -> rule option
 
-type finding = {
+type finding = Simlint_defs.finding = {
   file : string;
   line : int;
   col : int;
@@ -46,18 +55,34 @@ val compare_finding : finding -> finding -> int
 val pp_finding : finding -> string
 (** [file:line:col [RULE] message] *)
 
-val lint_structure : file:string -> Parsetree.structure -> finding list
-(** Findings for an already-parsed implementation, sorted by position.
+val lint_structure : Typedtree.structure -> finding list
+(** Findings for one typed implementation, sorted by position. Finding
+    paths are the compile-time source paths recorded in locations.
     Built-in per-rule exemptions (see above) are applied here. *)
 
-val lint_file : string -> finding list
-(** Parse [path] with compiler-libs and lint it. Raises the parser's
-    exceptions on syntax errors (render with
-    {!Location.report_exception}). *)
+type cmt_lint = {
+  cl_source : string option;
+      (** the implementation's source path as recorded at compile
+          time; [None] when the cmt holds no [.ml] implementation
+          (interfaces, dune's generated alias modules) *)
+  cl_findings : finding list;
+}
 
-val scan_tree : string -> string list
-(** All [.ml] files under a directory (or the path itself if it is a
-    [.ml] file), sorted, skipping [_build] and dot-directories. *)
+val lint_cmt : string -> cmt_lint
+(** Read a [.cmt] with [Cmt_format.read_cmt] and lint its
+    implementation, if it has one. Raises on unreadable or
+    wrong-magic files. *)
+
+val same_source : string -> string -> bool
+(** Whether two source paths name the same file, comparing normalised
+    paths up to a leading-directory prefix (the lint may run from a
+    different root than the compiler did). *)
+
+val scan_tree : string -> string list * string list
+(** [(cmts, mls)] under a directory (or the path itself when it is a
+    [.cmt]/[.ml] file), each sorted: every [.cmt] below it — including
+    inside dune's hidden [*.objs] dirs — and every visible [.ml]
+    source, for coverage checking. [_build] and [.git] are skipped. *)
 
 (** {2 Allowlist}
 
@@ -67,7 +92,11 @@ val scan_tree : string -> string list
       lib/experiments/report.ml:D004
     ]} *)
 
-type allow_entry = { a_file : string; a_rule : rule; a_line : int }
+type allow_entry = Simlint_defs.allow_entry = {
+  a_file : string;
+  a_rule : rule;
+  a_line : int;
+}
 
 exception Allow_syntax of string
 

@@ -1,0 +1,457 @@
+(* D007: pooled-packet escape analysis (typed tree).
+
+   `Sim_net.Packet.t` records are pooled per simulation: [Packet.make]
+   may hand back a record freed earlier, and [Packet.free] returns it
+   for reuse. The safety contract is a read-only lease — a component
+   handed a packet may read it inside its handler but must not retain
+   it, and anything that needs the packet past the handler must go
+   through [Packet.copy]. This pass rejects, with types rather than
+   names as evidence, every way a lease can outlive its handler:
+
+   - storing a raw packet into a record field (mutation or literal);
+   - inserting one into a mutable container (Queue/Hashtbl/Stack/
+     Array/ref);
+   - capturing one in a closure handed to the Scheduler or a Timer
+     (the event may fire after the packet is freed and reused);
+   - returning one from a packet handler;
+   - freeing the same packet twice along one control path;
+   - freeing through a copy-less alias (`let q = p in ... free q`).
+
+   An expression that flows through [Packet.copy] (or is itself a
+   fresh [Packet.make]) owns its record and may do any of the above.
+
+   The analysis is deliberately shallow where deep would mean whole-
+   program: it trusts only a *syntactically direct* copy/make at the
+   escape site, tracks aliases only through plain `let x = y`
+   bindings, and treats each function body as one linear path with
+   branch intersection. That keeps it fast, deterministic and free of
+   false negatives on the shapes the simulator actually uses; the
+   runtime pool sanitizer (Packet.sanitizer, DESIGN.md §4i) covers
+   whatever this pass cannot prove. *)
+
+open Simlint_defs
+
+let emit_at ~emit ~msg loc = emit (finding_at ~rule:D007 ~msg loc)
+
+(* --- type and path recognisers ------------------------------------ *)
+
+let is_packet_ty ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, _, _) -> (
+    match List.rev (components p) with
+    | "t" :: "Packet" :: _ -> true
+    | _ -> false)
+  | _ -> false
+
+let ident_path (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Typedtree.Texp_ident (p, _, _) -> Some p
+  | _ -> None
+
+let packet_fn e name =
+  match ident_path e with
+  | Some p -> (
+    match List.rev (components p) with
+    | n :: "Packet" :: _ -> n = name
+    | _ -> false)
+  | None -> false
+
+let is_copy_or_make_app (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Typedtree.Texp_apply (fn, _) -> packet_fn fn "copy" || packet_fn fn "make"
+  | _ -> false
+
+(* Closure sinks: anything reached through the Scheduler or its Timer
+   sub-module defers execution past the current handler. *)
+let deferred_sink e =
+  match ident_path e with
+  | Some p ->
+    let comps = components p in
+    let rec modules = function
+      | [ _ ] | [] -> false
+      | m :: rest -> m = "Scheduler" || m = "Timer" || modules rest
+    in
+    modules comps
+  | None -> false
+
+(* Container-insertion functions: (module, function) pairs that store
+   their argument beyond the call. *)
+let store_fn e =
+  match ident_path e with
+  | Some p -> (
+    let name = path_string p in
+    match List.rev (components p) with
+    | f :: "Queue" :: _ when f = "push" || f = "add" -> Some name
+    | f :: "Hashtbl" :: _ when f = "add" || f = "replace" -> Some name
+    | "push" :: "Stack" :: _ -> Some name
+    | f :: "Array" :: _ when f = "set" || f = "unsafe_set" || f = "fill" || f = "blit"
+      -> Some name
+    | [ f ] when (f = "ref" || f = ":=") && from_stdlib p -> Some name
+    | _ -> None)
+  | None -> false |> fun _ -> None
+
+(* --- escape collection -------------------------------------------- *)
+
+(* Raw (copy-less) packet subexpressions of [e] at value positions:
+   the expression itself, or inside constructors/tuples/branch tails —
+   the positions whose value is retained when [e] is. A direct
+   [Packet.copy]/[Packet.make] application owns its record and is not
+   an escape. *)
+let raw_packet_escapes e =
+  let acc = ref [] in
+  let rec go (e : Typedtree.expression) =
+    if is_copy_or_make_app e then ()
+    else
+      match e.exp_desc with
+      | Typedtree.Texp_construct (_, _, args) -> List.iter go args
+      | Typedtree.Texp_tuple es -> List.iter go es
+      | Typedtree.Texp_variant (_, Some x) -> go x
+      | Typedtree.Texp_let (_, _, body) -> go body
+      | Typedtree.Texp_sequence (_, b) -> go b
+      | Typedtree.Texp_ifthenelse (_, a, b) ->
+        go a;
+        Option.iter go b
+      | _ -> if is_packet_ty e.exp_type then acc := e.exp_loc :: !acc
+  in
+  go e;
+  List.rev !acc
+
+(* --- closure capture ---------------------------------------------- *)
+
+(* Free variables of [f] (a Texp_function) whose type is Packet.t: an
+   identifier used inside the closure but bound outside it. *)
+let packet_captures (f : Typedtree.expression) =
+  let bound = Hashtbl.create 16 in
+  let used = ref [] in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      pat =
+        (fun (type k) self (p : k Typedtree.general_pattern) ->
+          List.iter
+            (fun id -> Hashtbl.replace bound (Ident.unique_name id) ())
+            (Typedtree.pat_bound_idents p);
+          Tast_iterator.default_iterator.pat self p);
+      expr =
+        (fun self e ->
+          (match e.Typedtree.exp_desc with
+          | Typedtree.Texp_ident (Path.Pident id, _, _)
+            when is_packet_ty e.exp_type ->
+            used := (id, e.Typedtree.exp_loc) :: !used
+          | Typedtree.Texp_let (_, vbs, _) ->
+            (* let-bound names inside the closure are not captures *)
+            List.iter
+              (fun vb ->
+                List.iter
+                  (fun id -> Hashtbl.replace bound (Ident.unique_name id) ())
+                  (Typedtree.pat_bound_idents vb.Typedtree.vb_pat))
+              vbs
+          | _ -> ());
+          Tast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.expr it f;
+  let seen = Hashtbl.create 4 in
+  List.filter_map
+    (fun (id, loc) ->
+      let u = Ident.unique_name id in
+      if Hashtbl.mem bound u || Hashtbl.mem seen u then None
+      else begin
+        Hashtbl.replace seen u ();
+        Some (Ident.name id, loc)
+      end)
+    (List.rev !used)
+
+(* --- return-escape ------------------------------------------------ *)
+
+let rec pat_binds_packet (p : Typedtree.pattern) =
+  match p.pat_desc with
+  | Typedtree.Tpat_var _ -> is_packet_ty p.pat_type
+  | Typedtree.Tpat_alias (q, _, _) -> is_packet_ty p.pat_type || pat_binds_packet q
+  | Typedtree.Tpat_tuple ps -> List.exists pat_binds_packet ps
+  | Typedtree.Tpat_construct (_, _, ps, _) -> List.exists pat_binds_packet ps
+  | Typedtree.Tpat_record (fs, _) ->
+    List.exists (fun (_, _, q) -> pat_binds_packet q) fs
+  | Typedtree.Tpat_or (a, b, _) -> pat_binds_packet a || pat_binds_packet b
+  | Typedtree.Tpat_lazy q -> pat_binds_packet q
+  | Typedtree.Tpat_array ps -> List.exists pat_binds_packet ps
+  | _ -> false
+
+(* Tail (result) expressions of a function body. *)
+let rec tails (e : Typedtree.expression) k =
+  match e.exp_desc with
+  | Typedtree.Texp_let (_, _, b) -> tails b k
+  | Typedtree.Texp_sequence (_, b) -> tails b k
+  | Typedtree.Texp_ifthenelse (_, a, b) ->
+    tails a k;
+    Option.iter (fun b -> tails b k) b
+  | Typedtree.Texp_match (_, cases, _) ->
+    List.iter (fun (c : Typedtree.computation Typedtree.case) -> tails c.c_rhs k) cases
+  | Typedtree.Texp_try (b, cases) ->
+    tails b k;
+    List.iter (fun (c : Typedtree.value Typedtree.case) -> tails c.c_rhs k) cases
+  | Typedtree.Texp_function { cases; _ } ->
+    List.iter (fun (c : Typedtree.value Typedtree.case) -> tails c.c_rhs k) cases
+  | _ -> k e
+
+(* --- free-path analysis (double free, alias free) ----------------- *)
+
+module Sset = Set.Make (String)
+
+type free_env = {
+  aliases : (string, string * string) Hashtbl.t;
+      (* alias unique-name -> (owner unique-name, owner display name) *)
+  emit : finding -> unit;
+}
+
+let resolve_root env u =
+  let rec go u = match Hashtbl.find_opt env.aliases u with
+    | Some (owner, _) -> go owner
+    | None -> u
+  in
+  go u
+
+let record_alias env (vb : Typedtree.value_binding) =
+  match (vb.vb_pat.pat_desc, vb.vb_expr.exp_desc) with
+  | Typedtree.Tpat_var (id, _), Typedtree.Texp_ident (Path.Pident src, _, _)
+    when is_packet_ty vb.vb_expr.exp_type ->
+    Hashtbl.replace env.aliases (Ident.unique_name id)
+      (Ident.unique_name src, Ident.name src)
+  | _ -> ()
+
+let free_packet_arg args =
+  List.find_map
+    (fun ((lbl : Asttypes.arg_label), arg) ->
+      match (lbl, arg) with
+      | Asttypes.Nolabel, Some (a : Typedtree.expression)
+        when is_packet_ty a.exp_type ->
+        Some a
+      | _ -> None)
+    args
+
+(* Walk [e] in evaluation order, threading the set of packet roots
+   already freed on this path. Branches are analysed independently and
+   re-joined with set intersection (freed on *every* path), so a
+   conditional free never poisons the other arm. Nested functions are
+   separate temporal paths and are skipped here — the driver analyses
+   every function body exactly once. *)
+let rec free_scan env freed (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Typedtree.Texp_function _ -> freed
+  | Typedtree.Texp_let (_, vbs, body) ->
+    let freed =
+      List.fold_left
+        (fun fr (vb : Typedtree.value_binding) ->
+          record_alias env vb;
+          free_scan env fr vb.vb_expr)
+        freed vbs
+    in
+    free_scan env freed body
+  | Typedtree.Texp_sequence (a, b) -> free_scan env (free_scan env freed a) b
+  | Typedtree.Texp_ifthenelse (c, a, b) -> (
+    let f0 = free_scan env freed c in
+    let fa = free_scan env f0 a in
+    match b with
+    | Some b -> Sset.inter fa (free_scan env f0 b)
+    | None -> f0)
+  | Typedtree.Texp_match (s, cases, _) -> (
+    let f0 = free_scan env freed s in
+    let branch (c : Typedtree.computation Typedtree.case) =
+      let fg =
+        match c.c_guard with Some g -> free_scan env f0 g | None -> f0
+      in
+      free_scan env fg c.c_rhs
+    in
+    match List.map branch cases with
+    | [] -> f0
+    | s :: rest -> List.fold_left Sset.inter s rest)
+  | Typedtree.Texp_try (b, cases) ->
+    let fb = free_scan env freed b in
+    List.iter
+      (fun (c : Typedtree.value Typedtree.case) ->
+        ignore (free_scan env freed c.c_rhs))
+      cases;
+    fb
+  | Typedtree.Texp_while (c, b) ->
+    let f0 = free_scan env freed c in
+    ignore (free_scan env f0 b);
+    f0
+  | Typedtree.Texp_for (_, _, lo, hi, _, body) ->
+    let f0 = free_scan env (free_scan env freed lo) hi in
+    ignore (free_scan env f0 body);
+    f0
+  | Typedtree.Texp_apply (fn, args) when packet_fn fn "free" -> (
+    let freed =
+      List.fold_left
+        (fun fr (_, a) ->
+          match a with Some a -> free_scan env fr a | None -> fr)
+        freed args
+    in
+    match free_packet_arg args with
+    | Some
+        ({ Typedtree.exp_desc = Typedtree.Texp_ident (Path.Pident id, _, _); _ }
+         as a) ->
+      let u = Ident.unique_name id in
+      (match Hashtbl.find_opt env.aliases u with
+      | Some (_, owner_name) ->
+        emit_at ~emit:env.emit
+          ~msg:
+            (Printf.sprintf
+               "Packet.free of `%s`, a copy-less alias of `%s`: an alias \
+                never owns the record — free the owner exactly once, or \
+                Packet.copy for an owned duplicate"
+               (Ident.name id) owner_name)
+          a.exp_loc
+      | None -> ());
+      let root = resolve_root env u in
+      if Sset.mem root freed then
+        emit_at ~emit:env.emit
+          ~msg:
+            (Printf.sprintf
+               "double free: `%s` already returned to the pool on this path \
+                (each packet has exactly one final owner)"
+               (Ident.name id))
+          a.exp_loc;
+      Sset.add root freed
+    | _ -> freed)
+  | Typedtree.Texp_apply (fn, args) ->
+    let freed = free_scan env freed fn in
+    List.fold_left
+      (fun fr (_, a) -> match a with Some a -> free_scan env fr a | None -> fr)
+      freed args
+  | Typedtree.Texp_construct (_, _, es) | Typedtree.Texp_tuple es
+  | Typedtree.Texp_array es ->
+    List.fold_left (free_scan env) freed es
+  | Typedtree.Texp_variant (_, e) -> (
+    match e with Some e -> free_scan env freed e | None -> freed)
+  | Typedtree.Texp_field (a, _, _) | Typedtree.Texp_assert (a, _)
+  | Typedtree.Texp_lazy a ->
+    free_scan env freed a
+  | Typedtree.Texp_setfield (a, _, _, b) ->
+    free_scan env (free_scan env freed a) b
+  | Typedtree.Texp_record { fields; extended_expression; _ } ->
+    let freed =
+      match extended_expression with
+      | Some e -> free_scan env freed e
+      | None -> freed
+    in
+    Array.fold_left
+      (fun fr (_, def) ->
+        match def with
+        | Typedtree.Overridden (_, e) -> free_scan env fr e
+        | Typedtree.Kept _ -> fr)
+      freed fields
+  | _ -> freed
+
+(* --- driver -------------------------------------------------------- *)
+
+let scan ~emit (str : Typedtree.structure) =
+  let check_stores (e : Typedtree.expression) =
+    match e.exp_desc with
+    | Typedtree.Texp_setfield (_, _, lbl, rhs) ->
+      List.iter
+        (emit_at ~emit
+           ~msg:
+             (Printf.sprintf
+                "pooled Packet.t stored into mutable field `%s` escapes its \
+                 handler: the pool may reuse the record after the handler \
+                 returns — store a Packet.copy instead"
+                lbl.Types.lbl_name))
+        (raw_packet_escapes rhs)
+    | Typedtree.Texp_record { fields; _ } ->
+      Array.iter
+        (fun ((lbl : Types.label_description), def) ->
+          match def with
+          | Typedtree.Overridden (_, v) ->
+            List.iter
+              (emit_at ~emit
+                 ~msg:
+                   (Printf.sprintf
+                      "pooled Packet.t retained in record field `%s` at \
+                       construction: the record outlives the handler's \
+                       read-only lease — use a Packet.copy"
+                      lbl.Types.lbl_name))
+              (raw_packet_escapes v)
+          | Typedtree.Kept _ -> ())
+        fields
+    | Typedtree.Texp_apply (fn, args) -> (
+      match store_fn fn with
+      | Some name ->
+        List.iter
+          (fun (_, arg) ->
+            match arg with
+            | Some a ->
+              List.iter
+                (emit_at ~emit
+                   ~msg:
+                     (Printf.sprintf
+                        "pooled Packet.t inserted into a container via %s: \
+                         the pool may reuse it once the handler returns — \
+                         insert a Packet.copy"
+                        name))
+                (raw_packet_escapes a)
+            | None -> ())
+          args
+      | None ->
+        if deferred_sink fn then
+          List.iter
+            (fun (_, arg) ->
+              match arg with
+              | Some ({ Typedtree.exp_desc = Typedtree.Texp_function _; _ } as f) ->
+                List.iter
+                  (fun (name, loc) ->
+                    emit_at ~emit
+                      ~msg:
+                        (Printf.sprintf
+                           "pooled Packet.t `%s` captured by a closure handed \
+                            to %s: the event may fire after the packet is \
+                            freed and reused — capture a Packet.copy"
+                           name
+                           (match ident_path fn with
+                           | Some p -> path_string p
+                           | None -> "the scheduler"))
+                      loc)
+                  (packet_captures f)
+              | _ -> ())
+            args)
+    | _ -> ()
+  in
+  let check_return (e : Typedtree.expression) =
+    match e.exp_desc with
+    | Typedtree.Texp_function { cases; _ }
+      when List.exists
+             (fun (c : Typedtree.value Typedtree.case) ->
+               pat_binds_packet c.c_lhs)
+             cases ->
+      List.iter
+        (fun (c : Typedtree.value Typedtree.case) ->
+          tails c.c_rhs (fun tail ->
+              List.iter
+                (emit_at ~emit
+                   ~msg:
+                     "pooled Packet.t returned from a packet handler: the \
+                      caller would outlive the handler's read-only lease — \
+                      return a Packet.copy")
+                (raw_packet_escapes tail)))
+        cases
+    | _ -> ()
+  in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          check_stores e;
+          check_return e;
+          (match e.Typedtree.exp_desc with
+          | Typedtree.Texp_function { cases; _ } ->
+            List.iter
+              (fun (c : Typedtree.value Typedtree.case) ->
+                let env = { aliases = Hashtbl.create 8; emit } in
+                ignore (free_scan env Sset.empty c.c_rhs))
+              cases
+          | _ -> ());
+          Tast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.structure it str

@@ -1,10 +1,10 @@
 (* Fixture: toplevel mutable containers, including one captured by a
    closure (allocated at module init, so still global state). *)
-let table = Hashtbl.create 16
-let pending = Queue.create ()
+let table : (int, int) Hashtbl.t = Hashtbl.create 16
+let pending : int Queue.t = Queue.create ()
 let scratch = Buffer.create 64
 let cells = Array.make 8 0
 
 let memoized =
-  let cache = Hashtbl.create 4 in
+  let cache : (int, int) Hashtbl.t = Hashtbl.create 4 in
   fun k -> Hashtbl.find_opt cache k

@@ -1,7 +1,7 @@
 (* Fixture: a toplevel ref hidden inside a nested module is still
    module-level state. *)
 module Inner = struct
-  let seen = ref []
+  let seen : int list ref = ref []
 end
 
-let remember x = Inner.seen := x :: !Inner.seen
+let remember (x : int) = Inner.seen := x :: !Inner.seen

@@ -1,0 +1,4 @@
+(* Fixture: inserting a leased packet into a container retains it
+   past the handler. *)
+let stash (q : Sim_net.Packet.t Queue.t) (pkt : Sim_net.Packet.t) =
+  Queue.push pkt q

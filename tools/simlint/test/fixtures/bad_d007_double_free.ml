@@ -1,0 +1,4 @@
+(* Fixture: two frees of the same packet on one control path. *)
+let drop ~ctx (pkt : Sim_net.Packet.t) =
+  Sim_net.Packet.free ~ctx pkt;
+  Sim_net.Packet.free ~ctx pkt

@@ -1,0 +1,5 @@
+(* Fixture: storing a leased packet into a mutable field retains it
+   past the handler; the pool may recycle the record underneath. *)
+type box = { mutable last : Sim_net.Packet.t option }
+
+let on_packet box (pkt : Sim_net.Packet.t) = box.last <- Some pkt

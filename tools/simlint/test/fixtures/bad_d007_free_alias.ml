@@ -1,0 +1,6 @@
+(* Fixture: freeing through a copy-less alias — the alias never owns
+   the record, so this free is either a double free in waiting or a
+   theft from the true owner. *)
+let drop ~ctx (pkt : Sim_net.Packet.t) =
+  let alias = pkt in
+  Sim_net.Packet.free ~ctx alias

@@ -1,0 +1,4 @@
+(* Fixture: returning the leased packet hands the caller a reference
+   that outlives the handler's read-only lease. *)
+let peek_then_leak (pkt : Sim_net.Packet.t) =
+  if Sim_net.Packet.is_data pkt then Some pkt else None

@@ -1,0 +1,6 @@
+(* A component that retains a packet must retain a copy it owns:
+   Packet.copy at the escape site satisfies D007. *)
+type box = { mutable last : Sim_net.Packet.t option }
+
+let on_packet ~ctx box (pkt : Sim_net.Packet.t) =
+  box.last <- Some (Sim_net.Packet.copy ~ctx pkt)

@@ -1,0 +1,9 @@
+(* A drop hook that wants to keep the dropped packet must copy it:
+   the queue frees the original immediately after the hooks return
+   (see Pktqueue.add_drop_hook). Copying inside the hook is the
+   sanctioned pattern. *)
+type box = { mutable last : Sim_net.Packet.t option }
+
+let install ~ctx q box =
+  Sim_net.Pktqueue.add_drop_hook q (fun pkt ->
+      box.last <- Some (Sim_net.Packet.copy ~ctx pkt))

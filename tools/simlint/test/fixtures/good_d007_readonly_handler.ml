@@ -1,0 +1,10 @@
+(* Reading the packet inside the handler is exactly the lease the
+   pool grants — nothing here may fire. *)
+let bytes_if_data (pkt : Sim_net.Packet.t) =
+  if Sim_net.Packet.is_data pkt then pkt.Sim_net.Packet.len else 0
+
+let sack_spans (pkt : Sim_net.Packet.t) =
+  List.fold_left
+    (fun acc (lo, hi) -> acc + (hi - lo))
+    0
+    (Sim_net.Packet.sack_blocks pkt)

@@ -1,3 +1,3 @@
 (* Fixture named like the exempt module: D001 must not fire here —
    sim_ctx.ml is the one place allowed to own per-simulation state. *)
-let registry = Hashtbl.create 8
+let registry : (int, int) Hashtbl.t = Hashtbl.create 8

@@ -1,17 +1,31 @@
 (* Fixture-driven tests for the determinism lint: every rule must trip
    on its known-bad snippet, clean code and exempt modules must pass,
-   and the allowlist must suppress (and report staleness) correctly. *)
+   and the allowlist must suppress (and report staleness) correctly.
+
+   The fixtures compile as the [simlint_fixtures] library (so they are
+   well-typed programs, wrong only in the ways the lint catches), and
+   the tests analyse the resulting .cmt files — the same input the
+   `@lint` alias feeds the tool. *)
 
 module L = Simlint_core
 
-let fixture name = Filename.concat "fixtures" name
+(* Where dune puts the fixture library's cmts, relative to the test's
+   working directory. *)
+let cmt_of name =
+  let modname = String.capitalize_ascii (Filename.remove_extension name) in
+  String.concat Filename.dir_sep
+    [ "fixtures"; ".simlint_fixtures.objs"; "byte";
+      "simlint_fixtures__" ^ modname ^ ".cmt" ]
 
-let rules_of file = List.map (fun (f : L.finding) -> f.rule) (L.lint_file file)
+let src_of name = "tools/simlint/test/fixtures/" ^ name
+
+let findings_of name = (L.lint_cmt (cmt_of name)).L.cl_findings
+let rules_of name = List.map (fun (f : L.finding) -> f.rule) (findings_of name)
 
 let rule = Alcotest.testable (Fmt.of_to_string L.rule_id) ( = )
 
 let check_rules name file expected =
-  Alcotest.(check (list rule)) name expected (rules_of (fixture file))
+  Alcotest.(check (list rule)) name expected (rules_of file)
 
 (* --- each rule has at least one failing fixture --- *)
 
@@ -50,6 +64,44 @@ let test_d006_spawn () =
   check_rules "process spawning" "bad_d006_spawn.ml"
     [ L.D006; L.D006; L.D006 ]
 
+(* --- D007: pooled-packet escapes --- *)
+
+(* Each bad fixture must produce exactly one D007 finding at the
+   escape site (file, line and column all checked), and each good
+   fixture — the sanctioned Packet.copy patterns — none at all. *)
+let check_d007 file ~line ~col () =
+  match findings_of file with
+  | [ f ] ->
+    Alcotest.(check rule) "rule" L.D007 f.L.rule;
+    Alcotest.(check string) "file" (src_of file) f.L.file;
+    Alcotest.(check int) "line" line f.L.line;
+    Alcotest.(check int) "col" col f.L.col
+  | fs ->
+    Alcotest.failf "%s: expected exactly one D007 finding, got %d:\n%s" file
+      (List.length fs)
+      (String.concat "\n" (List.map L.pp_finding fs))
+
+let test_d007_field_store = check_d007 "bad_d007_field_store.ml" ~line:5 ~col:62
+let test_d007_closure = check_d007 "bad_d007_closure_capture.ml" ~line:7 ~col:53
+
+let test_d007_container =
+  check_d007 "bad_d007_container_insert.ml" ~line:4 ~col:13
+
+let test_d007_return = check_d007 "bad_d007_return_escape.ml" ~line:4 ~col:42
+let test_d007_double_free = check_d007 "bad_d007_double_free.ml" ~line:4 ~col:27
+let test_d007_free_alias = check_d007 "bad_d007_free_alias.ml" ~line:6 ~col:27
+
+let test_d007_good_copy () =
+  check_rules "copy-then-retain is sanctioned" "good_d007_copy_then_retain.ml"
+    []
+
+let test_d007_good_readonly () =
+  check_rules "read-only handler is the contract" "good_d007_readonly_handler.ml"
+    []
+
+let test_d007_good_drop_hook () =
+  check_rules "drop hook that copies" "good_d007_drop_hook_copy.ml" []
+
 (* --- clean code and built-in exemptions --- *)
 
 let test_clean_local_state () =
@@ -70,14 +122,51 @@ let test_clean_file_sink () =
      outside the rule. *)
   check_rules "file sinks are not console output" "clean_file_sink.ml" []
 
+(* --- typed-tree precision: cmt bookkeeping --- *)
+
+let test_cmt_source_recorded () =
+  let l = L.lint_cmt (cmt_of "bad_d001_ref.ml") in
+  match l.L.cl_source with
+  | Some s ->
+    Alcotest.(check bool)
+      "cmt records its .ml source" true
+      (L.same_source s (src_of "bad_d001_ref.ml"))
+  | None -> Alcotest.fail "implementation cmt must carry its source path"
+
+let test_alias_module_skipped () =
+  (* The library's generated alias module (built from a .ml-gen file)
+     holds no user source: it must lint to nothing and claim no
+     coverage. *)
+  let l =
+    L.lint_cmt
+      (String.concat Filename.dir_sep
+         [ "fixtures"; ".simlint_fixtures.objs"; "byte";
+           "simlint_fixtures.cmt" ])
+  in
+  Alcotest.(check bool) "no source claimed" true (l.L.cl_source = None);
+  Alcotest.(check int) "no findings" 0 (List.length l.L.cl_findings)
+
+let test_same_source () =
+  Alcotest.(check bool)
+    "suffix match" true
+    (L.same_source "fixtures/bad_d001_ref.ml"
+       "tools/simlint/test/fixtures/bad_d001_ref.ml");
+  Alcotest.(check bool)
+    "component boundaries respected" false
+    (L.same_source "res/bad_d001_ref.ml"
+       "tools/simlint/test/fixtures/bad_d001_ref.ml");
+  Alcotest.(check bool)
+    "different basenames differ" false
+    (L.same_source "fixtures/bad_d001_ref.ml" "fixtures/bad_d002_clock.ml")
+
 (* --- finding formatting --- *)
 
 let test_finding_format () =
-  match L.lint_file (fixture "bad_d001_ref.ml") with
+  match findings_of "bad_d001_ref.ml" with
   | [ f ] ->
     Alcotest.(check string)
       "file:line:col [RULE] prefix"
-      "fixtures/bad_d001_ref.ml:2:14 [D001]"
+      "tools/simlint/test/fixtures/bad_d001_ref.ml:2:14 [D001]"
       (String.concat " "
          (match String.split_on_char ' ' (L.pp_finding f) with
          | loc :: rule :: _ -> [ loc; rule ]
@@ -90,17 +179,17 @@ let entry ?(line = 1) file r : L.allow_entry =
   { a_file = file; a_rule = r; a_line = line }
 
 let test_allow_suppresses () =
-  let findings = L.lint_file (fixture "bad_d001_ref.ml") in
+  let findings = findings_of "bad_d001_ref.ml" in
   let kept, stale =
-    L.apply_allow [ entry "fixtures/bad_d001_ref.ml" L.D001 ] findings
+    L.apply_allow [ entry (src_of "bad_d001_ref.ml") L.D001 ] findings
   in
   Alcotest.(check int) "suppressed" 0 (List.length kept);
   Alcotest.(check int) "entry used" 0 (List.length stale)
 
 let test_allow_wrong_rule_is_stale () =
-  let findings = L.lint_file (fixture "bad_d001_ref.ml") in
+  let findings = findings_of "bad_d001_ref.ml" in
   let kept, stale =
-    L.apply_allow [ entry "fixtures/bad_d001_ref.ml" L.D004 ] findings
+    L.apply_allow [ entry (src_of "bad_d001_ref.ml") L.D004 ] findings
   in
   Alcotest.(check int) "finding kept" 1 (List.length kept);
   Alcotest.(check int) "entry stale" 1 (List.length stale)
@@ -131,20 +220,35 @@ let test_allow_rejects_garbage () =
       output_string oc "lib/foo.ml:D999\n";
       close_out oc;
       Alcotest.check_raises "unknown rule"
-        (L.Allow_syntax "line 1: unknown rule \"D999\" (expected D001-D006)")
+        (L.Allow_syntax "line 1: unknown rule \"D999\" (expected D001-D007)")
         (fun () -> ignore (L.parse_allow_file tmp)))
 
 (* --- tree scanning --- *)
 
-let test_scan_tree_sorted () =
-  let files = L.scan_tree "fixtures" in
+let test_scan_tree () =
+  let cmts, mls = L.scan_tree "fixtures" in
+  Alcotest.(check bool) "finds all fixture sources" true (List.length mls >= 20);
   Alcotest.(check bool)
-    "finds all fixtures" true
-    (List.length files >= 12);
-  Alcotest.(check (list string)) "sorted" (List.sort compare files) files;
+    "finds the cmts inside .objs" true
+    (List.length cmts >= List.length mls);
+  Alcotest.(check (list string)) "cmts sorted" (List.sort compare cmts) cmts;
+  Alcotest.(check (list string)) "mls sorted" (List.sort compare mls) mls;
   List.iter
-    (fun f -> Alcotest.(check bool) ("ml file: " ^ f) true (Filename.check_suffix f ".ml"))
-    files
+    (fun f ->
+      Alcotest.(check bool)
+        ("cmt file: " ^ f) true (Filename.check_suffix f ".cmt"))
+    cmts;
+  (* every fixture source is covered by some analysed cmt — the
+     invariant the CLI's coverage warning enforces for lib/ *)
+  let sources =
+    List.filter_map (fun c -> (L.lint_cmt c).L.cl_source) cmts
+  in
+  List.iter
+    (fun ml ->
+      Alcotest.(check bool)
+        ("covered: " ^ ml) true
+        (List.exists (L.same_source ml) sources))
+    mls
 
 let () =
   Alcotest.run "simlint"
@@ -162,6 +266,20 @@ let () =
           Alcotest.test_case "D005 concurrency" `Quick test_d005_domain;
           Alcotest.test_case "D006 process spawning" `Quick test_d006_spawn;
         ] );
+      ( "d007",
+        [
+          Alcotest.test_case "field store" `Quick test_d007_field_store;
+          Alcotest.test_case "closure capture" `Quick test_d007_closure;
+          Alcotest.test_case "container insert" `Quick test_d007_container;
+          Alcotest.test_case "return escape" `Quick test_d007_return;
+          Alcotest.test_case "double free" `Quick test_d007_double_free;
+          Alcotest.test_case "free of alias" `Quick test_d007_free_alias;
+          Alcotest.test_case "good: copy then retain" `Quick test_d007_good_copy;
+          Alcotest.test_case "good: read-only handler" `Quick
+            test_d007_good_readonly;
+          Alcotest.test_case "good: drop hook copies" `Quick
+            test_d007_good_drop_hook;
+        ] );
       ( "exemptions",
         [
           Alcotest.test_case "local state clean" `Quick test_clean_local_state;
@@ -169,6 +287,13 @@ let () =
           Alcotest.test_case "domain_pool exempt from D005" `Quick test_exempt_domain_pool;
           Alcotest.test_case "proc_pool exempt from D006" `Quick test_exempt_proc_pool;
           Alcotest.test_case "file sinks outside D004" `Quick test_clean_file_sink;
+        ] );
+      ( "cmt",
+        [
+          Alcotest.test_case "source recorded" `Quick test_cmt_source_recorded;
+          Alcotest.test_case "alias module skipped" `Quick
+            test_alias_module_skipped;
+          Alcotest.test_case "same_source" `Quick test_same_source;
         ] );
       ( "output",
         [ Alcotest.test_case "finding format" `Quick test_finding_format ] );
@@ -180,5 +305,5 @@ let () =
           Alcotest.test_case "rejects unknown rule" `Quick test_allow_rejects_garbage;
         ] );
       ( "scan",
-        [ Alcotest.test_case "tree scan sorted" `Quick test_scan_tree_sorted ] );
+        [ Alcotest.test_case "tree scan + coverage" `Quick test_scan_tree ] );
     ]
