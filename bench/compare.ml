@@ -1,20 +1,30 @@
 (* Regression gate over BENCH_engine.json files.
 
-   Usage: compare BASELINE.json CURRENT.json [--threshold PCT]
+   Usage: compare BASELINE.json CURRENT.json
+            [--threshold PCT] [--mw-threshold PCT]
 
    Exits 1 if any benchmark present in both files regressed by more
-   than the threshold (default 10%) in ns/run; benchmarks that exist
-   in only one file are reported but never fail the gate, so adding or
-   retiring a benchmark does not need a baseline refresh in the same
-   commit. Minor-words numbers are printed for context only — they
-   vary legitimately with measurement batching, and time is the gate.
+   than the time threshold (default 10%) in ns/run, or by more than
+   the allocation threshold (default 10%) in minor words/run.
+   Benchmarks that exist in only one file are reported but never fail
+   the gate, so adding or retiring a benchmark does not need a
+   baseline refresh in the same commit.
+
+   Minor words are gated as well as printed: the typed event path
+   exists to hold allocation down, and a "faster but allocates more"
+   trade must fail loudly. Since micro.ml pins its batching (warmup +
+   fixed sampling), mw/run is reproducible run-to-run; tiny baselines
+   (< 1000 words/run) are still exempt, where one boxed value moves
+   the percentage more than any real change.
 
    The parser is matched to micro.ml's writer: a flat object, one
    benchmark per line, first quoted string the name, numeric fields
    given as `"key": value`. *)
 
 let fail_usage () =
-  prerr_endline "usage: compare BASELINE.json CURRENT.json [--threshold PCT]";
+  prerr_endline
+    "usage: compare BASELINE.json CURRENT.json [--threshold PCT] \
+     [--mw-threshold PCT]";
   exit 2
 
 (* Extract the float following `"key": ` in [line], if any. *)
@@ -67,28 +77,28 @@ let parse_file path =
   close_in ic;
   List.rev !rows
 
+(* Minor-words baselines below this are pure noise territory. *)
+let mw_floor = 1000.
+
 let () =
-  let args = Array.to_list Sys.argv in
-  let threshold =
-    let rec find = function
-      | "--threshold" :: v :: _ -> (
-        match float_of_string_opt v with
-        | Some t when t > 0. -> t
-        | _ -> fail_usage ())
-      | _ :: rest -> find rest
-      | [] -> 10.
-    in
-    find args
+  let rec parse_args (pos, thr, mw_thr) = function
+    | [] -> (List.rev pos, thr, mw_thr)
+    | "--threshold" :: v :: rest -> (
+      match float_of_string_opt v with
+      | Some t when t > 0. -> parse_args (pos, t, mw_thr) rest
+      | _ -> fail_usage ())
+    | "--mw-threshold" :: v :: rest -> (
+      match float_of_string_opt v with
+      | Some t when t > 0. -> parse_args (pos, thr, t) rest
+      | _ -> fail_usage ())
+    | a :: _ when String.length a > 1 && a.[0] = '-' -> fail_usage ()
+    | a :: rest -> parse_args (a :: pos, thr, mw_thr) rest
   in
-  let positional =
-    List.filteri (fun i _ -> i > 0) args
-    |> List.filter (fun a -> not (String.length a > 1 && a.[0] = '-'))
+  let positional, threshold, mw_threshold =
+    parse_args ([], 10., 10.) (List.tl (Array.to_list Sys.argv))
   in
   let baseline_path, current_path =
-    match positional with
-    | [ b; c ] -> (b, c)
-    | [ b; c; _ ] when List.mem "--threshold" args -> (b, c)
-    | _ -> fail_usage ()
+    match positional with [ b; c ] -> (b, c) | _ -> fail_usage ()
   in
   let baseline = parse_file baseline_path in
   let current = parse_file current_path in
@@ -100,17 +110,25 @@ let () =
     (fun (name, (cur_ns, cur_mw)) ->
       match List.assoc_opt name baseline with
       | None -> Printf.printf "%-32s %12s %12.1f %8s\n" name "(new)" cur_ns ""
-      | Some (base_ns, _) ->
+      | Some (base_ns, base_mw) ->
         let delta = (cur_ns -. base_ns) /. base_ns *. 100. in
+        let mw_delta =
+          if base_mw > mw_floor then (cur_mw -. base_mw) /. base_mw *. 100.
+          else 0.
+        in
         let flag =
           if delta > threshold then begin
             incr regressions;
             "  REGRESSED"
           end
+          else if mw_delta > mw_threshold then begin
+            incr regressions;
+            "  MW-REGRESSED"
+          end
           else ""
         in
-        Printf.printf "%-32s %12.1f %12.1f %+7.1f%%%s  (mw %.0f)\n" name
-          base_ns cur_ns delta flag cur_mw)
+        Printf.printf "%-32s %12.1f %12.1f %+7.1f%%%s  (mw %.0f, %+.1f%%)\n"
+          name base_ns cur_ns delta flag cur_mw mw_delta)
     current;
   List.iter
     (fun (name, _) ->
@@ -118,8 +136,12 @@ let () =
         Printf.printf "%-32s (removed)\n" name)
     baseline;
   if !regressions > 0 then begin
-    Printf.printf "\n%d benchmark(s) regressed more than %.0f%%\n" !regressions
-      threshold;
+    Printf.printf
+      "\n%d benchmark(s) regressed more than %.0f%% (time) / %.0f%% (minor \
+       words)\n"
+      !regressions threshold mw_threshold;
     exit 1
   end
-  else Printf.printf "\nno regression beyond %.0f%%\n" threshold
+  else
+    Printf.printf "\nno regression beyond %.0f%% (time) / %.0f%% (minor words)\n"
+      threshold mw_threshold

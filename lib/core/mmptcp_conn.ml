@@ -211,7 +211,7 @@ let start ~src ~dst ~size ~rng ?(strategy = Strategy.default)
   if size = 0 then Dataplane.deliver t.plane ~dsn:0 ~len:0;
   (match strategy.Strategy.switch with
   | Strategy.After_time deadline ->
-    let tm = Scheduler.Timer.create sched (fun () -> trigger_switch t) in
+    let tm = Scheduler.Timer.create sched trigger_switch t in
     t.switch_timer <- Some tm;
     Scheduler.Timer.schedule_after tm deadline
   | Strategy.Data_volume _ | Strategy.Congestion_event | Strategy.Never -> ());

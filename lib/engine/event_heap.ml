@@ -1,89 +1,114 @@
-(* Array-backed binary min-heap. Each slot stores an immutable cell so
-   that [pop]'s sift-down moves a single word. Ordering key is
-   (time, seq); both are native ints, so a cell is one flat block with
-   no inner boxes.
+(* Array-backed binary min-heap, stored as three parallel arrays
+   (time, seq, value) rather than an array of cells. This is the
+   innermost loop of every simulation, and the one-cell-per-event
+   representation cost a 4-word block per [push] — the scheduler's
+   last per-event allocation. With parallel arrays a push writes three
+   slots and allocates nothing; a sift moves three words per level
+   instead of one, still far cheaper than the allocation plus the
+   minor-GC traffic it caused. Ordering key is (time, seq); both are
+   native ints, so key comparisons never touch the value array.
 
-   Empty slots hold a shared sentinel cell instead of [None]: this is
-   the innermost loop of every simulation, and the [option] wrapper
-   cost an allocation per [push] plus a match per slot read. The
-   sentinel is a perfectly ordinary block whose [value] field is never
-   read (only slots below [size] are), so the single [Obj.magic]
-   below cannot escape. *)
-
-type 'a cell = { time : int; seq : int; value : 'a }
-
-let null_repr = { time = min_int; seq = -1; value = Obj.repr () }
-let null_cell () : 'a cell = Obj.magic null_repr
+   Empty value slots hold a shared sentinel instead of [None]: the
+   [option] wrapper would cost an allocation per push plus a match per
+   slot read. The sentinel is the unit immediate, so [Array.make]
+   builds a uniform (non-float) array and a later ['a = float]
+   instantiation stores ordinary boxed floats — the representation
+   stays correct for every ['a]. Slots at index >= [size] are never
+   read; the single [Obj.magic] below cannot escape. *)
 
 type 'a t = {
-  mutable cells : 'a cell array;
+  mutable times : int array;
+  mutable seqs : int array;
+  mutable values : 'a array;
   mutable size : int;
-  null : 'a cell;  (* fills slots at index >= size *)
+  null : 'a;  (* fills value slots at index >= size *)
 }
 
+let null_value () : 'a = Obj.magic (Obj.repr ())
+
 let create () =
-  let null = null_cell () in
-  { cells = Array.make 64 null; size = 0; null }
+  let null = null_value () in
+  {
+    times = Array.make 64 0;
+    seqs = Array.make 64 0;
+    values = Array.make 64 null;
+    size = 0;
+    null;
+  }
 
 let length t = t.size
 let is_empty t = t.size = 0
 
-let cell_lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
-
 let grow t =
-  let cells = Array.make (2 * Array.length t.cells) t.null in
-  Array.blit t.cells 0 cells 0 t.size;
-  t.cells <- cells
+  let cap = 2 * Array.length t.times in
+  let times = Array.make cap 0 in
+  Array.blit t.times 0 times 0 t.size;
+  t.times <- times;
+  let seqs = Array.make cap 0 in
+  Array.blit t.seqs 0 seqs 0 t.size;
+  t.seqs <- seqs;
+  let values = Array.make cap t.null in
+  Array.blit t.values 0 values 0 t.size;
+  t.values <- values
 
 let push t ~time ~seq value =
-  if t.size = Array.length t.cells then grow t;
-  let cell = { time; seq; value } in
+  if t.size = Array.length t.times then grow t;
   (* Sift up. *)
   let i = ref t.size in
   t.size <- t.size + 1;
   let continue = ref true in
   while !continue && !i > 0 do
     let parent = (!i - 1) / 2 in
-    let pc = t.cells.(parent) in
-    if cell_lt cell pc then begin
-      t.cells.(!i) <- pc;
+    let pt = t.times.(parent) in
+    if time < pt || (time = pt && seq < t.seqs.(parent)) then begin
+      t.times.(!i) <- pt;
+      t.seqs.(!i) <- t.seqs.(parent);
+      t.values.(!i) <- t.values.(parent);
       i := parent
     end
     else continue := false
   done;
-  t.cells.(!i) <- cell
+  t.times.(!i) <- time;
+  t.seqs.(!i) <- seq;
+  t.values.(!i) <- value
 
-(* Sift the cell [x] down from position [i0] (whose slot is treated as
-   free). Writes [x] into its final position; moves a single word per
-   level. *)
-let sift_down t i0 x =
+(* Sift the event (time, seq, value) down from position [i0] (whose
+   slot is treated as free). Writes it into its final position. *)
+let sift_down t i0 time seq value =
   let i = ref i0 in
   let continue = ref true in
   while !continue do
     let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-    let smallest = ref !i in
-    let sc = ref x in
-    if l < t.size then begin
-      let lc = t.cells.(l) in
-      if cell_lt lc !sc then begin
-        smallest := l;
-        sc := lc
-      end
+    let smallest = ref (-1) in
+    let st = ref time and ss = ref seq in
+    if
+      l < t.size
+      && (t.times.(l) < !st || (t.times.(l) = !st && t.seqs.(l) < !ss))
+    then begin
+      smallest := l;
+      st := t.times.(l);
+      ss := t.seqs.(l)
     end;
-    if r < t.size then begin
-      let rc = t.cells.(r) in
-      if cell_lt rc !sc then begin
-        smallest := r;
-        sc := rc
-      end
+    if
+      r < t.size
+      && (t.times.(r) < !st || (t.times.(r) = !st && t.seqs.(r) < !ss))
+    then begin
+      smallest := r;
+      st := t.times.(r);
+      ss := t.seqs.(r)
     end;
-    if !smallest = !i then begin
-      t.cells.(!i) <- x;
+    if !smallest < 0 then begin
+      t.times.(!i) <- time;
+      t.seqs.(!i) <- seq;
+      t.values.(!i) <- value;
       continue := false
     end
     else begin
-      t.cells.(!i) <- !sc;
-      i := !smallest
+      let s = !smallest in
+      t.times.(!i) <- t.times.(s);
+      t.seqs.(!i) <- t.seqs.(s);
+      t.values.(!i) <- t.values.(s);
+      i := s
     end
   done
 
@@ -92,57 +117,68 @@ let sift_down t i0 x =
    and reading the three components separately avoids the
    option-of-tuple that [pop] builds. Only call [top_seq]/[top_value]
    after checking the heap is non-empty. *)
-let top_time t = if t.size = 0 then max_int else t.cells.(0).time
-let top_seq t = t.cells.(0).seq
-let top_value t = t.cells.(0).value
+let top_time t = if t.size = 0 then max_int else t.times.(0)
+let top_seq t = t.seqs.(0)
+let top_value t = t.values.(0)
 
 let drop t =
   t.size <- t.size - 1;
-  let last = t.cells.(t.size) in
-  t.cells.(t.size) <- t.null;
-  if t.size > 0 then sift_down t 0 last
+  let n = t.size in
+  let time = t.times.(n) and seq = t.seqs.(n) and value = t.values.(n) in
+  t.values.(n) <- t.null;
+  if n > 0 then sift_down t 0 time seq value
 
 let pop t =
   if t.size = 0 then None
   else begin
-    let root = t.cells.(0) in
+    let time = t.times.(0) and seq = t.seqs.(0) and value = t.values.(0) in
     drop t;
-    Some (root.time, root.seq, root.value)
+    Some (time, seq, value)
   end
 
-let peek_time t = if t.size = 0 then None else Some t.cells.(0).time
+let peek_time t = if t.size = 0 then None else Some t.times.(0)
 
 let clear t =
-  Array.fill t.cells 0 t.size t.null;
+  Array.fill t.values 0 t.size t.null;
   t.size <- 0
 
-(* Drop every cell [keep] rejects, then restore the heap property with
-   a bottom-up heapify — O(n), preserving each surviving cell's exact
+(* Drop every event [keep] rejects, then restore the heap property with
+   a bottom-up heapify — O(n), preserving each survivor's exact
    (time, seq) key so the drain order is unchanged. The scheduler calls
    this when cancelled-timer tombstones dominate the heap; the backing
-   array shrinks once the survivors fit in a quarter of it. *)
+   arrays shrink once the survivors fit in a quarter of them. *)
 let compact t ~keep =
   let j = ref 0 in
   for i = 0 to t.size - 1 do
-    let c = t.cells.(i) in
-    if keep ~time:c.time ~seq:c.seq c.value then begin
-      t.cells.(!j) <- c;
+    if keep ~time:t.times.(i) ~seq:t.seqs.(i) t.values.(i) then begin
+      let d = !j in
+      if d <> i then begin
+        t.times.(d) <- t.times.(i);
+        t.seqs.(d) <- t.seqs.(i);
+        t.values.(d) <- t.values.(i)
+      end;
       incr j
     end
   done;
   let old_size = t.size in
   t.size <- !j;
-  let cap = Array.length t.cells in
+  let cap = Array.length t.times in
   if cap > 64 && t.size * 4 < cap then begin
     let ncap = ref cap in
     while !ncap > 64 && t.size * 4 < !ncap do
       ncap := !ncap / 2
     done;
-    let cells = Array.make !ncap t.null in
-    Array.blit t.cells 0 cells 0 t.size;
-    t.cells <- cells
+    let times = Array.make !ncap 0 in
+    Array.blit t.times 0 times 0 t.size;
+    t.times <- times;
+    let seqs = Array.make !ncap 0 in
+    Array.blit t.seqs 0 seqs 0 t.size;
+    t.seqs <- seqs;
+    let values = Array.make !ncap t.null in
+    Array.blit t.values 0 values 0 t.size;
+    t.values <- values
   end
-  else Array.fill t.cells t.size (old_size - t.size) t.null;
+  else Array.fill t.values t.size (old_size - t.size) t.null;
   for i = (t.size / 2) - 1 downto 0 do
-    sift_down t i t.cells.(i)
+    sift_down t i t.times.(i) t.seqs.(i) t.values.(i)
   done

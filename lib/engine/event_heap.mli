@@ -3,9 +3,9 @@
     Events are ordered by [(time, seq)] where [seq] is a strictly
     increasing insertion counter, so two events scheduled for the same
     instant fire in insertion order (FIFO tie-breaking, matching ns-3
-    semantics). Times are native-int nanoseconds (see {!Sim_time}), so
-    cells are flat blocks and the hot push/pop path allocates only the
-    cell itself. *)
+    semantics). Times are native-int nanoseconds (see {!Sim_time}) and
+    the heap is stored as parallel (time, seq, value) arrays, so the
+    hot push/pop path allocates nothing at all. *)
 
 type 'a t
 
@@ -41,12 +41,12 @@ val drop : 'a t -> unit
 val peek_time : 'a t -> int option
 
 val clear : 'a t -> unit
-(** Drops every cell and resets [length] to zero in one step, so
-    callers tracking per-cell statistics (e.g. tombstone counts) can
+(** Drops every event and resets [length] to zero in one step, so
+    callers tracking per-event statistics (e.g. tombstone counts) can
     reset them at the same point without the two drifting. *)
 
 val compact : 'a t -> keep:(time:int -> seq:int -> 'a -> bool) -> unit
-(** Removes every cell [keep] rejects, in O(n) (filter + bottom-up
-    heapify). Surviving cells keep their exact [(time, seq)] keys, so
+(** Removes every event [keep] rejects, in O(n) (filter + bottom-up
+    heapify). Survivors keep their exact [(time, seq)] keys, so
     the drain order of survivors is unchanged. Shrinks the backing
     array when survivors occupy less than a quarter of it. *)

@@ -29,14 +29,18 @@ let create ?conns sched ~interval =
   Sim_obs.Metrics.register m ~component:"scheduler" ~id:"sched"
     ~name:"events_processed" ~units:"events" (fun () ->
       float_of_int (Scheduler.events_processed sched));
-  (* The timer closure needs [t] and [t] needs the timer: tie the knot
+  Sim_obs.Metrics.register m ~component:"scheduler" ~id:"sched"
+    ~name:"event_cells" ~units:"cells" (fun () ->
+      float_of_int (Scheduler.event_cells_allocated sched));
+  Sim_obs.Metrics.register m ~component:"scheduler" ~id:"sched"
+    ~name:"event_cells_free" ~units:"cells" (fun () ->
+      float_of_int (Scheduler.event_cells_free sched));
+  (* The timer's state is [t] and [t] needs the timer: tie the knot
      through a forward cell rather than a recursive value, keeping the
      record free of option fields on the tick path. *)
   let cell = ref None in
-  let timer =
-    Scheduler.Timer.create sched (fun () ->
-        match !cell with Some t -> tick t | None -> ())
-  in
+  let tick_cell cell = match !cell with Some t -> tick t | None -> () in
+  let timer = Scheduler.Timer.create sched tick_cell cell in
   let t =
     { sched; series = Sim_obs.Series.create m; interval; timer; armed = false;
       ticks = 0 }

@@ -23,6 +23,10 @@ type t = {
      activity) the wheel has not moved. *)
   mutable wheel_due : int;
   mutable wheel_gen : int;
+  (* Event-cell pool accounting across every {!Event.pool} of this
+     scheduler, exposed to the Probe's self-profiling gauges. *)
+  mutable cells_allocated : int;
+  mutable cells_free : int;
   ctx : Sim_ctx.t;
 }
 
@@ -36,6 +40,8 @@ let create () =
     tombstones = 0;
     wheel_due = max_int;
     wheel_gen = -1;
+    cells_allocated = 0;
+    cells_free = 0;
     ctx = Sim_ctx.create ();
   }
 
@@ -53,10 +59,15 @@ let arm t (e : Timer_wheel.entry) time =
     Event_heap.push t.heap ~time:e.time ~seq:e.seq e
   end
 
+(* The generic closure API, kept for cold-path setup code (workload
+   arrival processes, examples). Hot-path modules schedule through
+   {!Timer} or {!Event} instead — simlint rule D008 enforces this. *)
+let call_closure (f : unit -> unit) = f ()
+
 let schedule_at t time action =
   if Sim_time.(time < t.now) then
     invalid_arg "Scheduler.schedule_at: time is in the past";
-  let e = Timer_wheel.make_entry action in
+  let e = Timer_wheel.make_entry call_closure action in
   arm t e time;
   e
 
@@ -90,9 +101,9 @@ let detach t (e : Timer_wheel.entry) =
 
 let cancel t (e : Timer_wheel.entry) =
   detach t e;
-  (* One-shot handle: drop the closure now so captured packets/buffers
-     are collectable before the tombstone is popped. *)
-  e.action <- Timer_wheel.noop
+  (* One-shot handle: drop the fire/state pair now so captured
+     packets/buffers are collectable before the tombstone is popped. *)
+  e.run <- Timer_wheel.noop_run
 
 let is_pending (e : handle) =
   e.state = Timer_wheel.st_wheel || e.state = Timer_wheel.st_heap
@@ -136,7 +147,8 @@ let run ?until ?max_events t =
         e.state <- Timer_wheel.st_fired;
         t.processed <- t.processed + 1;
         decr budget;
-        e.action ()
+        let (Timer_wheel.Run (fire, state)) = e.run in
+        fire state
       end
       else
         (* Stale cell of a cancelled or re-armed event. Skipping it
@@ -160,17 +172,19 @@ let pending_events t =
 let heap_pending t = Event_heap.length t.heap - t.tombstones
 let wheel_pending t = Timer_wheel.live t.wheel
 let events_processed t = t.processed
+let event_cells_allocated t = t.cells_allocated
+let event_cells_free t = t.cells_free
 
 module Timer = struct
   type sched = t
 
   type t = { sched : sched; entry : Timer_wheel.entry }
 
-  let create sched action = { sched; entry = Timer_wheel.make_entry action }
+  let create sched fire state = { sched; entry = Timer_wheel.make_entry fire state }
   let is_pending tm = is_pending tm.entry
 
-  (* Unlike {!Scheduler.cancel}, keeps the action closure: that is the
-     point of the abstraction — one entry, one closure, reused across
+  (* Unlike {!Scheduler.cancel}, keeps the fire/state pair: that is
+     the point of the abstraction — one entry, one pair, reused across
      every re-arm of an RTO or delayed-ACK timer. *)
   let cancel tm = detach tm.sched tm.entry
 
@@ -181,4 +195,111 @@ module Timer = struct
     arm tm.sched tm.entry time
 
   let schedule_after tm delay = schedule_at tm (Sim_time.add tm.sched.now delay)
+end
+
+module Event = struct
+  type sched = t
+
+  (* A pool of one-shot typed event cells sharing one fire function.
+     Each cell owns its wheel/heap entry and a payload slot; the
+     entry's [run] points back at the cell, so the steady-state path
+     — acquire, fill payload, arm — allocates nothing. Cells return
+     to the pool's freelist the moment they fire or are cancelled.
+
+     The freelist is a plain array stack (the Packet pool's idiom);
+     it starts empty and takes its first backing array from the first
+     released cell, so no dummy payload value is ever needed. Freed
+     slots above [free_count] keep stale cell pointers alive — cells
+     are pool members for the scheduler's lifetime, so this pins no
+     memory that was not already pinned.
+
+     Cell generation parity mirrors the packet-pool sanitizer: odd
+     while armed, even while pooled. [cancel] on an even-generation
+     cell is a use-after-free (the event already fired, or was
+     cancelled) and raises when the sanitizer is compiled in. Like
+     the packet pool, ABA reuse — cancelling a stale handle after the
+     cell was re-acquired for a new event — is outside the parity
+     check and must be avoided by contract (DESIGN.md §4j): only the
+     scheduling site may hold a cell, and only until fire/cancel. *)
+  type 'a cell = {
+    c_entry : Timer_wheel.entry;
+    mutable c_payload : 'a;
+    mutable c_gen : int;
+    c_pool : 'a pool;
+  }
+
+  and 'a pool = {
+    p_sched : sched;
+    p_fire : 'a -> unit;
+    mutable p_free : 'a cell array;
+    mutable p_free_count : int;
+  }
+
+  let pool sched ~fire =
+    { p_sched = sched; p_fire = fire; p_free = [||]; p_free_count = 0 }
+
+  let release p c =
+    c.c_gen <- c.c_gen + 1;  (* armed (odd) -> pooled (even) *)
+    if p.p_free_count = Array.length p.p_free then begin
+      let a = Array.make (max 8 (2 * p.p_free_count)) c in
+      Array.blit p.p_free 0 a 0 p.p_free_count;
+      p.p_free <- a
+    end;
+    p.p_free.(p.p_free_count) <- c;
+    p.p_free_count <- p.p_free_count + 1;
+    p.p_sched.cells_free <- p.p_sched.cells_free + 1
+
+  (* Static fire function shared by every cell: read the payload out,
+     return the cell to the pool, then run the pool's handler. The
+     release happens first so the handler may itself schedule into the
+     same pool and reuse this very cell. *)
+  let fire_cell c =
+    let p = c.c_pool in
+    let v = c.c_payload in
+    release p c;
+    p.p_fire v
+
+  let acquire p v =
+    if p.p_free_count > 0 then begin
+      p.p_free_count <- p.p_free_count - 1;
+      let c = p.p_free.(p.p_free_count) in
+      p.p_sched.cells_free <- p.p_sched.cells_free - 1;
+      c.c_gen <- c.c_gen + 1;  (* pooled (even) -> armed (odd) *)
+      c.c_payload <- v;
+      c
+    end
+    else begin
+      let c =
+        { c_entry = Timer_wheel.make_entry ignore (); c_payload = v;
+          c_gen = 1; c_pool = p }
+      in
+      c.c_entry.run <- Timer_wheel.Run (fire_cell, c);
+      p.p_sched.cells_allocated <- p.p_sched.cells_allocated + 1;
+      c
+    end
+
+  let schedule_at p time v =
+    if Sim_time.(time < p.p_sched.now) then
+      invalid_arg "Scheduler.Event.schedule_at: time is in the past";
+    let c = acquire p v in
+    arm p.p_sched c.c_entry time;
+    c
+
+  let schedule_after p delay v =
+    schedule_at p (Sim_time.add p.p_sched.now delay) v
+
+  let is_pending c = is_pending c.c_entry
+
+  let cancel p c =
+    if Sanitizer_mode.on && c.c_gen land 1 = 0 then
+      invalid_arg
+        "Scheduler.Event.cancel: cell is not armed (already fired or \
+         cancelled — stale cell handle)";
+    if is_pending c then begin
+      detach p.p_sched c.c_entry;
+      let v = c.c_payload in
+      release p c;
+      Some v
+    end
+    else None
 end

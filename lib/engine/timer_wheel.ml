@@ -37,10 +37,20 @@
    - cascading re-inserts strictly below the drained level, so each
      entry descends at most [levels] times. *)
 
+(* What to do when the entry fires: a fire function paired with the
+   state it runs on. Packing the pair behind one existential keeps the
+   entry monomorphic (the heap and the slot lists need that) while
+   letting a re-armable timer or a pooled event cell install a
+   *static* fire function once and never allocate per arm — the old
+   [unit -> unit] representation forced a fresh closure on anything
+   that wanted per-event state. The generic closure API still exists:
+   it wraps the closure as [Run (call, f)] (see Scheduler). *)
+type erun = Run : ('a -> unit) * 'a -> erun
+
 type entry = {
   mutable time : int;    (* absolute ns; exact, not slot-rounded *)
   mutable seq : int;     (* scheduler insertion counter at last arm *)
-  mutable action : unit -> unit;
+  mutable run : erun;
   mutable state : int;   (* see st_* below *)
   mutable next : entry;  (* intrusive slot list; self-linked when free *)
   mutable prev : entry;
@@ -54,11 +64,12 @@ let st_wheel = 1 (* linked into a wheel slot *)
 let st_heap = 2  (* handed off to the scheduler's heap *)
 let st_fired = 3
 
-let noop () = ()
+let noop_run = Run (ignore, ())
 
-let make_entry action =
+let make_entry fire state =
   let rec e =
-    { time = 0; seq = 0; action; state = st_idle; next = e; prev = e; slot = -1 }
+    { time = 0; seq = 0; run = Run (fire, state); state = st_idle; next = e;
+      prev = e; slot = -1 }
   in
   e
 
@@ -78,8 +89,28 @@ type t = {
 }
 
 let create () =
+  (* Slot sentinels carry no event, so the 224 heads share the single
+     [noop_run] instead of a fresh [Run] block each — and they are
+     built non-recursively via a local placeholder, because a
+     [let rec] record binding compiles to a dummy block plus a
+     backpatch copy, doubling the dominant allocation of [create].
+     [nil]'s fields are never mutated: every head overwrites
+     [next]/[prev] with itself before [create] returns. *)
+  let rec nil =
+    { time = 0; seq = 0; run = noop_run; state = st_idle; next = nil;
+      prev = nil; slot = -1 }
+  in
+  let make_head () =
+    let e =
+      { time = 0; seq = 0; run = noop_run; state = st_idle; next = nil;
+        prev = nil; slot = -1 }
+    in
+    e.next <- e;
+    e.prev <- e;
+    e
+  in
   {
-    heads = Array.init (levels * slots_per_level) (fun _ -> make_entry noop);
+    heads = Array.init (levels * slots_per_level) (fun _ -> make_head ());
     occupied = Array.make levels 0;
     cursor = 0;
     live = 0;
@@ -172,7 +203,7 @@ let schedule t e =
   end
 
 (* O(1): unlink, clear the occupancy bit when the slot empties. The
-   caller owns [action] (a re-armable timer keeps its closure; a
+   caller owns [run] (a re-armable timer keeps its fire/state pair; a
    one-shot handle drops it to release captured state early). *)
 let cancel t e =
   let flat = e.slot in

@@ -12,18 +12,26 @@
     guarantee an entry is never emitted late. See the implementation
     header for the full argument. *)
 
+type erun = Run : ('a -> unit) * 'a -> erun
+(** Typed fire slot: a static fire function paired with the state it
+    runs on, packed behind an existential so [entry] stays
+    monomorphic. A re-armable timer or pooled event cell installs its
+    pair once and re-arms forever after without allocating; the
+    generic closure API wraps a [unit -> unit] as
+    [Run ((fun f -> f ()), f)]. *)
+
 type entry = {
   mutable time : int;    (** absolute due time, ns — exact, not rounded *)
   mutable seq : int;     (** scheduler insertion counter at last arm *)
-  mutable action : unit -> unit;
+  mutable run : erun;
   mutable state : int;
   mutable next : entry;
   mutable prev : entry;
   mutable slot : int;
 }
 (** Intrusive node. The scheduler uses [entry] directly as its event
-    handle so a re-armable timer reuses one allocation (and one
-    closure) across its whole life. *)
+    handle so a re-armable timer or event cell reuses one allocation
+    (and one fire/state pair) across its whole life. *)
 
 (** {2 Entry states}
 
@@ -36,11 +44,12 @@ val st_wheel : int
 val st_heap : int
 val st_fired : int
 
-val noop : unit -> unit
-(** Shared no-op used to drop an action closure on cancel. *)
+val noop_run : erun
+(** Shared no-op used to drop a fire/state pair on cancel. *)
 
-val make_entry : (unit -> unit) -> entry
-(** Fresh idle, self-linked entry. *)
+val make_entry : ('a -> unit) -> 'a -> entry
+(** [make_entry fire state] is a fresh idle, self-linked entry whose
+    [run] slot holds [Run (fire, state)]. *)
 
 type t
 
@@ -65,8 +74,8 @@ val schedule : t -> entry -> bool
 
 val cancel : t -> entry -> unit
 (** O(1) unlink of an [st_wheel] entry; the entry becomes idle. The
-    caller decides whether to drop the action closure (one-shot
-    events) or keep it (re-armable timers). *)
+    caller decides whether to drop the fire/state pair (one-shot
+    events) or keep it (re-armable timers, pooled event cells). *)
 
 val next_due_ns : t -> int
 (** Start time of the earliest non-empty slot — a lower bound on the

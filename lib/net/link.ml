@@ -19,26 +19,17 @@ type t = {
   mutable taps : (Packet.t -> unit) list;
   mutable busy : bool;
   mutable last_delivery : Time.t;
+  (* Typed event pools carrying the in-flight Packet.t (D007/§4j:
+     scheduling moves ownership into the pending event; the fire
+     function receives it back). [tx_pool] holds the one packet being
+     serialised; [rx_pool] one cell per packet propagating on the
+     wire. Option-wrapped only because each pool's fire function needs
+     [t]: both are installed in [create], immediately after the record
+     exists, and never change. *)
+  mutable tx_pool : Packet.t Scheduler.Event.pool option;
+  mutable rx_pool : Packet.t Scheduler.Event.pool option;
   st : stats;
 }
-
-let create ?(jitter = Time.of_us 5.) ~sched ~rate_bps ~delay ~queue ~id () =
-  if rate_bps <= 0. then invalid_arg "Link.create: rate must be positive";
-  {
-    sched;
-    rate_bps;
-    delay;
-    jitter;
-    (* Seeded from the link id: runs stay bit-for-bit reproducible. *)
-    jitter_rng = Sim_engine.Rng.create ~seed:(0x11CC + id);
-    queue;
-    id;
-    deliver = None;
-    taps = [];
-    busy = false;
-    last_delivery = Time.zero;
-    st = { tx_packets = 0; tx_bytes = 0; busy_ns = 0 };
-  }
 
 let attach t f = t.deliver <- Some f
 let add_tap t f = t.taps <- f :: t.taps
@@ -46,7 +37,35 @@ let add_tap t f = t.taps <- f :: t.taps
 let tx_time t ~bytes =
   Time.of_ns (int_of_float (float_of_int (bytes * 8) /. t.rate_bps *. 1e9))
 
-let rec pump t =
+let the_pool = function Some p -> p | None -> assert false
+
+(* Receiver-side fire: a packet has propagated across the wire. *)
+let deliver_pkt t pkt =
+  match t.deliver with
+  | Some f -> f pkt
+  | None ->
+    (* Unreachable: [send] refuses traffic until [attach]. *)
+    failwith "Link.send: no receiver attached"
+
+(* Transmitter-side fire: serialisation done, the packet enters the
+   wire and the transmitter is free for the next one. Propagation gets
+   a small random jitter (switch pipelines and NICs are not perfectly
+   deterministic; without this, exact ACK-clocking produces drop-tail
+   lockout artifacts), clamped so the link stays FIFO. *)
+let rec tx_done t pkt =
+  let extra =
+    if Time.is_zero t.jitter then Time.zero
+    else Time.of_ns (int_of_float
+           (Sim_engine.Rng.float t.jitter_rng
+              (float_of_int (Time.to_ns t.jitter))))
+  in
+  let target = Time.add (Time.add (Scheduler.now t.sched) t.delay) extra in
+  let when_ = Time.max target t.last_delivery in
+  t.last_delivery <- when_;
+  ignore (Scheduler.Event.schedule_at (the_pool t.rx_pool) when_ pkt);
+  pump t
+
+and pump t =
   match Pktqueue.dequeue t.queue with
   | None -> t.busy <- false
   | Some pkt ->
@@ -56,33 +75,32 @@ let rec pump t =
     t.st.tx_bytes <- t.st.tx_bytes + pkt.Packet.size;
     t.st.busy_ns <- t.st.busy_ns + Time.to_ns tx;
     List.iter (fun tap -> tap pkt) t.taps;
-    let deliver =
-      match t.deliver with
-      | Some f -> f
-      | None -> failwith "Link.send: no receiver attached"
-    in
-    ignore
-      (Scheduler.schedule_after t.sched tx (fun () ->
-           (* Serialisation done: the packet enters the wire and the
-              transmitter is free for the next one. Propagation gets a
-              small random jitter (switch pipelines and NICs are not
-              perfectly deterministic; without this, exact ACK-clocking
-              produces drop-tail lockout artifacts), clamped so the
-              link stays FIFO. *)
-           let extra =
-             if Time.is_zero t.jitter then Time.zero
-             else Time.of_ns (int_of_float
-                    (Sim_engine.Rng.float t.jitter_rng
-                       (float_of_int (Time.to_ns t.jitter))))
-           in
-           let target =
-             Time.add (Time.add (Scheduler.now t.sched) t.delay) extra
-           in
-           let when_ = Time.max target t.last_delivery in
-           t.last_delivery <- when_;
-           ignore
-             (Scheduler.schedule_at t.sched when_ (fun () -> deliver pkt));
-           pump t))
+    ignore (Scheduler.Event.schedule_after (the_pool t.tx_pool) tx pkt)
+
+let create ?(jitter = Time.of_us 5.) ~sched ~rate_bps ~delay ~queue ~id () =
+  if rate_bps <= 0. then invalid_arg "Link.create: rate must be positive";
+  let t =
+    {
+      sched;
+      rate_bps;
+      delay;
+      jitter;
+      (* Seeded from the link id: runs stay bit-for-bit reproducible. *)
+      jitter_rng = Sim_engine.Rng.create ~seed:(0x11CC + id);
+      queue;
+      id;
+      deliver = None;
+      taps = [];
+      busy = false;
+      last_delivery = Time.zero;
+      tx_pool = None;
+      rx_pool = None;
+      st = { tx_packets = 0; tx_bytes = 0; busy_ns = 0 };
+    }
+  in
+  t.tx_pool <- Some (Scheduler.Event.pool sched ~fire:(fun pkt -> tx_done t pkt));
+  t.rx_pool <- Some (Scheduler.Event.pool sched ~fire:(fun pkt -> deliver_pkt t pkt));
+  t
 
 let send t pkt =
   if t.deliver = None then failwith "Link.send: no receiver attached";

@@ -84,9 +84,7 @@ let arm_delack t =
     match t.delack_timer with
     | Some tm -> tm
     | None ->
-      let tm =
-        Scheduler.Timer.create (Host.sched t.host) (fun () -> on_delack_timeout t)
-      in
+      let tm = Scheduler.Timer.create (Host.sched t.host) on_delack_timeout t in
       t.delack_timer <- Some tm;
       tm
   in

@@ -70,8 +70,8 @@ type t = {
   mutable dup_acks : int;
   mutable recovery : recovery;
   mutable recover_point : int;
-  (* Re-armable RTO timer: allocated (entry + closure) on first arm,
-     then reused for the connection's whole life. *)
+  (* Re-armable RTO timer: one entry (static fire fn + state) allocated
+     on first arm, then reused for the connection's whole life. *)
   mutable rto_timer : Scheduler.Timer.t option;
   mutable backoff : int;
   mutable syn_retries : int;
@@ -305,7 +305,7 @@ let rec arm_rto t =
     match t.rto_timer with
     | Some tm -> tm
     | None ->
-      let tm = Scheduler.Timer.create t.sched (fun () -> on_rto t) in
+      let tm = Scheduler.Timer.create t.sched on_rto t in
       t.rto_timer <- Some tm;
       tm
   in

@@ -141,7 +141,7 @@ let prop_wheel_matches_heap =
             (* Spread times across levels: every other event is shifted
                up 8 bits so some land beyond level 0's span. *)
             let time = 2048 + (t0 lsl (8 * (i mod 2))) in
-            let e = Timer_wheel.make_entry ignore in
+            let e = Timer_wheel.make_entry ignore () in
             e.time <- time;
             e.seq <- i;
             if not (Timer_wheel.schedule wheel e) then begin
@@ -322,7 +322,7 @@ let prop_scheduler_matches_model =
 let test_timer_cancel_rearm () =
   let s = Scheduler.create () in
   let count = ref 0 in
-  let tm = Scheduler.Timer.create s (fun () -> incr count) in
+  let tm = Scheduler.Timer.create s (fun () -> incr count) () in
   (* Cancel before first arm is a no-op; a cancelled arm never fires. *)
   Scheduler.Timer.cancel tm;
   Scheduler.Timer.schedule_after tm (Time.of_ms 1.);
@@ -347,7 +347,7 @@ let test_timer_seq_interleaving () =
      fires second. *)
   let s = Scheduler.create () in
   let log = ref [] in
-  let tm = Scheduler.Timer.create s (fun () -> log := "timer" :: !log) in
+  let tm = Scheduler.Timer.create s (fun () -> log := "timer" :: !log) () in
   Scheduler.Timer.schedule_at tm (Time.of_ms 1.);
   ignore
     (Scheduler.schedule_at s (Time.of_ms 1.) (fun () ->
@@ -400,6 +400,148 @@ let test_scheduler_far_future () =
     (List.rev !log);
   Alcotest.(check (float 1e-6))
     "clock at far event" 50_000. (Time.to_sec (Scheduler.now s))
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler.Event: pooled typed cells *)
+
+(* The typed event path must be observationally identical to the
+   closure path: same trace of arms and mid-run cancels, same log of
+   (payload, fire-time) — which pins time, (time, seq) tie order and
+   side-effect order all at once. The reference run schedules every
+   event as a closure; the pool run routes the flagged subset through
+   an Event pool. Both runs arm in the same order, and one seq is
+   consumed per arm on either path, so any divergence in the interleaving
+   of typed and closure events shows up as a reordered log. *)
+let prop_event_pool_matches_closures =
+  QCheck.Test.make ~name:"typed event pool matches closure reference"
+    ~count:200
+    QCheck.(
+      list (pair (int_bound 5_000_000) (pair bool (option (int_bound 4_999_999)))))
+    (fun trace ->
+      let run use_pool =
+        let s = Scheduler.create () in
+        let log = ref [] in
+        let record i = log := (i, Time.to_ns (Scheduler.now s)) :: !log in
+        let pool = Scheduler.Event.pool s ~fire:record in
+        let arms =
+          List.mapi
+            (fun i (t_ns, (typed, cancel_at)) ->
+              let cancel =
+                if use_pool && typed then begin
+                  let c = Scheduler.Event.schedule_at pool (Time.of_ns t_ns) i in
+                  fun () -> ignore (Scheduler.Event.cancel pool c)
+                end
+                else begin
+                  let h =
+                    Scheduler.schedule_at s (Time.of_ns t_ns) (fun () ->
+                        record i)
+                  in
+                  fun () -> Scheduler.cancel s h
+                end
+              in
+              (i, t_ns, cancel_at, cancel))
+            trace
+        in
+        (* Cancels that strictly precede the victim's due time count;
+           later ones would race an already-fired event (and, for
+           cells, trip the stale-handle sanitizer by contract). *)
+        let expected = ref [] in
+        List.iter
+          (fun (i, t_ns, cancel_at, cancel) ->
+            match cancel_at with
+            | Some c_ns when c_ns < t_ns ->
+              ignore (Scheduler.schedule_at s (Time.of_ns c_ns) cancel)
+            | Some _ | None -> expected := (t_ns, i) :: !expected)
+          arms;
+        Scheduler.run s;
+        (List.rev !log, List.sort compare (List.rev !expected))
+      in
+      let log_ref, _ = run false in
+      let log_pool, expected = run true in
+      log_ref = log_pool
+      && log_pool = List.map (fun (t, i) -> (i, t)) expected)
+
+let test_event_cell_reuse () =
+  (* A fire handler that re-arms into its own pool must reuse the very
+     cell that just fired (release happens before the handler runs):
+     a whole chain of sequential events costs one cell. *)
+  let s = Scheduler.create () in
+  let count = ref 0 in
+  let pool_ref = ref None in
+  let fire n =
+    incr count;
+    if n > 0 then
+      match !pool_ref with
+      | Some p -> ignore (Scheduler.Event.schedule_after p (Time.of_ms 1.) (n - 1))
+      | None -> assert false
+  in
+  let p = Scheduler.Event.pool s ~fire in
+  pool_ref := Some p;
+  ignore (Scheduler.Event.schedule_after p (Time.of_ms 1.) 5);
+  Scheduler.run s;
+  check_int "whole chain fired" 6 !count;
+  check_int "one cell ever allocated" 1 (Scheduler.event_cells_allocated s);
+  check_int "cell back in the pool" 1 (Scheduler.event_cells_free s)
+
+let test_event_cancel_then_rearm () =
+  let s = Scheduler.create () in
+  let got = ref [] in
+  let p = Scheduler.Event.pool s ~fire:(fun v -> got := v :: !got) in
+  let c = Scheduler.Event.schedule_after p (Time.of_ms 1.) 42 in
+  check_bool "pending after arm" true (Scheduler.Event.is_pending c);
+  (match Scheduler.Event.cancel p c with
+  | Some v -> check_int "cancel hands the payload back" 42 v
+  | None -> Alcotest.fail "cancel of an armed cell must return its payload");
+  check_bool "idle after cancel" false (Scheduler.Event.is_pending c);
+  Scheduler.run s;
+  check_bool "cancelled event never fired" true (!got = []);
+  (* The cancelled cell is pool property again: the next arm reuses it. *)
+  ignore (Scheduler.Event.schedule_after p (Time.of_ms 1.) 7);
+  check_int "cancelled cell reused" 1 (Scheduler.event_cells_allocated s);
+  Scheduler.run s;
+  Alcotest.(check (list int)) "re-arm fires with the new payload" [ 7 ] !got
+
+let test_event_stale_cancel () =
+  (* Cancelling a cell whose event already fired is a use-after-free
+     on the cell: the pool may have reissued it. Generation parity
+     catches it in the sanitizer profile; compiled out, the cancel is
+     a silent no-op (the entry is idle). *)
+  let s = Scheduler.create () in
+  let p = Scheduler.Event.pool s ~fire:(fun (_ : int) -> ()) in
+  let c = Scheduler.Event.schedule_after p (Time.of_ms 1.) 0 in
+  Scheduler.run s;
+  if Sim_engine.Sanitizer_mode.on then
+    Alcotest.check_raises "stale handle trips the sanitizer"
+      (Invalid_argument
+         "Scheduler.Event.cancel: cell is not armed (already fired or \
+          cancelled — stale cell handle)")
+      (fun () -> ignore (Scheduler.Event.cancel p c))
+  else
+    check_bool "stale cancel is a no-op without the sanitizer" true
+      (Scheduler.Event.cancel p c = None)
+
+let test_event_pool_accounting () =
+  (* Cells allocate at the high-water mark of in-flight events and
+     never beyond it. *)
+  let s = Scheduler.create () in
+  let fired = ref 0 in
+  let p = Scheduler.Event.pool s ~fire:(fun (_ : int) -> incr fired) in
+  for i = 1 to 8 do
+    ignore (Scheduler.Event.schedule_after p (Time.of_ms (float_of_int i)) i)
+  done;
+  check_int "eight cells at the high-water mark" 8
+    (Scheduler.event_cells_allocated s);
+  check_int "none free while armed" 0 (Scheduler.event_cells_free s);
+  Scheduler.run s;
+  check_int "all fired" 8 !fired;
+  check_int "all back in the pool" 8 (Scheduler.event_cells_free s);
+  (* A second wave of the same width allocates nothing new. *)
+  for i = 1 to 8 do
+    ignore (Scheduler.Event.schedule_after p (Time.of_ms (float_of_int i)) i)
+  done;
+  Scheduler.run s;
+  check_int "steady state allocates no cells" 8
+    (Scheduler.event_cells_allocated s)
 
 (* ------------------------------------------------------------------ *)
 (* Rng *)
@@ -568,6 +710,16 @@ let () =
         [
           Alcotest.test_case "cancel and re-arm" `Quick test_timer_cancel_rearm;
           Alcotest.test_case "seq interleaving" `Quick test_timer_seq_interleaving;
+        ] );
+      ( "event_pool",
+        [
+          Alcotest.test_case "fire releases before handler (reuse)" `Quick
+            test_event_cell_reuse;
+          Alcotest.test_case "cancel then re-arm" `Quick
+            test_event_cancel_then_rearm;
+          Alcotest.test_case "stale handle cancel" `Quick test_event_stale_cancel;
+          Alcotest.test_case "pool accounting" `Quick test_event_pool_accounting;
+          qt prop_event_pool_matches_closures;
         ] );
       ( "rng",
         [

@@ -28,7 +28,15 @@
       scheduler/timer closures, returns from packet handlers, double
       frees and frees through copy-less aliases (see {!Simlint_pool}).
       Built-in exemption: the owning data plane — [packet.ml],
-      [pktqueue.ml], [link.ml].
+      [pktqueue.ml], [link.ml]. Since the typed event path, a raw
+      packet passed as a deferred-event payload (timer state, Event
+      cell payload) outside those modules is the same escape and is
+      flagged too.
+    - [D008] no closure-per-event scheduling
+      ([Scheduler.schedule_at]/[schedule_after]) — steady-state code
+      must arm a re-armable {!Scheduler.Timer} or fill a pooled
+      {!Scheduler.Event} cell; genuinely cold setup sites are
+      allowlisted in [simlint.allow].
 
     Since v2 the analysis runs on [.cmt] files ([Cmt_format], produced
     by dune's default [-bin-annot]): identifiers are matched on
@@ -37,7 +45,16 @@
     keys on expression types. [simlint.allow] remains the escape hatch
     for deliberate exceptions. *)
 
-type rule = Simlint_defs.rule = D001 | D002 | D003 | D004 | D005 | D006 | D007
+type rule =
+  Simlint_defs.rule =
+  | D001
+  | D002
+  | D003
+  | D004
+  | D005
+  | D006
+  | D007
+  | D008
 
 val rule_id : rule -> string
 val rule_of_id : string -> rule option

@@ -394,6 +394,11 @@ let scan ~emit (str : Typedtree.structure) =
           args
       | None ->
         if deferred_sink fn then
+          let sink_name =
+            match ident_path fn with
+            | Some p -> path_string p
+            | None -> "the scheduler"
+          in
           List.iter
             (fun (_, arg) ->
               match arg with
@@ -406,13 +411,26 @@ let scan ~emit (str : Typedtree.structure) =
                            "pooled Packet.t `%s` captured by a closure handed \
                             to %s: the event may fire after the packet is \
                             freed and reused — capture a Packet.copy"
-                           name
-                           (match ident_path fn with
-                           | Some p -> path_string p
-                           | None -> "the scheduler"))
+                           name sink_name)
                       loc)
                   (packet_captures f)
-              | _ -> ())
+              | Some a ->
+                (* A raw packet handed to the scheduler as a typed-event
+                   payload (or timer state) is the same escape without
+                   the closure: the cell outlives the handler's lease.
+                   Only the link layer (D007-exempt) owns in-flight
+                   payload slots. *)
+                List.iter
+                  (emit_at ~emit
+                     ~msg:
+                       (Printf.sprintf
+                          "pooled Packet.t passed as deferred-event payload \
+                           to %s: the event may fire after the packet is \
+                           freed and reused — pass a Packet.copy (in-flight \
+                           payload slots belong to the link layer)"
+                          sink_name))
+                  (raw_packet_escapes a)
+              | None -> ())
             args)
     | _ -> ()
   in

@@ -1,0 +1,10 @@
+(* Fixture: a leased packet handed to the scheduler as a typed-event
+   payload escapes its handler exactly like a closure capture would —
+   the cell may fire after the pool has reissued the record. Only the
+   link layer (D007-exempt) owns in-flight payload slots. *)
+let on_packet (pool : Sim_net.Packet.t Sim_engine.Scheduler.Event.pool)
+    (pkt : Sim_net.Packet.t) =
+  ignore
+    (Sim_engine.Scheduler.Event.schedule_after pool
+       (Sim_engine.Sim_time.of_ns 10)
+       pkt)

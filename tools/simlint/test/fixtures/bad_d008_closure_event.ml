@@ -1,0 +1,12 @@
+(* Fixture: closure-per-event scheduling — each arm allocates a fresh
+   closure the scheduler must hold until it fires. Hot-path code must
+   arm a re-armable Timer or fill a pooled Event cell instead. *)
+let arm sched =
+  ignore
+    (Sim_engine.Scheduler.schedule_after sched
+       (Sim_engine.Sim_time.of_ns 10)
+       (fun () -> ()));
+  ignore
+    (Sim_engine.Scheduler.schedule_at sched
+       (Sim_engine.Sim_time.of_ns 20)
+       (fun () -> ()))
