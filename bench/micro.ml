@@ -142,6 +142,56 @@ let fig1a_inner () =
   ignore (Scenario.run cfg)
 
 (* ------------------------------------------------------------------ *)
+(* fluid path: the flow-level engine end to end — 10k short transfers
+   over 64 shared links, staggered arrivals, light load. Exercises the
+   allocator's incremental water-fill, the quantum-batched flush timer
+   and the closed-form byte integration; this is the per-flow cost the
+   ext-scale experiment multiplies by 10^5. *)
+
+let fluid_flows () =
+  let sched = Scheduler.create () in
+  let eng = Sim_fluid.Engine.make ~sched ~cap_bps:(Array.make 64 1e9) () in
+  let completed = ref 0 in
+  for i = 0 to 9_999 do
+    let at = Stime.of_us (float_of_int i *. 100.) in
+    ignore
+      (Scheduler.schedule_at sched at (fun () ->
+           ignore
+             (Sim_fluid.Engine.start eng
+                ~legs:
+                  [|
+                    {
+                      Sim_fluid.Engine.path = [| i mod 32; 32 + (i * 7 mod 32) |];
+                      weight = 1.;
+                      rtt_s = 1e-4;
+                    };
+                  |]
+                ~size:70_000
+                ~on_complete:(fun _ -> incr completed)
+                ())))
+  done;
+  Scheduler.run sched;
+  assert (!completed = 10_000)
+
+(* hybrid path: a tiny-scale FatTree scenario where every 70 KB short
+   flow starts packet-level and promotes to fluid at 10 KB — the
+   handoff machinery (byte-threshold watch, leg re-resolution,
+   residual-capacity coupling) exercised 1000 times. *)
+
+let hybrid_handoff () =
+  let cfg =
+    {
+      (Scale.scenario_config Scale.tiny
+         ~protocol:(Scenario.Mptcp_proto { subflows = 8; coupled = true }))
+      with
+      Scenario.model = Scenario.Hybrid { handoff_bytes = 10_000 };
+      short_flows = 1_000;
+    }
+  in
+  let r = Scenario.run cfg in
+  assert (Array.length r.Scenario.shorts = 1_000)
+
+(* ------------------------------------------------------------------ *)
 
 let benchmarks =
   [
@@ -151,6 +201,8 @@ let benchmarks =
     ("packet:tcp-70KB", tcp_transfer);
     ("obs:tcp-70KB-probed", tcp_transfer_probed);
     ("fig1a:inner-loop", fig1a_inner);
+    ("fluid:10k-flows", fluid_flows);
+    ("hybrid:handoff-1k", hybrid_handoff);
   ]
 
 (* Benchmarks whose single run is heavyweight (hundreds of ms and up).
@@ -160,7 +212,7 @@ let benchmarks =
    These get a pinned config instead: every sample executes the body
    exactly once ([~start:1 ~sampling:(`Linear 0)]), a fixed number of
    times, so two invocations of the suite do identical work. *)
-let heavy = [ "fig1a:inner-loop" ]
+let heavy = [ "fig1a:inner-loop"; "fluid:10k-flows"; "hybrid:handoff-1k" ]
 
 (* Per benchmark: (name, ns/run, minor words/run). Minor words are the
    allocation-pressure number the packet-pool and typed-event work

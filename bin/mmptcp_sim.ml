@@ -169,19 +169,40 @@ let scale_term =
             "Run at smoke scale (k=4 2:1, 40 flows, 2 s horizon — the CI \
              preset); overrides the other scale options.")
   in
-  let make k oversub flows rate seed horizon_s full tiny obs =
+  let model =
+    let model_conv =
+      Arg.conv
+        ( (fun s ->
+            match Sim_workload.Flow_model.kind_of_string s with
+            | Ok m -> Ok m
+            | Error e -> Error (`Msg e)),
+          fun ppf m -> Format.pp_print_string ppf (Scenario.model_name m) )
+    in
+    Arg.(
+      value
+      & opt model_conv Scenario.Packet
+      & info [ "model" ] ~docv:"MODEL"
+          ~doc:
+            "Flow model serving the simulated transfers: $(b,packet) (the \
+             default; full packet-level stacks), $(b,fluid) (flows as \
+             max-min rate processes with analytic FCTs — orders of \
+             magnitude faster at large scale) or $(b,hybrid)[:BYTES] \
+             (packet-level until BYTES have been carried, default 100000, \
+             fluid after, with residual capacity coupling).")
+  in
+  let make k oversub flows rate seed horizon_s full tiny model obs =
     let base =
       if full then Scale.full
       else if tiny then Scale.tiny
       else
         { Scale.k; oversub; flows; rate; seed; horizon_s;
-          obs = Scenario.default_obs }
+          model = Scenario.Packet; obs = Scenario.default_obs }
     in
-    { base with Scale.obs }
+    { base with Scale.model; obs }
   in
   Term.(
     const make $ k $ oversub $ flows $ rate $ seed $ horizon $ full $ tiny
-    $ obs_term)
+    $ model $ obs_term)
 
 let jobs_conv =
   let parse s =

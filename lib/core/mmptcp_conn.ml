@@ -14,6 +14,7 @@ type t = {
   conn : int;
   size : int;
   strategy : Strategy.t;
+  splan : Strategy.switch_plan;
   params : Sim_tcp.Tcp_params.t;
   plane : Dataplane.t;
   sched : Scheduler.t;
@@ -81,22 +82,19 @@ and ps_source t =
         match t.phase with
         | Multipath -> None
         | Packet_scatter -> (
-          match t.strategy.Strategy.switch with
-          | Strategy.Data_volume v when Dataplane.assigned t.plane >= v ->
+          match t.splan.Strategy.switch_after_bytes with
+          | Some v when Dataplane.assigned t.plane >= v ->
             trigger_switch t;
             None
-          | Strategy.Data_volume _ | Strategy.Congestion_event
-          | Strategy.After_time _ | Strategy.Never ->
-            Dataplane.pull t.plane ~max));
+          | Some _ | None -> Dataplane.pull t.plane ~max));
     has_more =
       (fun () ->
         t.phase = Packet_scatter
         &&
-        match t.strategy.Strategy.switch with
-        | Strategy.Data_volume v ->
+        match t.splan.Strategy.switch_after_bytes with
+        | Some v ->
           Dataplane.assigned t.plane < v && Dataplane.unassigned t.plane
-        | Strategy.Congestion_event | Strategy.After_time _ | Strategy.Never ->
-          Dataplane.unassigned t.plane);
+        | None -> Dataplane.unassigned t.plane);
   }
 
 let initial_threshold strategy ~paths =
@@ -118,12 +116,14 @@ let start ~src ~dst ~size ~rng ?(strategy = Strategy.default)
     | Strategy.Static k -> max 1 k
     | Strategy.Topology_aware -> max 3 paths
   in
+  let splan = Strategy.plan strategy.Strategy.switch in
   let rec t =
     lazy
       {
         conn;
         size;
         strategy;
+        splan;
         params;
         plane =
           Dataplane.create ~sched ~size ~on_complete:(fun () ->
@@ -181,9 +181,7 @@ let start ~src ~dst ~size ~rng ?(strategy = Strategy.default)
      retransmitted packet takes a fresh random path. *)
   let scatter_port () = 1024 + Rng.int t.rng 60_000 in
   let on_first_congestion () =
-    match t.strategy.Strategy.switch with
-    | Strategy.Congestion_event -> trigger_switch t
-    | Strategy.Data_volume _ | Strategy.After_time _ | Strategy.Never -> ()
+    if t.splan.Strategy.switch_on_congestion then trigger_switch t
   in
   let on_dsack () =
     match t.strategy.Strategy.dupack with
@@ -209,12 +207,12 @@ let start ~src ~dst ~size ~rng ?(strategy = Strategy.default)
       let i = pkt.Packet.subflow in
       if i >= 0 && i < Array.length t.rxs then Tcp_rx.handle t.rxs.(i) pkt);
   if size = 0 then Dataplane.deliver t.plane ~dsn:0 ~len:0;
-  (match strategy.Strategy.switch with
-  | Strategy.After_time deadline ->
+  (match splan.Strategy.switch_after_time with
+  | Some deadline ->
     let tm = Scheduler.Timer.create sched trigger_switch t in
     t.switch_timer <- Some tm;
     Scheduler.Timer.schedule_after tm deadline
-  | Strategy.Data_volume _ | Strategy.Congestion_event | Strategy.Never -> ());
+  | None -> ());
   Tcp_tx.connect ps_tx;
   t
 

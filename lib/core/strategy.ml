@@ -18,6 +18,38 @@ type t = {
 let default =
   { subflows = 8; switch = Data_volume 100_000; dupack = Topology_aware }
 
+type switch_plan = {
+  switch_after_bytes : int option;
+  switch_after_time : Sim_engine.Sim_time.t option;
+  switch_on_congestion : bool;
+}
+
+let plan = function
+  | Data_volume v ->
+    {
+      switch_after_bytes = Some v;
+      switch_after_time = None;
+      switch_on_congestion = false;
+    }
+  | Congestion_event ->
+    {
+      switch_after_bytes = None;
+      switch_after_time = None;
+      switch_on_congestion = true;
+    }
+  | After_time d ->
+    {
+      switch_after_bytes = None;
+      switch_after_time = Some d;
+      switch_on_congestion = false;
+    }
+  | Never ->
+    {
+      switch_after_bytes = None;
+      switch_after_time = None;
+      switch_on_congestion = false;
+    }
+
 let switch_to_string = function
   | Data_volume v -> Printf.sprintf "data-volume(%dB)" v
   | Congestion_event -> "congestion-event"

@@ -1,0 +1,6 @@
+(** Cross-validation of the fluid and hybrid flow models against the
+    packet-level reference on light-load scenarios (tiny dumbbell,
+    k=8 permutation FatTree): short-flow FCT mean/p99 must track the
+    packet rows within 10%. *)
+
+val experiment : Experiment.t

@@ -1,0 +1,5 @@
+(** Fluid-model scale sweep: k=16 FatTree (1024 hosts), 200x the base
+    short-flow budget (100k Poisson shorts at the default scale)
+    against 1/3 long background flows. Model pinned to fluid. *)
+
+val experiment : Experiment.t

@@ -18,6 +18,8 @@ let all : Experiment.t list =
     Ext_topologies.experiment;
     Ext_matrices.experiment;
     Ext_sack.experiment;
+    Ext_fluid_xval.experiment;
+    Ext_scale.experiment;
   ]
 
 let names () = List.map Experiment.name all

@@ -8,6 +8,7 @@ type t = {
   rate : float;
   seed : int;
   horizon_s : float;
+  model : Scenario.model;
   obs : Scenario.obs_cfg;
 }
 
@@ -16,24 +17,27 @@ type t = {
    stragglers. *)
 let tiny =
   { k = 4; oversub = 2; flows = 40; rate = 50.; seed = 3; horizon_s = 2.;
-    obs = Scenario.default_obs }
+    model = Scenario.Packet; obs = Scenario.default_obs }
 
 let small =
   { k = 4; oversub = 4; flows = 500; rate = 25.; seed = 7; horizon_s = 8.;
-    obs = Scenario.default_obs }
+    model = Scenario.Packet; obs = Scenario.default_obs }
 
 let full =
   { k = 8; oversub = 4; flows = 20_000; rate = 25.; seed = 7; horizon_s = 30.;
-    obs = Scenario.default_obs }
+    model = Scenario.Packet; obs = Scenario.default_obs }
 
 let pp ppf t =
-  Format.fprintf ppf "k=%d oversub=%d flows=%d rate=%.0f/s seed=%d horizon=%gs"
+  Format.fprintf ppf
+    "k=%d oversub=%d flows=%d rate=%.0f/s seed=%d horizon=%gs model=%s"
     t.k t.oversub t.flows t.rate t.seed t.horizon_s
+    (Scenario.model_name t.model)
 
 let scenario_config t ~protocol =
   {
     Scenario.default_config with
-    Scenario.topo = Scenario.Fattree_topo (Scenario.paper_fattree ~k:t.k ~oversub:t.oversub ());
+    Scenario.model = t.model;
+    topo = Scenario.Fattree_topo (Scenario.paper_fattree ~k:t.k ~oversub:t.oversub ());
     protocol;
     seed = t.seed;
     short_flows = t.flows;

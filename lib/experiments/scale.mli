@@ -14,6 +14,9 @@ type t = {
   rate : float;  (** Poisson arrivals per short host, flows/s *)
   seed : int;
   horizon_s : float;  (** simulation stop time *)
+  model : Sim_workload.Scenario.model;
+      (** which engine serves the flows (packet / fluid / hybrid);
+          presets carry [Packet], the CLI overrides via [--model] *)
   obs : Sim_workload.Scenario.obs_cfg;
       (** observability switches applied to every point; presets carry
           {!Sim_workload.Scenario.default_obs} (everything off) *)
@@ -25,8 +28,9 @@ val tiny : t
 val small : t
 val full : t
 val pp : Format.formatter -> t -> unit
-(** Every field, including the horizon: two runs that differ only in
-    [horizon_s] must print distinguishable "workload:" lines. *)
+(** Every field, including the horizon and flow model: two runs that
+    differ only in [horizon_s] (or only in [model]) must print
+    distinguishable "workload:" lines. *)
 
 val scenario_config :
   t -> protocol:Sim_workload.Scenario.protocol -> Sim_workload.Scenario.config

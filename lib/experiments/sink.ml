@@ -134,10 +134,11 @@ let manifest_string ~scale ~jobs ~git ~total_seconds entries =
   add
     (Printf.sprintf
        "\"k\": %d, \"oversub\": %d, \"flows\": %d, \"rate\": %s, \"seed\": %d, \
-        \"horizon_s\": %s"
+        \"horizon_s\": %s, \"model\": %s"
        scale.Scale.k scale.Scale.oversub scale.Scale.flows
        (json_float scale.Scale.rate) scale.Scale.seed
-       (json_float scale.Scale.horizon_s));
+       (json_float scale.Scale.horizon_s)
+       (json_escape (Sim_workload.Scenario.model_name scale.Scale.model)));
   add "},\n";
   add (Printf.sprintf "  \"jobs\": %d,\n" jobs);
   add

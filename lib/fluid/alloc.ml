@@ -1,0 +1,548 @@
+(* Incremental weighted max-min rate allocator over shared link
+   capacities — the core of the fluid flow-level engine.
+
+   Links are capacity buckets indexed by the topology's dense link
+   ids; flows are weighted demands over a fixed path (an id array from
+   the topology's route oracle). Rates are in bits per second.
+
+   The allocation is progressive filling (water-filling): all unfrozen
+   flows grow proportionally to their weight until some link
+   saturates; flows crossing that link freeze at [weight * level];
+   repeat. Run over the whole population this yields the weighted
+   max-min fair allocation. To keep arrival/departure events cheap at
+   10^5-flow scale the recomputation is *scoped*: a mutation dirties
+   only the flows sharing a link with the mutated flow, and [flush]
+   water-fills the dirty set against the remaining population frozen
+   at its current rates. Second-order effects (a rate change freeing
+   capacity a 2-hop neighbour could claim) propagate through the
+   ripple pass: committing a materially-changed rate re-dirties the
+   flow's link neighbours, which are processed in a later wave of the
+   same flush (bounded by [max_waves]) or at the next flush. From an
+   all-dirty start — every [add] dirties the new flow — one flush is
+   exact weighted max-min, which is what the qcheck properties pin.
+
+   Determinism: worklists are processed in deterministic queue order
+   (no hashing anywhere), and the water-filling heap
+   breaks level ties by link id, so allocation and callback order are
+   pure functions of the mutation history. No wall clock, no ambient
+   randomness, all state hangs off ['a t].
+
+   Representation: per-link numeric state lives in parallel float
+   arrays indexed by link id, and per-flow rate state in an all-float
+   subrecord — both unboxed, so the water-filling inner loops do
+   plain float stores. Mixed int/float records would box every float
+   field and turn each residual update into an allocation plus write
+   barrier, which dominated the profile at fat-tree scale. *)
+
+(* All-float: stored flat, mutated in place without boxing. *)
+type fstate = {
+  mutable fs_weight : float;
+  mutable fs_rate : float;  (* committed allocation, bps *)
+  mutable fs_newrate : float;  (* water-filling scratch *)
+}
+
+type 'a flow = {
+  f_data : 'a;
+  f_st : fstate;
+  f_path : int array;
+  f_slots : int array;  (* index of this flow in each path link's members *)
+  mutable f_dirty : bool;
+  mutable f_dead : bool;
+  (* water-filling scratch *)
+  mutable f_wave : int;
+  mutable f_stamp : int;
+  mutable f_frozen : bool;
+}
+
+type 'a t = {
+  on_rate : 'a flow -> unit;
+  eps : float;  (* relative rate-change threshold for commit/callback *)
+  max_waves : int;
+  nlinks : int;
+  (* per-link state, parallel arrays indexed by dense link id *)
+  l_cap : float array;
+  l_avail : float array;  (* capacity visible to the allocator *)
+  l_alloc : float array;  (* sum of committed member rates *)
+  l_dalloc : float array;  (* net alloc change this flush, ripple gate *)
+  l_residual : float array;  (* water-filling scratch *)
+  l_wsum : float array;  (* water-filling scratch *)
+  l_busy : float array;  (* utilisation: integral of alloc, bit *)
+  l_last : float array;  (* utilisation: last advance, seconds *)
+  l_touched : bool array;
+  l_members : 'a flow array array;
+  l_n : int array;
+  mutable stamp : int;  (* flush counter, ripple guard *)
+  mutable wave : int;  (* wave counter, in-set membership *)
+  (* dirty queue: append-only vector deduplicated by [f_dirty]; the
+     wave/touched/changed vectors below are per-flush scratch. All
+     reusable storage so steady-state flushes allocate next to
+     nothing — at population-wide wave sizes list churn was a GC
+     hotspot. *)
+  mutable d_arr : 'a flow array;
+  mutable d_n : int;
+  mutable w_arr : 'a flow array;
+  mutable w_n : int;
+  mutable t_arr : int array;
+  mutable t_n : int;
+  mutable c_arr : 'a flow array;
+  mutable c_n : int;
+  (* water-filling scratch: min-heap of candidate bottleneck links
+     keyed by (fill level, link id). Entries go stale as freezing
+     raises levels; levels only rise within a wave, so a popped entry
+     lagging the link's current level is re-pushed, never lost. *)
+  mutable h_lvl : float array;
+  mutable h_li : int array;
+  mutable h_n : int;
+}
+
+(* A flow whose path is empty (src = dst degenerate case) is never
+   constrained; it gets this rate and never enters water-filling. *)
+let unconstrained_rate = 1e15
+
+let create ?(eps = 1e-3) ?(max_waves = 3) ~caps ~on_rate () =
+  Array.iter
+    (fun cap ->
+      if cap <= 0. then invalid_arg "Alloc.create: non-positive capacity")
+    caps;
+  let n = Array.length caps in
+  {
+    on_rate;
+    eps;
+    max_waves;
+    nlinks = n;
+    l_cap = Array.copy caps;
+    l_avail = Array.copy caps;
+    l_alloc = Array.make n 0.;
+    l_dalloc = Array.make n 0.;
+    l_residual = Array.make n 0.;
+    l_wsum = Array.make n 0.;
+    l_busy = Array.make n 0.;
+    l_last = Array.make n 0.;
+    l_touched = Array.make n false;
+    l_members = Array.make n [||];
+    l_n = Array.make n 0;
+    stamp = 0;
+    wave = 0;
+    d_arr = [||];
+    d_n = 0;
+    w_arr = [||];
+    w_n = 0;
+    t_arr = Array.make 256 0;
+    t_n = 0;
+    c_arr = [||];
+    c_n = 0;
+    h_lvl = Array.make 256 0.;
+    h_li = Array.make 256 0;
+    h_n = 0;
+  }
+
+let data f = f.f_data
+let rate f = f.f_st.fs_rate
+let weight f = f.f_st.fs_weight
+let link_cap t ~link = t.l_cap.(link)
+let link_avail t ~link = t.l_avail.(link)
+let link_alloc t ~link = t.l_alloc.(link)
+let link_count t = t.nlinks
+
+let advance_integral t li ~now =
+  if now > t.l_last.(li) then begin
+    t.l_busy.(li) <- t.l_busy.(li) +. (t.l_alloc.(li) *. (now -. t.l_last.(li)));
+    t.l_last.(li) <- now
+  end
+
+let finalize t ~now =
+  for li = 0 to t.nlinks - 1 do
+    advance_integral t li ~now
+  done
+
+let link_utilisation t ~link ~now =
+  if now <= 0. then 0. else t.l_busy.(link) /. (t.l_cap.(link) *. now)
+
+let mark_dirty t f =
+  if (not f.f_dirty) && not f.f_dead then begin
+    f.f_dirty <- true;
+    if t.d_n = Array.length t.d_arr then begin
+      let bigger = Array.make (max 16 (2 * t.d_n)) f in
+      Array.blit t.d_arr 0 bigger 0 t.d_n;
+      t.d_arr <- bigger
+    end;
+    t.d_arr.(t.d_n) <- f;
+    t.d_n <- t.d_n + 1
+  end
+
+let mark_members_dirty t li =
+  let members = t.l_members.(li) in
+  for j = 0 to t.l_n.(li) - 1 do
+    mark_dirty t members.(j)
+  done
+
+let push_member t li f =
+  let n = t.l_n.(li) in
+  if n = Array.length t.l_members.(li) then begin
+    let bigger = Array.make (max 4 (2 * n)) f in
+    Array.blit t.l_members.(li) 0 bigger 0 n;
+    t.l_members.(li) <- bigger
+  end;
+  t.l_members.(li).(n) <- f;
+  t.l_n.(li) <- n + 1;
+  n
+
+(* Swap-remove member at [slot]; the displaced flow's back-index for
+   [link_idx] is patched by scanning its (short) path. *)
+let remove_member t ~link_idx ~slot =
+  let last = t.l_n.(link_idx) - 1 in
+  if slot <> last then begin
+    let moved = t.l_members.(link_idx).(last) in
+    t.l_members.(link_idx).(slot) <- moved;
+    let patched = ref false in
+    Array.iteri
+      (fun j li ->
+        if (not !patched) && li = link_idx && moved.f_slots.(j) = last then begin
+          moved.f_slots.(j) <- slot;
+          patched := true
+        end)
+      moved.f_path
+  end;
+  t.l_n.(link_idx) <- last
+
+let add t ~weight ~path ~data =
+  if weight <= 0. then invalid_arg "Alloc.add: weight must be positive";
+  let f =
+    {
+      f_data = data;
+      f_st = { fs_weight = weight; fs_rate = 0.; fs_newrate = 0. };
+      f_path = Array.copy path;
+      f_slots = Array.make (Array.length path) 0;
+      f_dirty = false;
+      f_dead = false;
+      f_wave = 0;
+      f_stamp = 0;
+      f_frozen = false;
+    }
+  in
+  if Array.length f.f_path = 0 then f.f_st.fs_rate <- unconstrained_rate
+  else begin
+    Array.iteri
+      (fun j li ->
+        f.f_slots.(j) <- push_member t li f;
+        mark_members_dirty t li)
+      f.f_path;
+    mark_dirty t f
+  end;
+  f
+
+let remove t ~now f =
+  if not f.f_dead then begin
+    f.f_dead <- true;
+    Array.iteri
+      (fun j li ->
+        remove_member t ~link_idx:li ~slot:f.f_slots.(j);
+        advance_integral t li ~now;
+        t.l_alloc.(li) <- t.l_alloc.(li) -. f.f_st.fs_rate;
+        mark_members_dirty t li)
+      f.f_path;
+    f.f_st.fs_rate <- 0.
+  end
+
+let set_weight t f w =
+  if w <= 0. then invalid_arg "Alloc.set_weight: weight must be positive";
+  if (not f.f_dead) && f.f_st.fs_weight <> w then begin
+    f.f_st.fs_weight <- w;
+    Array.iter (fun li -> mark_members_dirty t li) f.f_path;
+    mark_dirty t f
+  end
+
+let set_avail t ~link bps =
+  let v = Float.max 0. (Float.min bps t.l_cap.(link)) in
+  if t.l_avail.(link) <> v then begin
+    t.l_avail.(link) <- v;
+    mark_members_dirty t link
+  end
+
+let tiny = 1e-9
+
+(* The current fill level a link offers its unfrozen wave members;
+   [infinity] once no unfrozen weight remains. *)
+let link_level t li =
+  if t.l_wsum.(li) > tiny then
+    Float.max 0. t.l_residual.(li) /. t.l_wsum.(li)
+  else infinity
+
+let heap_less t i j =
+  t.h_lvl.(i) < t.h_lvl.(j)
+  || (t.h_lvl.(i) = t.h_lvl.(j) && t.h_li.(i) < t.h_li.(j))
+
+let heap_swap t i j =
+  let lvl = t.h_lvl.(i) and li = t.h_li.(i) in
+  t.h_lvl.(i) <- t.h_lvl.(j);
+  t.h_li.(i) <- t.h_li.(j);
+  t.h_lvl.(j) <- lvl;
+  t.h_li.(j) <- li
+
+let heap_push t lvl li =
+  if t.h_n = Array.length t.h_lvl then begin
+    let n = 2 * t.h_n in
+    let lvls = Array.make n 0. and lis = Array.make n 0 in
+    Array.blit t.h_lvl 0 lvls 0 t.h_n;
+    Array.blit t.h_li 0 lis 0 t.h_n;
+    t.h_lvl <- lvls;
+    t.h_li <- lis
+  end;
+  t.h_lvl.(t.h_n) <- lvl;
+  t.h_li.(t.h_n) <- li;
+  t.h_n <- t.h_n + 1;
+  let i = ref (t.h_n - 1) in
+  while !i > 0 && heap_less t !i ((!i - 1) / 2) do
+    heap_swap t !i ((!i - 1) / 2);
+    i := (!i - 1) / 2
+  done
+
+(* Pops the min entry into (h_lvl.(h_n), h_li.(h_n)) — read it right
+   after the call; the slot is reused by the next push. *)
+let heap_pop t =
+  heap_swap t 0 (t.h_n - 1);
+  t.h_n <- t.h_n - 1;
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let m = ref !i in
+    if l < t.h_n && heap_less t l !m then m := l;
+    if r < t.h_n && heap_less t r !m then m := r;
+    if !m = !i then continue := false
+    else begin
+      heap_swap t !i !m;
+      i := !m
+    end
+  done
+
+let touch_link t li =
+  if not t.l_touched.(li) then begin
+    t.l_touched.(li) <- true;
+    if t.t_n = Array.length t.t_arr then begin
+      let bigger = Array.make (2 * t.t_n) 0 in
+      Array.blit t.t_arr 0 bigger 0 t.t_n;
+      t.t_arr <- bigger
+    end;
+    t.t_arr.(t.t_n) <- li;
+    t.t_n <- t.t_n + 1
+  end
+
+let push_changed t f =
+  if t.c_n = Array.length t.c_arr then begin
+    let bigger = Array.make (max 16 (2 * t.c_n)) f in
+    Array.blit t.c_arr 0 bigger 0 t.c_n;
+    t.c_arr <- bigger
+  end;
+  t.c_arr.(t.c_n) <- f;
+  t.c_n <- t.c_n + 1
+
+(* One wave: water-fill the [n]-prefix of [flows] (all alive) against
+   the rest of the population frozen at its committed rates. Leaves
+   the flows whose committed rate materially changed in [t.c_arr]
+   (queue order).
+
+   The progressive filling runs off the scratch heap: pop the lowest
+   candidate level, discard it if stale (freezing only raises levels,
+   so current < entry is impossible and current > entry means
+   re-push), otherwise saturate that link — freeze its unfrozen wave
+   members at [weight * level] and charge their paths. Neighbour
+   levels rise as paths are charged; their old (lower) heap entries
+   stay valid as lower bounds and are lazily re-pushed at pop time.
+   Cost is O(freezes * path * log) instead of a full touched-link
+   scan per freezing round, which is what made population-wide waves
+   on big fat-trees quadratic in the link count. *)
+let run_wave t ~now flows n =
+  t.wave <- t.wave + 1;
+  let wave = t.wave in
+  for i = 0 to n - 1 do
+    let f = flows.(i) in
+    f.f_wave <- wave;
+    f.f_stamp <- t.stamp;
+    f.f_frozen <- false;
+    f.f_st.fs_newrate <- f.f_st.fs_rate
+  done;
+  (* Collect touched links, set up residual capacity and unfrozen
+     weight. Members outside the wave are reservations; rather than
+     scanning every member array, start from the maintained committed
+     sum: residual = avail - alloc + (wave members' own rates), which
+     is O(path) per flow even when the wave is a small slice of a
+     heavily-shared link. The heap's (level, id) keys are unique, so
+     pop order — and with it the allocation — is independent of the
+     order links enter here. *)
+  t.t_n <- 0;
+  for i = 0 to n - 1 do
+    let f = flows.(i) in
+    let path = f.f_path in
+    for j = 0 to Array.length path - 1 do
+      let li = path.(j) in
+      if not t.l_touched.(li) then begin
+        touch_link t li;
+        t.l_residual.(li) <- t.l_avail.(li) -. t.l_alloc.(li);
+        t.l_wsum.(li) <- 0.
+      end;
+      t.l_residual.(li) <- t.l_residual.(li) +. f.f_st.fs_rate;
+      t.l_wsum.(li) <- t.l_wsum.(li) +. f.f_st.fs_weight
+    done
+  done;
+  t.h_n <- 0;
+  for i = 0 to t.t_n - 1 do
+    let li = t.t_arr.(i) in
+    t.l_residual.(li) <- Float.min t.l_residual.(li) t.l_avail.(li);
+    let lvl = link_level t li in
+    if lvl < infinity then heap_push t lvl li
+  done;
+  let unfrozen = ref n in
+  while !unfrozen > 0 && t.h_n > 0 do
+    heap_pop t;
+    let elvl = t.h_lvl.(t.h_n) and li = t.h_li.(t.h_n) in
+    let cur = link_level t li in
+    if cur = infinity then ()  (* every wave member already frozen *)
+    else if cur > (elvl *. (1. +. 1e-9)) +. tiny then heap_push t cur li
+    else begin
+      let lvl = cur in
+      let members = t.l_members.(li) in
+      for j = 0 to t.l_n.(li) - 1 do
+        let f = members.(j) in
+        if f.f_wave = wave && not f.f_frozen then begin
+          f.f_frozen <- true;
+          decr unfrozen;
+          let nr = f.f_st.fs_weight *. lvl in
+          f.f_st.fs_newrate <- nr;
+          let path = f.f_path in
+          for p = 0 to Array.length path - 1 do
+            let li' = path.(p) in
+            t.l_residual.(li') <- t.l_residual.(li') -. nr;
+            t.l_wsum.(li') <- t.l_wsum.(li') -. f.f_st.fs_weight
+          done
+        end
+      done
+    end
+  done;
+  (* Numerical corner: weight sums cancelled to ~0 with flows still
+     unfrozen. Freeze the stragglers at their per-path bottleneck
+     share and stop. *)
+  if !unfrozen > 0 then
+    for i = 0 to n - 1 do
+      let f = flows.(i) in
+      if not f.f_frozen then begin
+        let share = ref infinity in
+        Array.iter
+          (fun li ->
+            share :=
+              Float.min !share
+                (Float.max 0. t.l_residual.(li)
+                /. Float.max f.f_st.fs_weight tiny))
+          f.f_path;
+        f.f_st.fs_newrate <-
+          (if !share = infinity then 0. else f.f_st.fs_weight *. !share);
+        f.f_frozen <- true;
+        decr unfrozen
+      end
+    done;
+  for i = 0 to t.t_n - 1 do
+    t.l_touched.(t.t_arr.(i)) <- false
+  done;
+  (* Commit: update link sums and report materially-changed rates. *)
+  t.c_n <- 0;
+  for i = 0 to n - 1 do
+    let f = flows.(i) in
+    let nr = f.f_st.fs_newrate and old = f.f_st.fs_rate in
+    if Float.abs (nr -. old) > t.eps *. Float.max 1. (Float.max nr old)
+    then begin
+      let path = f.f_path in
+      for p = 0 to Array.length path - 1 do
+        let li = path.(p) in
+        advance_integral t li ~now;
+        t.l_alloc.(li) <- t.l_alloc.(li) -. old +. nr;
+        t.l_dalloc.(li) <- t.l_dalloc.(li) -. old +. nr
+      done;
+      f.f_st.fs_rate <- nr;
+      push_changed t f
+    end
+  done
+
+let flush t ~now =
+  t.stamp <- t.stamp + 1;
+  let waves = ref 0 in
+  while t.d_n > 0 && !waves < t.max_waves do
+    incr waves;
+    (* Drain the dirty queue into the wave scratch: drop dead flows,
+       sort by id. The queue is duplicate-free by the [f_dirty] flag. *)
+    t.w_n <- 0;
+    for i = 0 to t.d_n - 1 do
+      let f = t.d_arr.(i) in
+      f.f_dirty <- false;
+      if not f.f_dead then begin
+        if t.w_n = Array.length t.w_arr then begin
+          let bigger = Array.make (max 16 (2 * t.w_n)) f in
+          Array.blit t.w_arr 0 bigger 0 t.w_n;
+          t.w_arr <- bigger
+        end;
+        t.w_arr.(t.w_n) <- f;
+        t.w_n <- t.w_n + 1
+      end
+    done;
+    t.d_n <- 0;
+    if t.w_n > 0 then begin
+      (* Queue order is itself a pure function of the mutation
+         history (no hashing anywhere), so the wave runs in insertion
+         order — a creation-order sort here cost ~20% of flush at
+         population-wide wave sizes and bought no determinism. *)
+      run_wave t ~now t.w_arr t.w_n;
+      (* Ripple: a changed rate frees or claims capacity its link
+         neighbours should see. Flows already processed this flush are
+         settled; only outsiders re-enter (next wave or next flush).
+         Deduplicate by link, and only links whose *total* allocation
+         moved materially propagate — members swapping shares among
+         themselves leave the residual outsiders see unchanged, so
+         re-dirtying them would only churn. *)
+      t.t_n <- 0;
+      for i = 0 to t.c_n - 1 do
+        Array.iter (fun li -> touch_link t li) t.c_arr.(i).f_path
+      done;
+      for i = 0 to t.t_n - 1 do
+        let li = t.t_arr.(i) in
+        t.l_touched.(li) <- false;
+        if Float.abs t.l_dalloc.(li) > t.eps *. t.l_cap.(li) then begin
+          let members = t.l_members.(li) in
+          for j = 0 to t.l_n.(li) - 1 do
+            let m = members.(j) in
+            if m.f_stamp <> t.stamp then mark_dirty t m
+          done
+        end;
+        t.l_dalloc.(li) <- 0.
+      done;
+      (* Callbacks last, in queue order, after all rates of the wave are
+         committed — a callback reading a sibling leg sees final
+         values. *)
+      for i = 0 to t.c_n - 1 do
+        t.on_rate t.c_arr.(i)
+      done
+    end
+  done
+
+(* Local pass: level just [flows] against the frozen rest and fire
+   their callbacks. No ripple — the mutation that preceded this
+   already queued the first-order neighbours for the next [flush];
+   resetting the touched links' [l_dalloc] here keeps the flush-time
+   ripple gate measuring only changes it has not yet seen. *)
+let settle t ~now flows =
+  let n = Array.length flows in
+  if n > 0 then begin
+    t.stamp <- t.stamp + 1;
+    run_wave t ~now flows n;
+    for i = 0 to t.t_n - 1 do
+      t.l_dalloc.(t.t_arr.(i)) <- 0.
+    done;
+    for i = 0 to t.c_n - 1 do
+      t.on_rate t.c_arr.(i)
+    done
+  end
+
+let pending_dirty t =
+  let n = ref 0 in
+  for i = 0 to t.d_n - 1 do
+    if not t.d_arr.(i).f_dead then incr n
+  done;
+  !n

@@ -1,0 +1,101 @@
+(** Incremental weighted max-min rate allocator.
+
+    The flow-level engine's capacity model: links are buckets indexed
+    by the topology's dense link ids, flows are weighted demands over
+    a fixed path of link ids, and the allocator assigns each flow a
+    rate (bits/second) by progressive filling — the weighted max-min
+    fair allocation when run over the whole population.
+
+    Mutations ([add], [remove], [set_weight], [set_avail]) are cheap:
+    they only mark the flows sharing a link with the mutation as
+    dirty. [flush] then water-fills the dirty set against the rest of
+    the population frozen at its committed rates, propagating
+    second-order effects through bounded ripple waves. From an
+    all-dirty start a single flush is exact weighted max-min; under
+    incremental churn the allocation tracks it to within the ripple
+    horizon (see DESIGN.md §4k).
+
+    Invariants maintained (and pinned by [test/test_fluid.ml]):
+    per-link conservation (sum of member rates never exceeds
+    [link_avail]) and the bottleneck condition from an all-dirty
+    flush (every flow is rate-limited by at least one saturated path
+    link).
+
+    Determinism: worklists run in deterministic queue order (no
+    hashing anywhere) and water-filling breaks level ties by link id,
+    so allocation and callback order are pure functions of the
+    mutation history. All state lives in ['a t]. *)
+
+type 'a t
+type 'a flow
+
+val create :
+  ?eps:float ->
+  ?max_waves:int ->
+  caps:float array ->
+  on_rate:('a flow -> unit) ->
+  unit ->
+  'a t
+(** [caps.(id)] is the capacity in bps of link [id] (positive).
+    [on_rate] is invoked from [flush] for every flow whose committed
+    rate changed by more than [eps] (relative, default 1e-3), after
+    the whole wave is committed. [eps] also gates ripple: a link
+    whose total allocation moved by less than [eps * cap] does not
+    re-dirty its members. [max_waves] (default 3) bounds ripple
+    propagation per flush; residual dirtiness carries over to the
+    next flush. *)
+
+val add : 'a t -> weight:float -> path:int array -> data:'a -> 'a flow
+(** Register a flow. [path] is the link-id array from the topology
+    route oracle (copied). An empty path means unconstrained: the
+    flow gets a practically infinite rate and never enters
+    water-filling. Rates materialise at the next [flush]. *)
+
+val remove : 'a t -> now:float -> 'a flow -> unit
+(** Unregister (idempotent). [now] (seconds) timestamps the capacity
+    release for the utilisation integrals. *)
+
+val set_weight : 'a t -> 'a flow -> float -> unit
+
+val set_avail : 'a t -> link:int -> float -> unit
+(** Capacity visible to the allocator on one link, clamped to
+    [\[0, cap\]] — the hybrid model's residual-coupling hook (nominal
+    capacity minus measured packet-level throughput). *)
+
+val flush : 'a t -> now:float -> unit
+(** Recompute rates for everything dirty, firing [on_rate] for
+    material changes. [now] in seconds timestamps utilisation
+    integrals. *)
+
+val settle : 'a t -> now:float -> 'a flow array -> unit
+(** Water-fill just [flows] (in array order, alive) against the rest of the
+    population frozen at its committed rates, firing their [on_rate]
+    callbacks — the cheap local pass a connection start runs to get
+    an accurate initial rate without paying for global ripple.
+    Neighbours dirtied by the mutation stay queued for the next
+    [flush]. At light load (no competition on the touched links) the
+    result already is the max-min rate. *)
+
+val data : 'a flow -> 'a
+val rate : 'a flow -> float
+(** Committed allocation, bps (0 until the first flush). *)
+
+val weight : 'a flow -> float
+val link_cap : 'a t -> link:int -> float
+val link_avail : 'a t -> link:int -> float
+
+val link_alloc : 'a t -> link:int -> float
+(** Sum of committed member rates — what the hybrid model writes back
+    into {!Sim_net.Link.set_reserved_bps}. *)
+
+val link_count : 'a t -> int
+
+val finalize : 'a t -> now:float -> unit
+(** Advance every link's utilisation integral to [now] (call once at
+    the horizon before reading utilisations). *)
+
+val link_utilisation : 'a t -> link:int -> now:float -> float
+(** Mean allocated fraction of capacity over [\[0, now\]]. *)
+
+val pending_dirty : 'a t -> int
+(** Live flows awaiting recomputation (diagnostic). *)

@@ -16,25 +16,54 @@ let rtt_s (w : Cong.window) =
   | Some t -> Float.max 1e-6 (Time.to_sec t)
   | None -> default_rtt_s
 
+(* Pure RFC 6356 coupling factor over parallel window/RTT arrays. The
+   packet-level [alpha] below and the fluid engine's rate model both
+   evaluate this one formula, so the coupling semantics cannot drift
+   between the two transport models. *)
+let alpha_formula ~cwnds ~rtts =
+  let n = Array.length cwnds in
+  if n = 0 || n <> Array.length rtts then 1.
+  else begin
+    let total = Array.fold_left ( +. ) 0. cwnds in
+    if total <= 0. then 1.
+    else begin
+      let best = ref 0. and denom = ref 0. in
+      for i = 0 to n - 1 do
+        let r = Float.max 1e-6 rtts.(i) in
+        best := Float.max !best (cwnds.(i) /. (r *. r));
+        denom := !denom +. (cwnds.(i) /. r)
+      done;
+      if !denom <= 0. then 1. else total *. !best /. (!denom *. !denom)
+    end
+  end
+
+(* Equilibrium rate split of a LIA-coupled connection, for the fluid
+   model. With equal loss rates across paths the coupled increase
+   (alpha * acked * mss / cwnd_total per subflow, halving on loss)
+   drives the windows to equal sizes — [alpha_formula] at that fixed
+   point reduces to best-path fairness — so per-path throughput is
+   proportional to 1/rtt_i. The weights sum to 1: the aggregate claims
+   exactly one TCP-fair share when every leg crosses one bottleneck,
+   and the full aggregate of its shares when the paths are disjoint. *)
+let fluid_weights ~rtts =
+  let n = Array.length rtts in
+  if n = 0 then [||]
+  else begin
+    let inv = Array.map (fun r -> 1. /. Float.max 1e-6 r) rtts in
+    let sum = Array.fold_left ( +. ) 0. inv in
+    if sum <= 0. then Array.make n (1. /. float_of_int n)
+    else Array.map (fun x -> x /. sum) inv
+  end
+
 let alpha g =
   match g.windows with
   | [] -> 1.
   | windows ->
-    let total = List.fold_left (fun acc w -> acc +. w.Cong.get_cwnd ()) 0. windows in
-    if total <= 0. then 1.
-    else begin
-      let best =
-        List.fold_left
-          (fun acc w ->
-            let r = rtt_s w in
-            Float.max acc (w.Cong.get_cwnd () /. (r *. r)))
-          0. windows
-      in
-      let denom =
-        List.fold_left (fun acc w -> acc +. (w.Cong.get_cwnd () /. rtt_s w)) 0. windows
-      in
-      if denom <= 0. then 1. else total *. best /. (denom *. denom)
-    end
+    let cwnds =
+      Array.of_list (List.map (fun w -> w.Cong.get_cwnd ()) windows)
+    in
+    let rtts = Array.of_list (List.map rtt_s windows) in
+    alpha_formula ~cwnds ~rtts
 
 let attach g (w : Cong.window) =
   g.windows <- w :: g.windows;

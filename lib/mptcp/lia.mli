@@ -23,4 +23,21 @@ val attach : group -> Sim_tcp.Cong.window -> Sim_tcp.Cong.t
 val subflow_count : group -> int
 
 val alpha : group -> float
-(** Current coupling factor (diagnostic; recomputed on demand). *)
+(** Current coupling factor (diagnostic; recomputed on demand).
+    Evaluates {!alpha_formula} over the group's live windows. *)
+
+val alpha_formula : cwnds:float array -> rtts:float array -> float
+(** The RFC 6356 coupling factor as a pure function of parallel
+    window (bytes) and RTT (seconds) arrays. Shared by the packet
+    stack (via {!alpha}) and the fluid rate model so the coupling
+    semantics exist exactly once. Returns 1.0 on empty or mismatched
+    input. *)
+
+val fluid_weights : rtts:float array -> float array
+(** Equilibrium per-subflow rate split of a LIA-coupled connection,
+    as weights summing to 1 (proportional to [1/rtt_i]): at the LIA
+    fixed point with equal per-path loss, windows equalise and
+    throughput is inverse in RTT. The fluid engine assigns leg [i]
+    the weight [w_i] so the aggregate takes one TCP-fair share at a
+    shared bottleneck and the sum of its per-path shares on disjoint
+    paths. Empty input yields an empty array. *)

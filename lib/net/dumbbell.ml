@@ -12,6 +12,12 @@ let direct ~sched ?(spec = Topology.default_link_spec) () =
   Builder.to_host l10 h0;
   Host.add_nic h0 l01;
   Host.add_nic h1 l10;
+  let ro_paths ~src ~dst = if src = dst then 0 else 1 in
+  let ro_path ~src ~dst ~choice:_ =
+    if src = dst then [||]
+    else if src = 0 then [| Link.id l01 |]
+    else [| Link.id l10 |]
+  in
   {
     Topology.sched;
     name = "direct";
@@ -19,6 +25,7 @@ let direct ~sched ?(spec = Topology.default_link_spec) () =
     switches = [||];
     links = Builder.links b;
     path_count = no_paths;
+    routes = Some { Topology.ro_paths; ro_path };
   }
 
 let create ~sched ?(edge_spec = Topology.default_link_spec)
@@ -30,10 +37,12 @@ let create ~sched ?(edge_spec = Topology.default_link_spec)
   let sw_left = Switch.create ~id:0 ~layer:Layer.Edge_layer in
   let sw_right = Switch.create ~id:1 ~layer:Layer.Edge_layer in
   let host_down = Array.make n None in
+  let host_up = Array.make n None in
   let attach sw i =
     let up = Builder.make_link b ~spec:edge_spec ~layer:Layer.Host_layer in
     Builder.to_switch up sw;
     Host.add_nic hosts.(i) up;
+    host_up.(i) <- Some up;
     let down = Builder.make_link b ~spec:edge_spec ~layer:Layer.Edge_layer in
     Builder.to_host down hosts.(i);
     host_down.(i) <- Some down
@@ -57,6 +66,17 @@ let create ~sched ?(edge_spec = Topology.default_link_spec)
   Switch.set_route sw_right (fun pkt ->
       let d = Addr.to_int pkt.Packet.dst in
       if d >= pairs then down d else rl);
+  let up i = match host_up.(i) with Some l -> Link.id l | None -> assert false in
+  let ro_paths ~src ~dst = if src = dst then 0 else 1 in
+  let ro_path ~src ~dst ~choice:_ =
+    if src = dst then [||]
+    else begin
+      let left i = i < pairs in
+      if left src = left dst then [| up src; Link.id (down dst) |]
+      else if left src then [| up src; Link.id lr; Link.id (down dst) |]
+      else [| up src; Link.id rl; Link.id (down dst) |]
+    end
+  in
   {
     Topology.sched;
     name = Printf.sprintf "dumbbell-%d" pairs;
@@ -64,6 +84,7 @@ let create ~sched ?(edge_spec = Topology.default_link_spec)
     switches = [| sw_left; sw_right |];
     links = Builder.links b;
     path_count = no_paths;
+    routes = Some { Topology.ro_paths; ro_path };
   }
 
 let parking_lot ~sched ?(spec = Topology.default_link_spec) ~hops () =
@@ -78,12 +99,14 @@ let parking_lot ~sched ?(spec = Topology.default_link_spec) ~hops () =
     Array.init (hops + 1) (fun i -> Host.create ~sched ~addr:(Addr.of_int i))
   in
   let host_down = Array.make (hops + 1) None in
+  let host_up = Array.make (hops + 1) None in
   Array.iteri
     (fun i _ ->
       let sw = switches.(min i hops) in
       let up = Builder.make_link b ~spec ~layer:Layer.Host_layer in
       Builder.to_switch up sw;
       Host.add_nic hosts.(i) up;
+      host_up.(i) <- Some up;
       let downl = Builder.make_link b ~spec ~layer:Layer.Edge_layer in
       Builder.to_host downl hosts.(i);
       host_down.(i) <- Some downl)
@@ -111,6 +134,20 @@ let parking_lot ~sched ?(spec = Topology.default_link_spec) ~hops () =
           else if d_switch > si then fwd.(si)
           else bwd.(si - 1)))
     switches;
+  let up i = match host_up.(i) with Some l -> l | None -> assert false in
+  let ro_paths ~src ~dst = if src = dst then 0 else 1 in
+  let ro_path ~src ~dst ~choice:_ =
+    if src = dst then [||]
+    else begin
+      let s = min src hops and d = min dst hops in
+      let chain =
+        if d > s then Array.init (d - s) (fun j -> Link.id fwd.(s + j))
+        else if d < s then Array.init (s - d) (fun j -> Link.id bwd.(s - 1 - j))
+        else [||]
+      in
+      Array.concat [ [| Link.id (up src) |]; chain; [| Link.id (down dst) |] ]
+    end
+  in
   {
     Topology.sched;
     name = Printf.sprintf "parking-lot-%d" hops;
@@ -118,4 +155,5 @@ let parking_lot ~sched ?(spec = Topology.default_link_spec) ~hops () =
     switches;
     links = Builder.links b;
     path_count = no_paths;
+    routes = Some { Topology.ro_paths; ro_path };
   }

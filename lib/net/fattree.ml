@@ -59,7 +59,10 @@ let create ~sched p =
   let agg = Array.init pods (fun _ -> Array.init half (fun _ -> fresh_switch Layer.Agg_layer)) in
   let core = Array.init (half * half) (fun _ -> fresh_switch Layer.Core_layer) in
 
-  (* Host <-> edge links. *)
+  (* Host <-> edge links. The up links are retained for the route
+     oracle; make_link call order (down before up, per host) is id
+     assignment order and must not change. *)
+  let host_up = Array.make n_hosts None in
   let edge_down = (* edge_down.(pod).(e).(i) : edge -> host i *)
     Array.init pods (fun pd ->
         Array.init half (fun e ->
@@ -70,6 +73,7 @@ let create ~sched p =
                 let up = Builder.make_link b ~spec:p.host_spec ~layer:Layer.Host_layer in
                 Builder.to_switch up edge.(pd).(e);
                 Host.add_nic hosts.(host_id) up;
+                host_up.(host_id) <- Some up;
                 l)))
   in
   (* Edge <-> agg links (within each pod, full bipartite). *)
@@ -141,6 +145,42 @@ let create ~sched p =
     Array.concat
       [ Array.concat (Array.to_list edge); Array.concat (Array.to_list agg); core ]
   in
+  (* Static path enumeration mirroring the ECMP routing above: the
+     per-hop next-link tables are deterministic given the (agg, core
+     uplink) pair a hashed scatter would pick, so [choice] indexes
+     that pair directly. *)
+  let up h = match host_up.(h) with Some l -> Link.id l | None -> assert false in
+  let ro_paths ~src ~dst = paths_between p (Addr.of_int src) (Addr.of_int dst) in
+  let ro_path ~src ~dst ~choice =
+    if src = dst then [||]
+    else begin
+      let spd, se, _ = position p (Addr.of_int src) in
+      let dpd, de, di = position p (Addr.of_int dst) in
+      let down = Link.id edge_down.(dpd).(de).(di) in
+      if spd = dpd && se = de then [| up src; down |]
+      else if spd = dpd then begin
+        let a = choice mod half in
+        [|
+          up src;
+          Link.id edge_up.(spd).(se).(a);
+          Link.id agg_down.(spd).(a).(de);
+          down;
+        |]
+      end
+      else begin
+        let c = choice mod (half * half) in
+        let a = c / half and m = c mod half in
+        [|
+          up src;
+          Link.id edge_up.(spd).(se).(a);
+          Link.id agg_up.(spd).(a).(m);
+          Link.id core_down.((a * half) + m).(dpd);
+          Link.id agg_down.(dpd).(a).(de);
+          down;
+        |]
+      end
+    end
+  in
   {
     sched;
     name = Printf.sprintf "fattree-k%d-oversub%d" p.k p.oversub;
@@ -148,4 +188,5 @@ let create ~sched p =
     switches;
     links = Builder.links b;
     path_count = (fun a bb -> paths_between p a bb);
+    routes = Some { ro_paths; ro_path };
   }

@@ -28,14 +28,27 @@ type t = {
      exists, and never change. *)
   mutable tx_pool : Packet.t Scheduler.Event.pool option;
   mutable rx_pool : Packet.t Scheduler.Event.pool option;
+  (* Capacity claimed by a coexisting fluid allocation (hybrid model):
+     packet serialisation slows to the residual rate. 0 outside hybrid
+     runs, in which case tx_time is bit-identical to the historic
+     computation. *)
+  mutable reserved_bps : float;
   st : stats;
 }
 
 let attach t f = t.deliver <- Some f
 let add_tap t f = t.taps <- f :: t.taps
 
+(* Packet traffic never starves entirely: the effective rate floors at
+   5% of nominal even when the fluid side claims the whole link, so a
+   hybrid run's packet phase always makes progress. *)
+let effective_rate t =
+  if t.reserved_bps <= 0. then t.rate_bps
+  else Float.max (t.rate_bps -. t.reserved_bps) (0.05 *. t.rate_bps)
+
 let tx_time t ~bytes =
-  Time.of_ns (int_of_float (float_of_int (bytes * 8) /. t.rate_bps *. 1e9))
+  Time.of_ns
+    (int_of_float (float_of_int (bytes * 8) /. effective_rate t *. 1e9))
 
 let the_pool = function Some p -> p | None -> assert false
 
@@ -95,6 +108,7 @@ let create ?(jitter = Time.of_us 5.) ~sched ~rate_bps ~delay ~queue ~id () =
       last_delivery = Time.zero;
       tx_pool = None;
       rx_pool = None;
+      reserved_bps = 0.;
       st = { tx_packets = 0; tx_bytes = 0; busy_ns = 0 };
     }
   in
@@ -112,6 +126,11 @@ let queue t = t.queue
 let rate_bps t = t.rate_bps
 let delay t = t.delay
 let stats t = t.st
+
+let set_reserved_bps t bps =
+  t.reserved_bps <- Float.max 0. (Float.min bps t.rate_bps)
+
+let reserved_bps t = t.reserved_bps
 
 let utilisation t ~now =
   let n = Time.to_ns now in

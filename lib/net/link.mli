@@ -51,6 +51,15 @@ val rate_bps : t -> float
 val delay : t -> Sim_engine.Sim_time.t
 val stats : t -> stats
 
+val set_reserved_bps : t -> float -> unit
+(** Reserve part of the link's capacity for a coexisting fluid
+    allocation (hybrid model): subsequent packet serialisations run at
+    the residual rate, floored at 5% of nominal so packet traffic
+    always drains. Clamped to [\[0, rate_bps\]]; 0 (the initial value)
+    restores exact nominal-rate timing. *)
+
+val reserved_bps : t -> float
+
 val utilisation : t -> now:Sim_engine.Sim_time.t -> float
 (** Fraction of wall-clock time the transmitter has been busy. *)
 

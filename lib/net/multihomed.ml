@@ -152,4 +152,5 @@ let create ~sched p =
     switches;
     links = Builder.links b;
     path_count = (fun a bb -> paths_between p a bb);
+    routes = None;
   }

@@ -20,6 +20,11 @@ let default_link_spec =
     jitter = Time.of_us 5.;
   }
 
+type route_oracle = {
+  ro_paths : src:int -> dst:int -> int;
+  ro_path : src:int -> dst:int -> choice:int -> int array;
+}
+
 type t = {
   sched : Scheduler.t;
   name : string;
@@ -27,6 +32,7 @@ type t = {
   switches : Switch.t array;
   links : Link.t array;
   path_count : Addr.t -> Addr.t -> int;
+  routes : route_oracle option;
 }
 
 let host t i = t.hosts.(i)

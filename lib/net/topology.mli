@@ -20,6 +20,24 @@ val default_link_spec : link_spec
 (** 100 Mb/s, 20 us delay, 100-packet drop-tail queue, no ECN, 5 us
     propagation jitter — the base data-centre link. *)
 
+(** Static forward-path enumeration over host indices, for transport
+    models that never push packets through the switches (the fluid
+    engine reads link capacities and delays along a path instead).
+    [ro_paths ~src ~dst] is the number of distinct forward paths
+    (matching [path_count]); [ro_path ~src ~dst ~choice] with
+    [choice] in [\[0, ro_paths)] lists the link ids along that path in
+    hop order, starting at the source NIC and ending at the
+    destination's edge-down link. [links.(id)] is the link with that
+    id (builder ids are assigned densely in creation order).
+    Topologies whose routing is only defined packet-by-packet
+    (randomised valiant bounce, per-NIC source routing) leave
+    [routes = None]; model backends that need the oracle report the
+    topology as unsupported rather than guessing. *)
+type route_oracle = {
+  ro_paths : src:int -> dst:int -> int;
+  ro_path : src:int -> dst:int -> choice:int -> int array;
+}
+
 type t = {
   sched : Sim_engine.Scheduler.t;
   name : string;
@@ -27,6 +45,7 @@ type t = {
   switches : Switch.t array;
   links : Link.t array;
   path_count : Addr.t -> Addr.t -> int;
+  routes : route_oracle option;
 }
 
 val host : t -> int -> Host.t

@@ -161,4 +161,5 @@ let create ~sched p =
     switches = Array.concat [ tor; agg; inter ];
     links = Builder.links b;
     path_count;
+    routes = None;
   }

@@ -1,0 +1,187 @@
+(* Fluid flow-level model: flows are rate processes over shared link
+   capacities instead of packet exchanges. The packet topology is
+   still built — the engine reads link capacities and delays off it,
+   and the route oracle enumerates forward paths — but no packet ever
+   enters a queue. Each flow costs O(log size) events end to end,
+   which is what makes 10^5-flow FatTrees tractable (DESIGN.md §4k).
+
+   Protocol mapping:
+   - TCP / DCTCP: one leg, unit weight, on a random ECMP path. The
+     fluid abstraction has no queues, so ECN-vs-loss differences
+     vanish; both reduce to a fair-share rate process.
+   - MPTCP: [subflows] legs on random ECMP paths. Coupled gets
+     LIA-equilibrium weights (sum 1, biased to low-RTT legs,
+     {!Sim_mptcp.Lia.fluid_weights}); uncoupled gets unit weight per
+     leg, i.e. one fair share each.
+   - MMPTCP: phase 1 spreads one aggregate share across min(paths, 8)
+     scatter legs (weight 1/P each — packet scatter sprays a single
+     window, it does not multiply aggressiveness); the engine swaps in
+     LIA-weighted subflow legs when {!Mmptcp.Strategy.plan} says so. *)
+
+module Time = Sim_engine.Sim_time
+module Rng = Sim_engine.Rng
+module Topology = Sim_net.Topology
+module Link = Sim_net.Link
+module Engine = Sim_fluid.Engine
+
+type net = {
+  topo : Topology.t;
+  oracle : Topology.route_oracle;
+  engine : Engine.t;
+}
+
+let build ~sched (cfg : Flow_model.config) =
+  let topo = Flow_model.build_topology ~sched cfg.Flow_model.topo in
+  let oracle =
+    match topo.Topology.routes with
+    | Some o -> o
+    | None ->
+      failwith
+        (Printf.sprintf
+           "flow model fluid/hybrid: topology %s routes packet by packet and \
+            exposes no static path oracle; use --model packet"
+           topo.Topology.name)
+  in
+  (* The engine indexes capacity by link id; builder ids are dense in
+     creation order, so the links array is the id->capacity map. *)
+  Array.iteri
+    (fun i l -> if Link.id l <> i then invalid_arg "fluid: non-dense link ids")
+    topo.Topology.links;
+  let cap_bps = Array.map Link.rate_bps topo.Topology.links in
+  let engine = Engine.make ~sched ~cap_bps ~params:cfg.Flow_model.params () in
+  { topo; oracle; engine }
+
+let host_count net = Topology.host_count net.topo
+let name net = net.topo.Topology.name
+
+(* One-way traversal time of [path] for a [bytes]-long frame:
+   store-and-forward serialisation plus propagation at every hop. *)
+let path_time net ~bytes path =
+  Array.fold_left
+    (fun acc li ->
+      let l = net.topo.Topology.links.(li) in
+      acc
+      +. Time.to_sec (Link.delay l)
+      +. (float_of_int (bytes * 8) /. Link.rate_bps l))
+    0. path
+
+let ack_bytes = 40
+
+let rtt_s (cfg : Flow_model.config) net ~src ~dst ~choice =
+  let rev_paths = max 1 (net.oracle.Topology.ro_paths ~src:dst ~dst:src) in
+  let fwd = net.oracle.Topology.ro_path ~src ~dst ~choice in
+  let rev =
+    net.oracle.Topology.ro_path ~src:dst ~dst:src ~choice:(choice mod rev_paths)
+  in
+  let data = cfg.Flow_model.params.Sim_tcp.Tcp_params.mss + ack_bytes in
+  path_time net ~bytes:data fwd +. path_time net ~bytes:ack_bytes rev
+
+let leg cfg net ~src ~dst ~choice ~weight =
+  {
+    Engine.path = net.oracle.Topology.ro_path ~src ~dst ~choice;
+    weight;
+    rtt_s = rtt_s cfg net ~src ~dst ~choice;
+  }
+
+let scatter_cap = 8
+
+(* Legs (and the optional scatter->multipath switch) for one transfer
+   of [cfg.protocol] between [src] and [dst]. [assume_switched] makes
+   MMPTCP start directly in its multipath phase — the hybrid model
+   passes the packet stage's exit phase here. *)
+let transport_plan (cfg : Flow_model.config) net ~rng ~src ~dst ~assume_switched
+    =
+  let paths = max 1 (net.oracle.Topology.ro_paths ~src ~dst) in
+  let mptcp_legs ~subflows ~coupled =
+    let choices = Array.init subflows (fun _ -> Rng.int rng paths) in
+    let rtts =
+      Array.map (fun choice -> rtt_s cfg net ~src ~dst ~choice) choices
+    in
+    let weights =
+      if coupled then Sim_mptcp.Lia.fluid_weights ~rtts
+      else Array.make subflows 1.
+    in
+    Array.init subflows (fun i ->
+        {
+          Engine.path = net.oracle.Topology.ro_path ~src ~dst ~choice:choices.(i);
+          weight = weights.(i);
+          rtt_s = rtts.(i);
+        })
+  in
+  match cfg.Flow_model.protocol with
+  | Flow_model.Tcp_proto | Flow_model.Dctcp_proto ->
+    ([| leg cfg net ~src ~dst ~choice:(Rng.int rng paths) ~weight:1. |], None)
+  | Flow_model.Mptcp_proto { subflows; coupled } ->
+    (mptcp_legs ~subflows ~coupled, None)
+  | Flow_model.Mmptcp_proto strategy ->
+    let subflows = strategy.Mmptcp.Strategy.subflows in
+    if assume_switched then (mptcp_legs ~subflows ~coupled:true, None)
+    else begin
+      let p = min paths scatter_cap in
+      let w = 1. /. float_of_int p in
+      let scatter =
+        (* <= cap: one leg per path, the fluid image of spraying every
+           packet; beyond the cap, sample. *)
+        Array.init p (fun i ->
+            let choice = if paths <= scatter_cap then i else Rng.int rng paths in
+            leg cfg net ~src ~dst ~choice ~weight:w)
+      in
+      let plan = Mmptcp.Strategy.plan strategy.Mmptcp.Strategy.switch in
+      match
+        (plan.Mmptcp.Strategy.switch_after_bytes,
+         plan.Mmptcp.Strategy.switch_after_time)
+      with
+      | None, None ->
+        (* Never, or Congestion_event — loss has no fluid analogue. *)
+        (scatter, None)
+      | _ ->
+        ( scatter,
+          Some
+            {
+              Engine.sw_plan = plan;
+              sw_legs = mptcp_legs ~subflows ~coupled:true;
+            } )
+    end
+
+let live_of ~src_id ~dst_id ~size ~is_long ~start c =
+  {
+    Flow_model.l_src = src_id;
+    l_dst = dst_id;
+    l_size = size;
+    l_long = is_long;
+    l_start = start;
+    l_fct = (fun () -> Engine.conn_fct c);
+    l_rtos = (fun () -> 0);
+    l_frtx = (fun () -> 0);
+    l_bytes = (fun () -> Engine.conn_bytes c);
+  }
+
+let start_flow (cfg : Flow_model.config) net ~rng ~src_id ~dst_id ~size
+    ~is_long =
+  let start = Sim_engine.Scheduler.now net.topo.Topology.sched in
+  let legs, switch =
+    transport_plan cfg net ~rng ~src:src_id ~dst:dst_id ~assume_switched:false
+  in
+  let c =
+    Engine.start net.engine ?switch ~legs ~size ~on_complete:(fun _ -> ()) ()
+  in
+  live_of ~src_id ~dst_id ~size ~is_long ~start c
+
+let net_stats net =
+  Engine.finalize net.engine;
+  let layer_util layer =
+    match Topology.layer_links net.topo layer with
+    | [] -> 0.
+    | ls ->
+      List.fold_left
+        (fun acc l ->
+          acc +. Engine.link_utilisation net.engine ~link:(Link.id l))
+        0. ls
+      /. float_of_int (List.length ls)
+  in
+  {
+    (* No queues, no drops: fluid loss is identically zero. *)
+    Flow_model.ns_core_loss = 0.;
+    ns_agg_loss = 0.;
+    ns_core_utilisation = layer_util Sim_net.Layer.Core_layer;
+  }

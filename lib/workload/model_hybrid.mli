@@ -1,0 +1,6 @@
+(** Hybrid flow model: packet-level until [handoff_bytes] have been
+    carried, fluid after, with bidirectional residual-capacity
+    coupling between the engines (see DESIGN.md §4k). Flows at or
+    below the threshold run purely packet-level. *)
+
+include Flow_model.BACKEND

@@ -1,0 +1,115 @@
+(* Packet-level flow model: the full TCP/DCTCP/MPTCP/MMPTCP stacks
+   over queues and switches. This is the reference-fidelity backend;
+   the code is the scenario driver's original start_flow, unchanged,
+   so packet-model runs remain byte-identical across the flow-model
+   refactor. *)
+
+module Scheduler = Sim_engine.Scheduler
+module Rng = Sim_engine.Rng
+module Topology = Sim_net.Topology
+module Host = Sim_net.Host
+
+type net = Topology.t
+
+let build ~sched (cfg : Flow_model.config) =
+  Flow_model.build_topology ~sched cfg.Flow_model.topo
+
+let host_count = Topology.host_count
+let name (net : net) = net.Topology.name
+
+(* [on_complete] additionally reports whether an MMPTCP connection had
+   already switched to its multipath phase when it finished — the
+   hybrid model resumes the fluid stage in the matching phase. *)
+let start_flow_ext (cfg : Flow_model.config) (net : net) ~rng ~src_id ~dst_id
+    ~size ~is_long ~on_complete =
+  let sched = net.Topology.sched in
+  let src = Topology.host net src_id and dst = Topology.host net dst_id in
+  let start = Scheduler.now sched in
+  match cfg.Flow_model.protocol with
+  | Flow_model.Tcp_proto ->
+    let f =
+      Sim_tcp.Flow.start ~src ~dst ~size ~params:cfg.Flow_model.params
+        ~on_complete:(fun _ -> on_complete ~switched:false)
+        ()
+    in
+    {
+      Flow_model.l_src = src_id;
+      l_dst = dst_id;
+      l_size = size;
+      l_long = is_long;
+      l_start = start;
+      l_fct = (fun () -> Sim_tcp.Flow.fct f);
+      l_rtos = (fun () -> (Sim_tcp.Tcp_tx.stats (Sim_tcp.Flow.tx f)).Sim_tcp.Tcp_tx.rto_events);
+      l_frtx = (fun () -> (Sim_tcp.Tcp_tx.stats (Sim_tcp.Flow.tx f)).Sim_tcp.Tcp_tx.fast_rtx_events);
+      l_bytes = (fun () -> Sim_tcp.Flow.bytes_received f);
+    }
+  | Flow_model.Dctcp_proto ->
+    let f =
+      Sim_tcp.Flow.start ~src ~dst ~size ~params:cfg.Flow_model.params
+        ~cc:(fun w -> Sim_dctcp.Dctcp.make w)
+        ~on_complete:(fun _ -> on_complete ~switched:false)
+        ()
+    in
+    {
+      Flow_model.l_src = src_id;
+      l_dst = dst_id;
+      l_size = size;
+      l_long = is_long;
+      l_start = start;
+      l_fct = (fun () -> Sim_tcp.Flow.fct f);
+      l_rtos = (fun () -> (Sim_tcp.Tcp_tx.stats (Sim_tcp.Flow.tx f)).Sim_tcp.Tcp_tx.rto_events);
+      l_frtx = (fun () -> (Sim_tcp.Tcp_tx.stats (Sim_tcp.Flow.tx f)).Sim_tcp.Tcp_tx.fast_rtx_events);
+      l_bytes = (fun () -> Sim_tcp.Flow.bytes_received f);
+    }
+  | Flow_model.Mptcp_proto { subflows; coupled } ->
+    let c =
+      Sim_mptcp.Mptcp_conn.start ~src ~dst ~size ~subflows
+        ~params:cfg.Flow_model.params ~coupled
+        ~on_complete:(fun _ -> on_complete ~switched:false)
+        ()
+    in
+    {
+      Flow_model.l_src = src_id;
+      l_dst = dst_id;
+      l_size = size;
+      l_long = is_long;
+      l_start = start;
+      l_fct = (fun () -> Sim_mptcp.Mptcp_conn.fct c);
+      l_rtos = (fun () -> Sim_mptcp.Mptcp_conn.rto_events c);
+      l_frtx = (fun () -> Sim_mptcp.Mptcp_conn.fast_rtx_events c);
+      l_bytes = (fun () -> Sim_mptcp.Mptcp_conn.bytes_received c);
+    }
+  | Flow_model.Mmptcp_proto strategy ->
+    let paths = net.Topology.path_count (Host.addr src) (Host.addr dst) in
+    let c =
+      Mmptcp.Mmptcp_conn.start ~src ~dst ~size ~rng:(Rng.split rng) ~strategy
+        ~params:cfg.Flow_model.params ~paths
+        ~on_complete:(fun c ->
+          on_complete
+            ~switched:(Mmptcp.Mmptcp_conn.phase c = Mmptcp.Mmptcp_conn.Multipath))
+        ()
+    in
+    {
+      Flow_model.l_src = src_id;
+      l_dst = dst_id;
+      l_size = size;
+      l_long = is_long;
+      l_start = start;
+      l_fct = (fun () -> Mmptcp.Mmptcp_conn.fct c);
+      l_rtos = (fun () -> Mmptcp.Mmptcp_conn.rto_events c);
+      l_frtx = (fun () -> Mmptcp.Mmptcp_conn.fast_rtx_events c);
+      l_bytes = (fun () -> Mmptcp.Mmptcp_conn.bytes_received c);
+    }
+
+let start_flow cfg net ~rng ~src_id ~dst_id ~size ~is_long =
+  start_flow_ext cfg net ~rng ~src_id ~dst_id ~size ~is_long
+    ~on_complete:(fun ~switched:_ -> ())
+
+let net_stats (net : net) =
+  {
+    Flow_model.ns_core_loss =
+      Topology.layer_loss_rate net Sim_net.Layer.Core_layer;
+    ns_agg_loss = Topology.layer_loss_rate net Sim_net.Layer.Agg_layer;
+    ns_core_utilisation =
+      Topology.layer_utilisation net Sim_net.Layer.Core_layer;
+  }

@@ -1,0 +1,19 @@
+(** Packet-level flow model (reference fidelity): the full
+    TCP / DCTCP / MPTCP / MMPTCP stacks over queues and switches. *)
+
+include Flow_model.BACKEND with type net = Sim_net.Topology.t
+
+val start_flow_ext :
+  Flow_model.config ->
+  net ->
+  rng:Sim_engine.Rng.t ->
+  src_id:int ->
+  dst_id:int ->
+  size:int ->
+  is_long:bool ->
+  on_complete:(switched:bool -> unit) ->
+  Flow_model.live
+(** [start_flow] plus a completion hook — the hybrid model's handoff
+    point. [switched] reports whether an MMPTCP connection finished in
+    its multipath phase (always [false] for the other protocols), so
+    the fluid continuation can resume in the matching phase. *)

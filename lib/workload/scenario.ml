@@ -1,37 +1,39 @@
 module Time = Sim_engine.Sim_time
 module Scheduler = Sim_engine.Scheduler
 module Rng = Sim_engine.Rng
-module Topology = Sim_net.Topology
-module Host = Sim_net.Host
 
-type protocol =
+(* The flow-mechanics types live in {!Flow_model}; re-exported here by
+   equation so experiment code keeps writing [Scenario.Tcp_proto] and
+   [{ default_config with ... }] unchanged. *)
+
+type model = Flow_model.kind =
+  | Packet
+  | Fluid
+  | Hybrid of { handoff_bytes : int }
+
+type protocol = Flow_model.protocol =
   | Tcp_proto
   | Dctcp_proto
   | Mptcp_proto of { subflows : int; coupled : bool }
   | Mmptcp_proto of Mmptcp.Strategy.t
 
-type topology_kind =
+type topology_kind = Flow_model.topology_kind =
   | Fattree_topo of Sim_net.Fattree.params
   | Multihomed_topo of Sim_net.Multihomed.params
   | Vl2_topo of Sim_net.Vl2.params
   | Dumbbell_topo of { pairs : int; bottleneck : Sim_net.Topology.link_spec }
 
-type obs_cfg = {
+type obs_cfg = Flow_model.obs_cfg = {
   probe_interval : Time.t option;
   probe_conns : int list option;
   trace_level : Sim_engine.Trace.level option;
   trace_components : string list option;
 }
 
-let default_obs =
-  {
-    probe_interval = None;
-    probe_conns = None;
-    trace_level = None;
-    trace_components = None;
-  }
+let default_obs = Flow_model.default_obs
 
-type config = {
+type config = Flow_model.config = {
+  model : model;
   topo : topology_kind;
   protocol : protocol;
   seed : int;
@@ -46,46 +48,11 @@ type config = {
   obs : obs_cfg;
 }
 
-(* Link configuration for the paper experiments: 100 Mb/s with
-   50-packet drop-tail queues. Shallower than ns-3's 100-packet
-   default — at 100 Mb/s a full 100-packet queue adds 12 ms of skew,
-   deeper than the shared-memory switches of the paper's era; 50
-   packets keeps queueing delay in the regime where the paper's
-   observed FCT distributions (most shorts < 100 ms) are achievable. *)
-let paper_link_spec =
-  { Sim_net.Topology.default_link_spec with queue_capacity = 50 }
-
-let paper_fattree ?(k = 4) ?(oversub = 4) () =
-  {
-    (Sim_net.Fattree.default_params ~k ~oversub ()) with
-    Sim_net.Fattree.host_spec = paper_link_spec;
-    fabric_spec = paper_link_spec;
-  }
-
-let default_config =
-  {
-    topo = Fattree_topo (paper_fattree ());
-    protocol = Mptcp_proto { subflows = 8; coupled = true };
-    seed = 1;
-    tm = Traffic_matrix.Permutation;
-    long_fraction = 1. /. 3.;
-    long_size = 1_000_000_000;
-    short_size = 70_000;
-    short_flows = 1_000;
-    short_rate = 25.;
-    horizon = Time.of_sec 20.;
-    params = Sim_tcp.Tcp_params.default;
-    obs = default_obs;
-  }
-
-let protocol_name = function
-  | Tcp_proto -> "tcp"
-  | Dctcp_proto -> "dctcp"
-  | Mptcp_proto { subflows; coupled } ->
-    Printf.sprintf "mptcp-%d%s" subflows (if coupled then "" else "-uncoupled")
-  | Mmptcp_proto s ->
-    Printf.sprintf "mmptcp-%d[%s]" s.Mmptcp.Strategy.subflows
-      (Mmptcp.Strategy.switch_to_string s.Mmptcp.Strategy.switch)
+let paper_link_spec = Flow_model.paper_link_spec
+let paper_fattree = Flow_model.paper_fattree
+let default_config = Flow_model.default_config
+let protocol_name = Flow_model.protocol_name
+let model_name = Flow_model.kind_to_string
 
 type flow_result = {
   id : int;
@@ -100,7 +67,7 @@ type flow_result = {
   bytes_received : int;
 }
 
-type net_stats = {
+type net_stats = Flow_model.net_stats = {
   ns_core_loss : float;
   ns_agg_loss : float;
   ns_core_utilisation : float;
@@ -116,102 +83,23 @@ type result = {
   obs : Sim_obs.Capture.t option;
 }
 
-(* A live flow: how to read its outcome after the run. *)
-type live = {
-  l_src : int;
-  l_dst : int;
-  l_size : int;
-  l_long : bool;
-  l_start : Time.t;
-  l_fct : unit -> Time.t option;
-  l_rtos : unit -> int;
-  l_frtx : unit -> int;
-  l_bytes : unit -> int;
-}
+let backend : model -> (module Flow_model.BACKEND) = function
+  | Packet -> (module Model_packet)
+  | Fluid -> (module Model_fluid)
+  | Hybrid _ -> (module Model_hybrid)
 
-let build_topology ~sched = function
-  | Fattree_topo p -> Sim_net.Fattree.create ~sched p
-  | Multihomed_topo p -> Sim_net.Multihomed.create ~sched p
-  | Vl2_topo p -> Sim_net.Vl2.create ~sched p
-  | Dumbbell_topo { pairs; bottleneck } ->
-    Sim_net.Dumbbell.create ~sched ~bottleneck_spec:bottleneck ~pairs ()
-
-let start_flow cfg ~net ~rng ~src_id ~dst_id ~size ~is_long =
-  let sched = net.Topology.sched in
-  let src = Topology.host net src_id and dst = Topology.host net dst_id in
-  let start = Scheduler.now sched in
-  match cfg.protocol with
-  | Tcp_proto ->
-    let f = Sim_tcp.Flow.start ~src ~dst ~size ~params:cfg.params () in
-    {
-      l_src = src_id;
-      l_dst = dst_id;
-      l_size = size;
-      l_long = is_long;
-      l_start = start;
-      l_fct = (fun () -> Sim_tcp.Flow.fct f);
-      l_rtos = (fun () -> (Sim_tcp.Tcp_tx.stats (Sim_tcp.Flow.tx f)).Sim_tcp.Tcp_tx.rto_events);
-      l_frtx = (fun () -> (Sim_tcp.Tcp_tx.stats (Sim_tcp.Flow.tx f)).Sim_tcp.Tcp_tx.fast_rtx_events);
-      l_bytes = (fun () -> Sim_tcp.Flow.bytes_received f);
-    }
-  | Dctcp_proto ->
-    let f =
-      Sim_tcp.Flow.start ~src ~dst ~size ~params:cfg.params
-        ~cc:(fun w -> Sim_dctcp.Dctcp.make w)
-        ()
-    in
-    {
-      l_src = src_id;
-      l_dst = dst_id;
-      l_size = size;
-      l_long = is_long;
-      l_start = start;
-      l_fct = (fun () -> Sim_tcp.Flow.fct f);
-      l_rtos = (fun () -> (Sim_tcp.Tcp_tx.stats (Sim_tcp.Flow.tx f)).Sim_tcp.Tcp_tx.rto_events);
-      l_frtx = (fun () -> (Sim_tcp.Tcp_tx.stats (Sim_tcp.Flow.tx f)).Sim_tcp.Tcp_tx.fast_rtx_events);
-      l_bytes = (fun () -> Sim_tcp.Flow.bytes_received f);
-    }
-  | Mptcp_proto { subflows; coupled } ->
-    let c =
-      Sim_mptcp.Mptcp_conn.start ~src ~dst ~size ~subflows ~params:cfg.params
-        ~coupled ()
-    in
-    {
-      l_src = src_id;
-      l_dst = dst_id;
-      l_size = size;
-      l_long = is_long;
-      l_start = start;
-      l_fct = (fun () -> Sim_mptcp.Mptcp_conn.fct c);
-      l_rtos = (fun () -> Sim_mptcp.Mptcp_conn.rto_events c);
-      l_frtx = (fun () -> Sim_mptcp.Mptcp_conn.fast_rtx_events c);
-      l_bytes = (fun () -> Sim_mptcp.Mptcp_conn.bytes_received c);
-    }
-  | Mmptcp_proto strategy ->
-    let paths =
-      net.Topology.path_count (Host.addr src) (Host.addr dst)
-    in
-    let c =
-      Mmptcp.Mmptcp_conn.start ~src ~dst ~size ~rng:(Rng.split rng) ~strategy
-        ~params:cfg.params ~paths ()
-    in
-    {
-      l_src = src_id;
-      l_dst = dst_id;
-      l_size = size;
-      l_long = is_long;
-      l_start = start;
-      l_fct = (fun () -> Mmptcp.Mmptcp_conn.fct c);
-      l_rtos = (fun () -> Mmptcp.Mmptcp_conn.rto_events c);
-      l_frtx = (fun () -> Mmptcp.Mmptcp_conn.fast_rtx_events c);
-      l_bytes = (fun () -> Mmptcp.Mmptcp_conn.bytes_received c);
-    }
+(* Payload of one pooled arrival event: which host fires, how much it
+   sends. The destination is drawn from the traffic matrix at fire
+   time (so it reflects matrix state in arrival order), exactly as the
+   per-event closures this pool replaced did. *)
+type arrival = { ar_host : int; ar_size : int; ar_long : bool }
 
 let run ?(progress = fun _ -> ()) (cfg : config) =
   (* The scheduler owns all per-simulation state (clock, event heap,
      and the Sim_ctx identifier counters), so a run is self-contained:
      same [cfg] in, same result out, regardless of what else runs in
      this process — or concurrently on other domains. *)
+  let (module B : Flow_model.BACKEND) = backend cfg.model in
   let sched = Scheduler.create () in
   let trace = Sim_engine.Sim_ctx.trace (Scheduler.ctx sched) in
   (match cfg.obs.trace_level with
@@ -220,8 +108,9 @@ let run ?(progress = fun _ -> ()) (cfg : config) =
   (match cfg.obs.trace_components with
    | Some _ as cs -> Sim_engine.Trace.set_components trace cs
    | None -> ());
-  (* The probe must exist before the topology: queue gauges register at
-     queue construction, and the registry is consulted only then. *)
+  (* The probe must exist before the network: queue and engine gauges
+     register at construction, and the registry is consulted only
+     then. *)
   let probe =
     match cfg.obs.probe_interval with
     | Some interval ->
@@ -233,8 +122,8 @@ let run ?(progress = fun _ -> ()) (cfg : config) =
     | None -> None
   in
   let rng = Rng.create ~seed:cfg.seed in
-  let net = build_topology ~sched cfg.topo in
-  let n = Topology.host_count net in
+  let net = B.build ~sched cfg in
+  let n = B.host_count net in
   let tm = Traffic_matrix.create ~rng:(Rng.split rng) ~hosts:n cfg.tm in
   (* Role assignment: shuffle, take the first fraction as long hosts.
      Incast matrices constrain short senders to the fan-in set. *)
@@ -253,17 +142,21 @@ let run ?(progress = fun _ -> ()) (cfg : config) =
   in
   let lives = ref [] in
   let note l = lives := l :: !lives in
+  let arrivals =
+    Scheduler.Event.pool sched ~fire:(fun a ->
+        let dst = Traffic_matrix.dest tm ~src:a.ar_host in
+        note
+          (B.start_flow cfg net ~rng ~src_id:a.ar_host ~dst_id:dst
+             ~size:a.ar_size ~is_long:a.ar_long))
+  in
   (* Long background flows start near t=0 with a little jitter so their
      slow starts do not synchronise. *)
   Array.iter
     (fun h ->
       let jitter = Time.of_us (Rng.float rng 10_000.) in
       ignore
-        (Scheduler.schedule_after sched jitter (fun () ->
-             let dst = Traffic_matrix.dest tm ~src:h in
-             note
-               (start_flow cfg ~net ~rng ~src_id:h ~dst_id:dst
-                  ~size:cfg.long_size ~is_long:true))))
+        (Scheduler.Event.schedule_after arrivals jitter
+           { ar_host = h; ar_size = cfg.long_size; ar_long = true }))
     long_hosts;
   (* Short flows: Poisson process per short host; the global flow
      budget is spread evenly across hosts. *)
@@ -281,22 +174,19 @@ let run ?(progress = fun _ -> ()) (cfg : config) =
           let gap = Rng.exponential rng ~mean:(1. /. cfg.short_rate) in
           t := Time.add !t (Time.of_sec gap);
           ignore
-            (Scheduler.schedule_at sched !t (fun () ->
-                 let dst = Traffic_matrix.dest tm ~src:h in
-                 note
-                   (start_flow cfg ~net ~rng ~src_id:h ~dst_id:dst
-                      ~size:cfg.short_size ~is_long:false)))
+            (Scheduler.Event.schedule_at arrivals !t
+               { ar_host = h; ar_size = cfg.short_size; ar_long = false })
         done)
       short_hosts
   end;
   progress
     (Printf.sprintf "scenario: %s on %s, %d hosts (%d long, %d short senders)"
-       (protocol_name cfg.protocol) net.Topology.name n long_count num_short);
+       (protocol_name cfg.protocol) (B.name net) n long_count num_short);
   Scheduler.run ~until:cfg.horizon sched;
-  let collect l =
+  let collect (l : Flow_model.live) =
     {
       id = 0;
-      src = l.l_src;
+      src = l.Flow_model.l_src;
       dst = l.l_dst;
       flow_size = l.l_size;
       is_long = l.l_long;
@@ -323,13 +213,7 @@ let run ?(progress = fun _ -> ()) (cfg : config) =
     config = cfg;
     shorts;
     longs;
-    net =
-      {
-        ns_core_loss = Topology.layer_loss_rate net Sim_net.Layer.Core_layer;
-        ns_agg_loss = Topology.layer_loss_rate net Sim_net.Layer.Agg_layer;
-        ns_core_utilisation =
-          Topology.layer_utilisation net Sim_net.Layer.Core_layer;
-      };
+    net = B.net_stats net;
     events = Scheduler.events_processed sched;
     duration = Scheduler.now sched;
     obs = Option.map Sim_engine.Probe.capture probe;

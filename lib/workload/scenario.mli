@@ -3,17 +3,28 @@
     Reproduces the paper's Figure 1 setup: a fraction of hosts run
     long (background) flows; the rest emit fixed-size short flows
     scheduled by a Poisson process; everyone follows a traffic matrix;
-    a single transport protocol serves the whole data centre. *)
+    a single transport protocol serves the whole data centre.
+
+    The driver is flow-model-agnostic: [config.model] selects the
+    engine that serves the flows (packet stacks, fluid rate processes,
+    or the hybrid handoff — see {!Flow_model}), and results carry the
+    same shape for all three. *)
 
 module Time = Sim_engine.Sim_time
 
-type protocol =
+type model = Flow_model.kind =
+  | Packet  (** full packet-level stacks (reference fidelity) *)
+  | Fluid  (** flows as rate processes, analytic FCTs *)
+  | Hybrid of { handoff_bytes : int }
+      (** packet until the threshold, fluid after *)
+
+type protocol = Flow_model.protocol =
   | Tcp_proto
   | Dctcp_proto  (** requires ECN-enabled link specs in the topology *)
   | Mptcp_proto of { subflows : int; coupled : bool }
   | Mmptcp_proto of Mmptcp.Strategy.t
 
-type topology_kind =
+type topology_kind = Flow_model.topology_kind =
   | Fattree_topo of Sim_net.Fattree.params
   | Multihomed_topo of Sim_net.Multihomed.params
   | Vl2_topo of Sim_net.Vl2.params
@@ -22,7 +33,7 @@ type topology_kind =
 (** Observability switches, all off by default. Probing and tracing
     are read-only taps: they never change flow behaviour, only add
     sampler timer events to the schedule. *)
-type obs_cfg = {
+type obs_cfg = Flow_model.obs_cfg = {
   probe_interval : Time.t option;
       (** sample registered gauges every this much virtual time *)
   probe_conns : int list option;
@@ -34,7 +45,8 @@ type obs_cfg = {
 
 val default_obs : obs_cfg
 
-type config = {
+type config = Flow_model.config = {
+  model : model;  (** which engine serves the flows *)
   topo : topology_kind;
   protocol : protocol;
   seed : int;
@@ -57,10 +69,13 @@ val paper_fattree : ?k:int -> ?oversub:int -> unit -> Sim_net.Fattree.params
 (** FatTree parameters using {!paper_link_spec} everywhere. *)
 
 val default_config : config
-(** k=4 oversub=4 FatTree on {!paper_link_spec}, MPTCP 8 subflows,
-    permutation TM, 1/3 long hosts, 70 KB shorts. *)
+(** k=4 oversub=4 FatTree on {!paper_link_spec}, packet model, MPTCP 8
+    subflows, permutation TM, 1/3 long hosts, 70 KB shorts. *)
 
 val protocol_name : protocol -> string
+
+val model_name : model -> string
+(** ["packet"], ["fluid"], ["hybrid:BYTES"]. *)
 
 type flow_result = {
   id : int;  (** ordinal by start time within its class *)
@@ -75,7 +90,7 @@ type flow_result = {
   bytes_received : int;
 }
 
-type net_stats = {
+type net_stats = Flow_model.net_stats = {
   ns_core_loss : float;
   ns_agg_loss : float;
   ns_core_utilisation : float;

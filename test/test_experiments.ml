@@ -36,7 +36,7 @@ let tiny_result () =
     {
       (Scale.scenario_config
          { Scale.k = 4; oversub = 1; flows = 20; rate = 50.; seed = 5; horizon_s = 3.;
-           obs = Scenario.default_obs }
+           model = Scenario.Packet; obs = Scenario.default_obs }
          ~protocol:Scenario.Tcp_proto)
       with
       Scenario.topo = Scenario.Fattree_topo (Scenario.paper_fattree ~k:4 ~oversub:1 ());

@@ -279,7 +279,7 @@ let test_flowmon_unaffected_by_probe () =
 
 let obs_scale ~seed ~obs =
   { Scale.k = 4; oversub = 2; flows = 10; rate = 50.; seed; horizon_s = 1.;
-    obs }
+    model = Scenario.Packet; obs }
 
 let scenario_cfg ~seed ~obs =
   Scale.scenario_config (obs_scale ~seed ~obs)

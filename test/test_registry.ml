@@ -128,7 +128,8 @@ let canonical =
   [
     "fig1a"; "fig1b"; "fig1c"; "table1"; "ext-switching"; "ext-load";
     "ext-hotspot"; "ext-multihomed"; "ext-coexist"; "ext-dupack";
-    "ext-topologies"; "ext-matrices"; "ext-sack";
+    "ext-topologies"; "ext-matrices"; "ext-sack"; "ext-fluid-xval";
+    "ext-scale";
   ]
 
 let test_registry_names () =
