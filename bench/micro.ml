@@ -130,6 +130,30 @@ let tcp_transfer_probed () =
   let c = Sim_engine.Probe.capture probe in
   assert (Array.length c.Sim_obs.Capture.samples > 0)
 
+(* Same transfer with the flow ledger recording: bounds the cost of
+   per-flow lifecycle accounting on the packet path. The unledgered
+   packet:tcp-70KB case is the A side of the A/B — the ledger hooks
+   are present but disabled there, so any drift in that number against
+   the recorded BENCH_engine.json is the price of having the ledger
+   compiled in and off (target: within noise). *)
+let tcp_transfer_ledgered () =
+  let sched = Scheduler.create () in
+  let ledger = Sim_engine.Sim_ctx.ledger (Scheduler.ctx sched) in
+  Sim_obs.Flow_ledger.enable ledger ~clock_ns:(fun () ->
+      Stime.to_ns (Scheduler.now sched));
+  let net = Sim_net.Dumbbell.direct ~sched () in
+  let f =
+    Sim_tcp.Flow.start
+      ~src:(Sim_net.Topology.host net 0)
+      ~dst:(Sim_net.Topology.host net 1)
+      ~size:70_000 ()
+  in
+  Sim_obs.Flow_ledger.on_start ledger ~conn:(Sim_tcp.Flow.conn f) ~src:0 ~dst:1
+    ~size:70_000 ~long:false;
+  Scheduler.run ~until:(Stime.of_sec 5.) sched;
+  assert (Sim_tcp.Flow.is_complete f);
+  assert (Sim_obs.Flow_ledger.count ledger = 1)
+
 (* ------------------------------------------------------------------ *)
 (* fig1a inner loop: one MMPTCP scenario at tiny scale — what the
    fig1a experiment runs once per (flow-size, protocol) point. *)
@@ -173,6 +197,44 @@ let fluid_flows () =
   Scheduler.run sched;
   assert (!completed = 10_000)
 
+(* The same 10k-flow fluid drive with the ledger recording every
+   lifecycle: per-flow cost of a ledger cell plus the hook writes the
+   engine makes (handshake, completion) — what `--ledger` adds to an
+   ext-scale-sized run. *)
+let ledger_fluid_flows () =
+  let sched = Scheduler.create () in
+  let ledger = Sim_engine.Sim_ctx.ledger (Scheduler.ctx sched) in
+  Sim_obs.Flow_ledger.enable ledger ~clock_ns:(fun () ->
+      Stime.to_ns (Scheduler.now sched));
+  let eng = Sim_fluid.Engine.make ~sched ~cap_bps:(Array.make 64 1e9) () in
+  let completed = ref 0 in
+  for i = 0 to 9_999 do
+    let at = Stime.of_us (float_of_int i *. 100.) in
+    ignore
+      (Scheduler.schedule_at sched at (fun () ->
+           let c =
+             Sim_fluid.Engine.start eng
+               ~legs:
+                 [|
+                   {
+                     Sim_fluid.Engine.path = [| i mod 32; 32 + (i * 7 mod 32) |];
+                     weight = 1.;
+                     rtt_s = 1e-4;
+                   };
+                 |]
+               ~size:70_000
+               ~on_complete:(fun _ -> incr completed)
+               ()
+           in
+           Sim_obs.Flow_ledger.on_start ledger
+             ~conn:(Sim_fluid.Engine.conn_id c) ~src:(i mod 32)
+             ~dst:(32 + (i * 7 mod 32))
+             ~size:70_000 ~long:false))
+  done;
+  Scheduler.run sched;
+  assert (!completed = 10_000);
+  assert (Sim_obs.Flow_ledger.count ledger = 10_000)
+
 (* hybrid path: a tiny-scale FatTree scenario where every 70 KB short
    flow starts packet-level and promotes to fluid at 10 KB — the
    handoff machinery (byte-threshold watch, leg re-resolution,
@@ -200,8 +262,10 @@ let benchmarks =
     ("packet:link-hop-64", packet_hop);
     ("packet:tcp-70KB", tcp_transfer);
     ("obs:tcp-70KB-probed", tcp_transfer_probed);
+    ("obs:tcp-70KB-ledgered", tcp_transfer_ledgered);
     ("fig1a:inner-loop", fig1a_inner);
     ("fluid:10k-flows", fluid_flows);
+    ("obs:ledger-10k-flows", ledger_fluid_flows);
     ("hybrid:handoff-1k", hybrid_handoff);
   ]
 
@@ -212,7 +276,13 @@ let benchmarks =
    These get a pinned config instead: every sample executes the body
    exactly once ([~start:1 ~sampling:(`Linear 0)]), a fixed number of
    times, so two invocations of the suite do identical work. *)
-let heavy = [ "fig1a:inner-loop"; "fluid:10k-flows"; "hybrid:handoff-1k" ]
+let heavy =
+  [
+    "fig1a:inner-loop";
+    "fluid:10k-flows";
+    "obs:ledger-10k-flows";
+    "hybrid:handoff-1k";
+  ]
 
 (* Per benchmark: (name, ns/run, minor words/run). Minor words are the
    allocation-pressure number the packet-pool and typed-event work

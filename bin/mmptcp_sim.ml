@@ -117,10 +117,28 @@ let obs_term =
             "Restrict --trace output to these component tags (e.g. \
              tcp_tx,pktqueue).")
   in
-  let make probe_interval probe_conns trace_level trace_components =
-    { Scenario.probe_interval; probe_conns; trace_level; trace_components }
+  let ledger =
+    Arg.(
+      value & flag
+      & info [ "ledger" ]
+          ~doc:
+            "Record every flow's lifecycle (arrival, handshake, phase \
+             switch, hybrid promotion, RTO/fast-retransmit counts, bytes, \
+             completion, FCT) in the flow ledger and export per-flow CSV \
+             and JSONL plus an FCT-percentile summary via --out. Identical \
+             across --model, --jobs and --exec-mode.")
   in
-  Term.(const make $ probe_interval $ probe $ trace $ trace_components)
+  let make probe_interval probe_conns trace_level trace_components ledger =
+    {
+      Scenario.probe_interval;
+      probe_conns;
+      trace_level;
+      trace_components;
+      ledger;
+    }
+  in
+  Term.(
+    const make $ probe_interval $ probe $ trace $ trace_components $ ledger)
 
 let scale_term =
   let k =
@@ -253,6 +271,18 @@ let exec_mode_term =
 let worker_term =
   Arg.(value & flag & info [ "worker" ] ~docs:Manpage.s_none)
 
+let prof_term =
+  Arg.(
+    value & flag
+    & info [ "prof" ]
+        ~doc:
+          "Self-profile the run: wrap every experiment point in a \
+           wall-clock + GC allocation span (measured in whichever worker \
+           domain or process ran the point) and write one \
+           $(b,prof-EXPERIMENT) artifact per experiment with a TOTAL row. \
+           Span values are host measurements, so they only render under \
+           --out; without it a fixed note is printed instead.")
+
 let out_term =
   Arg.(
     value
@@ -285,26 +315,26 @@ let worker_argv () =
   argv.(0) <- Sys.executable_name;
   Array.append argv [| "--worker" |]
 
-let run_registry experiments jobs exec_mode worker out scale =
+let run_registry experiments jobs exec_mode worker out prof scale =
   if worker then begin
     Registry.worker ~clock:Unix.gettimeofday scale experiments;
     0
   end
   else begin
     Registry.run ~clock:Unix.gettimeofday ?out ?git:(git_describe ())
-      ~exec_mode ~worker_argv:(worker_argv ()) ~jobs scale experiments;
+      ~exec_mode ~worker_argv:(worker_argv ()) ~prof ~jobs scale experiments;
     0
   end
 
 let experiment_cmd e =
-  let run jobs exec_mode worker out scale =
-    run_registry [ e ] jobs exec_mode worker out scale
+  let run jobs exec_mode worker out prof scale =
+    run_registry [ e ] jobs exec_mode worker out prof scale
   in
   Cmd.v
     (Cmd.info (Experiment.name e) ~doc:(Experiment.doc e))
     Term.(
       const run $ jobs_term $ exec_mode_term $ worker_term $ out_term
-      $ scale_term)
+      $ prof_term $ scale_term)
 
 let only_conv =
   let parse s =
@@ -335,7 +365,7 @@ let all_cmd =
             "Restrict to a comma-separated subset of experiments; they run \
              and render in registry order regardless of the order given.")
   in
-  let run only jobs exec_mode worker out scale =
+  let run only jobs exec_mode worker out prof scale =
     let experiments =
       match only with
       | None -> Registry.all
@@ -344,7 +374,7 @@ let all_cmd =
         | Ok es -> es
         | Error _ -> assert false (* validated by only_conv *))
     in
-    run_registry experiments jobs exec_mode worker out scale
+    run_registry experiments jobs exec_mode worker out prof scale
   in
   Cmd.v
     (Cmd.info "all"
@@ -354,7 +384,7 @@ let all_cmd =
           between experiments, and results render in registry order.")
     Term.(
       const run $ only $ jobs_term $ exec_mode_term $ worker_term $ out_term
-      $ scale_term)
+      $ prof_term $ scale_term)
 
 let cmds = List.map experiment_cmd Registry.all @ [ all_cmd ]
 

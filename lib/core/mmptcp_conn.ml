@@ -44,6 +44,9 @@ let rec trigger_switch t =
   if t.phase = Packet_scatter && not (Dataplane.is_complete t.plane) then begin
     t.phase <- Multipath;
     t.switched_at <- Some (Scheduler.now t.sched);
+    Sim_obs.Flow_ledger.on_phase_switch
+      (Sim_engine.Sim_ctx.ledger (Scheduler.ctx t.sched))
+      ~conn:t.conn;
     Sim_obs.Metrics.emit
       (Sim_engine.Sim_ctx.metrics (Scheduler.ctx t.sched))
       ~kind:"phase_switch" ~conn:t.conn
@@ -133,6 +136,9 @@ let start ~src ~dst ~size ~rng ?(strategy = Strategy.default)
               (match t.switch_timer with
               | Some tm -> Scheduler.Timer.cancel tm
               | None -> ());
+              Sim_obs.Flow_ledger.on_complete
+                (Sim_engine.Sim_ctx.ledger (Scheduler.ctx sched))
+                ~conn;
               on_complete t);
         sched;
         src;

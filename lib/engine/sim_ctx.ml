@@ -6,6 +6,7 @@ type t = {
   mutable next_queue_id : int;
   trace : Trace.t;
   metrics : Sim_obs.Metrics.t;
+  ledger : Sim_obs.Flow_ledger.t;
   mutable ext : ext option;
   mutable pool_live : int;
 }
@@ -17,6 +18,7 @@ let create () =
     next_queue_id = 0;
     trace = Trace.create ();
     metrics = Sim_obs.Metrics.create ();
+    ledger = Sim_obs.Flow_ledger.create ();
     ext = None;
     pool_live = 0;
   }
@@ -38,5 +40,6 @@ let pool_track t delta = t.pool_live <- t.pool_live + delta
 
 let trace t = t.trace
 let metrics t = t.metrics
+let ledger t = t.ledger
 let ext t = t.ext
 let set_ext t e = t.ext <- Some e

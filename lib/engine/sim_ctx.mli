@@ -52,6 +52,11 @@ val metrics : t -> Sim_obs.Metrics.t
     turns it on before components are constructed. Per-simulation for
     the same reason as {!trace}. *)
 
+val ledger : t -> Sim_obs.Flow_ledger.t
+(** This simulation's flow-lifecycle ledger. Created disabled;
+    [Sim_workload.Scenario] turns it on before flows arrive.
+    Per-simulation for the same reason as {!trace}. *)
+
 val ext : t -> ext option
 (** The extension slot, [None] until {!set_ext}. *)
 

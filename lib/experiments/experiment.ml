@@ -14,13 +14,16 @@ type ('p, 'r) spec = {
   render : Scale.t -> ('p * 'r) list -> unit;
   sinks : Scale.t -> ('p * 'r) list -> Sink.table list;
   capture : 'r -> Sim_obs.Capture.t option;
+  ledger : 'r -> Sim_obs.Flow_ledger.dump option;
 }
 
 type t = E : ('p, 'r) spec -> t
 
 let make ~name ~doc ~points ~point_label ~run_point ~render
-    ?(sinks = fun _ _ -> []) ?(capture = fun _ -> None) () =
-  E { name; doc; points; point_label; run_point; render; sinks; capture }
+    ?(sinks = fun _ _ -> []) ?(capture = fun _ -> None)
+    ?(ledger = fun _ -> None) () =
+  E
+    { name; doc; points; point_label; run_point; render; sinks; capture; ledger }
 
 let name (E s) = s.name
 let doc (E s) = s.doc
@@ -49,12 +52,14 @@ type instance = {
   i_jobs : job list;
   i_finish : unit -> Sink.artifact list;
   i_point_seconds : unit -> (string * float) list;
+  i_point_spans : unit -> (string * Prof.span) list;
 }
 
 let instance_name i = i.i_name
 let instance_jobs i = i.i_jobs
 let finish i = i.i_finish ()
 let point_seconds i = i.i_point_seconds ()
+let point_spans i = i.i_point_spans ()
 
 let instantiate ?(clock = fun () -> 0.) (E s) scale =
   let points = Array.of_list (s.points scale) in
@@ -62,15 +67,15 @@ let instantiate ?(clock = fun () -> 0.) (E s) scale =
   let labels = Array.map s.point_label points in
   let results = Array.make n None in
   let seconds = Array.make n 0. in
+  let spans = Array.make n Prof.zero in
   let job i =
     {
       j_label = labels.(i);
       j_owner = s.name;
       j_run =
         (fun () ->
-          let t0 = clock () in
-          let r =
-            try s.run_point scale points.(i)
+          let r, sp =
+            try Prof.measure ~clock (fun () -> s.run_point scale points.(i))
             with e ->
               let bt = Printexc.get_raw_backtrace () in
               Printexc.raise_with_backtrace
@@ -78,21 +83,24 @@ let instantiate ?(clock = fun () -> 0.) (E s) scale =
                    { experiment = s.name; point = labels.(i); exn = e })
                 bt
           in
-          seconds.(i) <- clock () -. t0;
+          seconds.(i) <- sp.Prof.sp_wall_s;
+          spans.(i) <- sp;
           results.(i) <- Some r);
-      (* The serial pair lives where ['r] is in scope, so the bytes a
-         worker produces unmarshal back at the matching slot's type in
-         the coordinator — the only place Marshal's type-unsafety
+      (* The serial triple lives where ['r] is in scope, so the bytes
+         a worker produces unmarshal back at the matching slot's type
+         in the coordinator — the only place Marshal's type-unsafety
          could bite, closed off by construction. *)
       j_serial =
         (fun () ->
-          let t0 = clock () in
-          let r = s.run_point scale points.(i) in
-          Marshal.to_string (clock () -. t0, r) []);
+          let r, sp =
+            Prof.measure ~clock (fun () -> s.run_point scale points.(i))
+          in
+          Marshal.to_string (sp.Prof.sp_wall_s, sp, r) []);
       j_accept =
         (fun payload ->
-          let dt, r = Marshal.from_string payload 0 in
+          let dt, sp, r = Marshal.from_string payload 0 in
           seconds.(i) <- dt;
+          spans.(i) <- sp;
           results.(i) <- Some r);
     }
   in
@@ -123,8 +131,18 @@ let instantiate ?(clock = fun () -> 0.) (E s) scale =
               Option.map (fun c -> (s.point_label p, c)) (s.capture r))
             prs
         in
-        tables @ Probe_sink.artifacts ~experiment:s.name captures);
+        let ledgers =
+          List.filter_map
+            (fun (p, r) ->
+              Option.map (fun d -> (s.point_label p, d)) (s.ledger r))
+            prs
+        in
+        tables
+        @ Probe_sink.artifacts ~experiment:s.name captures
+        @ Ledger_sink.artifacts ~experiment:s.name ledgers);
     i_point_seconds =
       (fun () ->
         Array.to_list (Array.mapi (fun i l -> (l, seconds.(i))) labels));
+    i_point_spans =
+      (fun () -> Array.to_list (Array.mapi (fun i l -> (l, spans.(i))) labels));
   }

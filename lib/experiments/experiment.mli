@@ -31,6 +31,10 @@ type ('p, 'r) spec = {
       (** extract the probe capture from a point result, if the result
           type carries one ([Scenario.result.obs]); rendered by
           {!Probe_sink} into per-point time-series artifacts *)
+  ledger : 'r -> Sim_obs.Flow_ledger.dump option;
+      (** extract the flow-ledger dump from a point result, if the
+          result type carries one ([Scenario.result.ledger]); rendered
+          by {!Ledger_sink} into per-flow lifecycle artifacts *)
 }
 
 type t = E : ('p, 'r) spec -> t  (** packed: point/result types are internal *)
@@ -44,6 +48,7 @@ val make :
   render:(Scale.t -> ('p * 'r) list -> unit) ->
   ?sinks:(Scale.t -> ('p * 'r) list -> Sink.table list) ->
   ?capture:('r -> Sim_obs.Capture.t option) ->
+  ?ledger:('r -> Sim_obs.Flow_ledger.dump option) ->
   unit ->
   t
 
@@ -102,10 +107,17 @@ val instance_jobs : instance -> job list
 
 val finish : instance -> Sink.artifact list
 (** Render the experiment (prints via {!Report}) and return its sink
-    artifacts: the declared tables plus any probe time-series
-    artifacts extracted via [capture]. Must be called after every job
-    of the instance has run — [Invalid_argument] otherwise. *)
+    artifacts: the declared tables, any probe time-series artifacts
+    extracted via [capture], and any flow-ledger artifacts extracted
+    via [ledger]. Must be called after every job of the instance has
+    run — [Invalid_argument] otherwise. *)
 
 val point_seconds : instance -> (string * float) list
 (** Per-point (label, duration) as measured by [clock], in [points]
     order; meaningful only after the jobs ran. *)
+
+val point_spans : instance -> (string * Prof.span) list
+(** Per-point (label, profiling span) in [points] order — wall time
+    plus [Gc] allocation deltas, measured wherever the point ran
+    (worker domain or worker process); meaningful only after the jobs
+    ran. Rendered by {!Registry.run} under [--prof]. *)

@@ -164,4 +164,5 @@ let experiment =
     ~run_point:(fun _scale (_, _, cfg) -> Scenario.run cfg)
     ~render ~sinks
     ~capture:(fun r -> r.Scenario.obs)
+    ~ledger:(fun r -> r.Scenario.ledger)
     ()

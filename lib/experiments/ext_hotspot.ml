@@ -56,4 +56,5 @@ let experiment =
     ~point_label:(fun (name, _) -> name)
     ~run_point:(fun scale (_, protocol) ->
       Scenario.run { (Scale.scenario_config scale ~protocol) with Scenario.tm })
-    ~render ~sinks ~capture:(fun r -> r.Scenario.obs) ()
+    ~render ~sinks ~capture:(fun r -> r.Scenario.obs)
+    ~ledger:(fun r -> r.Scenario.ledger) ()

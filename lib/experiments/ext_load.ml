@@ -64,4 +64,5 @@ let experiment =
     ~point_label:(fun (rate, name, _) -> Printf.sprintf "rate=%.0f %s" rate name)
     ~run_point:(fun scale (rate, _, protocol) ->
       Scenario.run (Scale.scenario_config { scale with Scale.rate } ~protocol))
-    ~render ~sinks ~capture:(fun r -> r.Scenario.obs) ()
+    ~render ~sinks ~capture:(fun r -> r.Scenario.obs)
+    ~ledger:(fun r -> r.Scenario.ledger) ()

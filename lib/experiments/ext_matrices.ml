@@ -66,4 +66,5 @@ let experiment =
     ~point_label:(fun (mname, _, pname, _) -> mname ^ " " ^ pname)
     ~run_point:(fun scale (_, tm, _, protocol) ->
       Scenario.run { (Scale.scenario_config scale ~protocol) with Scenario.tm })
-    ~render ~sinks ~capture:(fun r -> r.Scenario.obs) ()
+    ~render ~sinks ~capture:(fun r -> r.Scenario.obs)
+    ~ledger:(fun r -> r.Scenario.ledger) ()

@@ -77,4 +77,5 @@ let experiment =
     ~point_label:(fun (tname, _, pname, _) -> tname ^ " " ^ pname)
     ~run_point:(fun scale (_, topo, _, protocol) ->
       Scenario.run { (Scale.scenario_config scale ~protocol) with Scenario.topo })
-    ~render ~sinks ~capture:(fun r -> r.Scenario.obs) ()
+    ~render ~sinks ~capture:(fun r -> r.Scenario.obs)
+    ~ledger:(fun r -> r.Scenario.ledger) ()

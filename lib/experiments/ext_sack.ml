@@ -61,4 +61,5 @@ let experiment =
           base with
           Scenario.params = { base.Scenario.params with Sim_tcp.Tcp_params.sack };
         })
-    ~render ~sinks ~capture:(fun r -> r.Scenario.obs) ()
+    ~render ~sinks ~capture:(fun r -> r.Scenario.obs)
+    ~ledger:(fun r -> r.Scenario.ledger) ()

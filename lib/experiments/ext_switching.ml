@@ -64,4 +64,5 @@ let experiment =
       let strategy = { Strategy.default with Strategy.switch } in
       Scenario.run
         (Scale.scenario_config scale ~protocol:(Scenario.Mmptcp_proto strategy)))
-    ~render ~sinks ~capture:(fun r -> r.Scenario.obs) ()
+    ~render ~sinks ~capture:(fun r -> r.Scenario.obs)
+    ~ledger:(fun r -> r.Scenario.ledger) ()

@@ -60,4 +60,5 @@ let experiment =
     ~points:(fun scale -> configs scale)
     ~point_label:(fun (n, _) -> Printf.sprintf "subflows=%d" n)
     ~run_point:(fun _scale (_, cfg) -> Scenario.run cfg)
-    ~render ~sinks ~capture:(fun r -> r.Scenario.obs) ()
+    ~render ~sinks ~capture:(fun r -> r.Scenario.obs)
+    ~ledger:(fun r -> r.Scenario.ledger) ()

@@ -69,7 +69,8 @@ let make ~tag ~title ~doc ~protocol =
       match pairs with
       | [ ((), r) ] -> render_one ~title scale r
       | _ -> assert false)
-    ~sinks:(sinks ~tag) ~capture:(fun r -> r.Scenario.obs) ()
+    ~sinks:(sinks ~tag) ~capture:(fun r -> r.Scenario.obs)
+    ~ledger:(fun r -> r.Scenario.ledger) ()
 
 let fig1b =
   make ~tag:"fig1b"

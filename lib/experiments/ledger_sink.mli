@@ -1,0 +1,24 @@
+(** Renders flow-ledger dumps into [--out] artifacts.
+
+    For every probed point the sink emits, under the prefix
+    [ledger-<experiment>-<label>]:
+
+    - a per-flow table (CSV + JSON): one row per flow in arrival
+      order — conn, endpoints, size, class, every lifecycle timestamp
+      (-1 when the event did not occur), FCT, retransmit counts,
+      bytes;
+    - a JSONL stream ([.jsonl]): the same records one JSON object per
+      line, sentinel timestamps omitted;
+    - an FCT-percentile summary table ([-summary]): p50/p90/p99/max
+      flow completion time in milliseconds by size class — the
+      paper's CDF inputs, straight from the ledger.
+
+    Everything is a pure function of the dump, so the artifacts are
+    byte-identical at any [--jobs] and in both exec modes. *)
+
+val artifacts :
+  experiment:string ->
+  (string * Sim_obs.Flow_ledger.dump) list ->
+  Sink.artifact list
+(** [artifacts ~experiment pairs] with [pairs] the (point label,
+    ledger dump) list in point order. *)

@@ -1,0 +1,73 @@
+(* Host-time self-profiling spans: wall-clock plus Gc allocation
+   deltas around each experiment point. A span is measured wherever
+   the point actually ran — in-process on a worker domain, or inside a
+   process-pool worker, whose span marshals back with the result — so
+   the coordinating process can render and total them no matter which
+   exec mode produced them. Values are host-side and therefore not
+   deterministic; the CI diff strips them and compares shape only. *)
+
+type span = {
+  sp_wall_s : float;
+  sp_minor_words : float;
+  sp_promoted_words : float;
+  sp_major_words : float;
+  sp_minor_gcs : int;
+  sp_major_gcs : int;
+}
+
+let zero =
+  {
+    sp_wall_s = 0.;
+    sp_minor_words = 0.;
+    sp_promoted_words = 0.;
+    sp_major_words = 0.;
+    sp_minor_gcs = 0;
+    sp_major_gcs = 0;
+  }
+
+let add a b =
+  {
+    sp_wall_s = a.sp_wall_s +. b.sp_wall_s;
+    sp_minor_words = a.sp_minor_words +. b.sp_minor_words;
+    sp_promoted_words = a.sp_promoted_words +. b.sp_promoted_words;
+    sp_major_words = a.sp_major_words +. b.sp_major_words;
+    sp_minor_gcs = a.sp_minor_gcs + b.sp_minor_gcs;
+    sp_major_gcs = a.sp_major_gcs + b.sp_major_gcs;
+  }
+
+let measure ~clock f =
+  let g0 = Gc.quick_stat () in
+  let t0 = clock () in
+  let r = f () in
+  let dt = clock () -. t0 in
+  let g1 = Gc.quick_stat () in
+  ( r,
+    {
+      sp_wall_s = dt;
+      sp_minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
+      sp_promoted_words = g1.Gc.promoted_words -. g0.Gc.promoted_words;
+      sp_major_words = g1.Gc.major_words -. g0.Gc.major_words;
+      sp_minor_gcs = g1.Gc.minor_collections - g0.Gc.minor_collections;
+      sp_major_gcs = g1.Gc.major_collections - g0.Gc.major_collections;
+    } )
+
+(* One table per experiment, one row per point plus a TOTAL row the
+   coordinator aggregates — this is where process-mode workers' spans
+   meet. *)
+let artifact ~experiment spans =
+  let total = List.fold_left (fun acc (_, s) -> add acc s) zero spans in
+  let rows = spans @ [ ("TOTAL", total) ] in
+  Sink.Table
+    (Sink.table
+       ~name:(Printf.sprintf "prof-%s" experiment)
+       ~columns:
+         [
+           ("point", fun (l, _) -> Sink.str l);
+           ("wall_s", fun (_, s) -> Sink.float s.sp_wall_s);
+           ("minor_words", fun (_, s) -> Sink.float s.sp_minor_words);
+           ("promoted_words", fun (_, s) -> Sink.float s.sp_promoted_words);
+           ("major_words", fun (_, s) -> Sink.float s.sp_major_words);
+           ("minor_gcs", fun (_, s) -> Sink.int s.sp_minor_gcs);
+           ("major_gcs", fun (_, s) -> Sink.int s.sp_major_gcs);
+         ]
+       rows)

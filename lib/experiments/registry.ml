@@ -66,8 +66,8 @@ let run_sharded ~jobs ~worker_argv queue =
            exn = Runner.Remote cause;
          })
 
-let run ?clock ?out ?git ?(exec_mode = Domains) ?worker_argv ~jobs scale
-    experiments =
+let run ?clock ?out ?git ?(exec_mode = Domains) ?worker_argv ?(prof = false)
+    ~jobs scale experiments =
   let now () = match clock with Some c -> c () | None -> 0. in
   let t0 = now () in
   let instances =
@@ -85,9 +85,29 @@ let run ?clock ?out ?git ?(exec_mode = Domains) ?worker_argv ~jobs scale
      ignore (Runner.par_map ~jobs Experiment.run_job queue : unit list));
   (* Render in registry order only after everything ran: this is what
      keeps stdout byte-identical at every job count. *)
-  let artifacts = List.map (fun i -> (i, Experiment.finish i)) instances in
+  let artifacts =
+    List.map
+      (fun i ->
+        let arts = Experiment.finish i in
+        let arts =
+          if prof then
+            arts
+            @ [
+                Prof.artifact
+                  ~experiment:(Experiment.instance_name i)
+                  (Experiment.point_spans i);
+              ]
+          else arts
+        in
+        (i, arts))
+      instances
+  in
   match out with
-  | None -> ()
+  | None ->
+    (* Span values are host-side and nondeterministic, so without an
+       artifact directory to absorb them there is nothing
+       reproducible to print — stdout stays byte-identical. *)
+    if prof then Report.printf "[--prof: profile dropped — pass --out DIR]\n"
   | Some dir ->
     let entries =
       List.map

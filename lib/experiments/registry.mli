@@ -33,6 +33,7 @@ val run :
   ?git:string ->
   ?exec_mode:exec_mode ->
   ?worker_argv:string array ->
+  ?prof:bool ->
   jobs:int ->
   Scale.t ->
   Experiment.t list ->
@@ -54,6 +55,14 @@ val run :
     hidden [--worker] flag) — and falls back to the sequential path
     when it is missing. A failed point raises {!Runner.Point_failed}
     (earliest point first) in either mode.
+
+    [prof] (default false) appends a [prof-<experiment>] artifact per
+    experiment — per-point wall-clock and [Gc] allocation spans with a
+    TOTAL row, measured wherever the point ran (worker domains, or
+    worker processes whose spans marshal back with the results).
+    Span values are host-side and nondeterministic, so they render
+    only under [out]; with [prof] but no [out] a fixed one-line note
+    is printed instead and stdout stays deterministic.
 
     [out] writes each experiment's sink tables (CSV + JSON) and a
     [manifest.json] (scale, jobs, [git], per-point timings from

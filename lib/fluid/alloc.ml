@@ -93,6 +93,13 @@ type 'a t = {
   mutable h_lvl : float array;
   mutable h_li : int array;
   mutable h_n : int;
+  (* self-profiling counters (monotonic; read by the engine's fluid
+     gauges — plain int stores, free enough to maintain unconditionally) *)
+  mutable s_live : int;  (* constrained flows currently registered *)
+  mutable s_flushes : int;
+  mutable s_waves : int;
+  mutable s_settles : int;
+  mutable s_heap_pops : int;
 }
 
 (* A flow whose path is empty (src = dst degenerate case) is never
@@ -134,6 +141,11 @@ let create ?(eps = 1e-3) ?(max_waves = 3) ~caps ~on_rate () =
     h_lvl = Array.make 256 0.;
     h_li = Array.make 256 0;
     h_n = 0;
+    s_live = 0;
+    s_flushes = 0;
+    s_waves = 0;
+    s_settles = 0;
+    s_heap_pops = 0;
   }
 
 let data f = f.f_data
@@ -222,6 +234,7 @@ let add t ~weight ~path ~data =
   in
   if Array.length f.f_path = 0 then f.f_st.fs_rate <- unconstrained_rate
   else begin
+    t.s_live <- t.s_live + 1;
     Array.iteri
       (fun j li ->
         f.f_slots.(j) <- push_member t li f;
@@ -234,6 +247,7 @@ let add t ~weight ~path ~data =
 let remove t ~now f =
   if not f.f_dead then begin
     f.f_dead <- true;
+    if Array.length f.f_path > 0 then t.s_live <- t.s_live - 1;
     Array.iteri
       (fun j li ->
         remove_member t ~link_idx:li ~slot:f.f_slots.(j);
@@ -300,6 +314,7 @@ let heap_push t lvl li =
 (* Pops the min entry into (h_lvl.(h_n), h_li.(h_n)) — read it right
    after the call; the slot is reused by the next push. *)
 let heap_pop t =
+  t.s_heap_pops <- t.s_heap_pops + 1;
   heap_swap t 0 (t.h_n - 1);
   t.h_n <- t.h_n - 1;
   let i = ref 0 in
@@ -353,6 +368,7 @@ let push_changed t f =
    scan per freezing round, which is what made population-wide waves
    on big fat-trees quadratic in the link count. *)
 let run_wave t ~now flows n =
+  t.s_waves <- t.s_waves + 1;
   t.wave <- t.wave + 1;
   let wave = t.wave in
   for i = 0 to n - 1 do
@@ -463,6 +479,7 @@ let run_wave t ~now flows n =
   done
 
 let flush t ~now =
+  if t.d_n > 0 then t.s_flushes <- t.s_flushes + 1;
   t.stamp <- t.stamp + 1;
   let waves = ref 0 in
   while t.d_n > 0 && !waves < t.max_waves do
@@ -530,6 +547,7 @@ let flush t ~now =
 let settle t ~now flows =
   let n = Array.length flows in
   if n > 0 then begin
+    t.s_settles <- t.s_settles + 1;
     t.stamp <- t.stamp + 1;
     run_wave t ~now flows n;
     for i = 0 to t.t_n - 1 do
@@ -546,3 +564,9 @@ let pending_dirty t =
     if not t.d_arr.(i).f_dead then incr n
   done;
   !n
+
+let live_flows t = t.s_live
+let flushes_run t = t.s_flushes
+let waves_run t = t.s_waves
+let settles_run t = t.s_settles
+let heap_pops t = t.s_heap_pops

@@ -99,3 +99,27 @@ val link_utilisation : 'a t -> link:int -> now:float -> float
 
 val pending_dirty : 'a t -> int
 (** Live flows awaiting recomputation (diagnostic). *)
+
+(** {2 Self-profiling counters}
+
+    Monotonic work counters maintained unconditionally (plain int
+    stores) and exposed as fluid-engine gauges — the allocator-health
+    view of a run: how many rebalance waves it took, how often the
+    quantum timer actually flushed, and how hard the water-filling
+    heap worked. *)
+
+val live_flows : 'a t -> int
+(** Constrained (non-empty-path) flows currently registered. *)
+
+val flushes_run : 'a t -> int
+(** [flush] calls that found dirty flows to process. *)
+
+val waves_run : 'a t -> int
+(** Water-filling waves executed (across [flush] ripple and [settle]). *)
+
+val settles_run : 'a t -> int
+(** Local [settle] passes executed. *)
+
+val heap_pops : 'a t -> int
+(** Bottleneck-heap pop operations — the water-filling inner-loop
+    work measure. *)

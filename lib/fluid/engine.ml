@@ -65,6 +65,8 @@ type conn = {
 and t = {
   sched : Scheduler.t;
   alloc : conn Alloc.t;
+  metrics : Sim_obs.Metrics.t;  (* per-sim registry; emits are one branch when off *)
+  ledger : Sim_obs.Flow_ledger.t;  (* per-sim flow ledger; same discipline *)
   mss : int;
   iw : int;
   flush_interval : float;  (* rate-rebalance quantum, seconds *)
@@ -110,7 +112,16 @@ let request_flush t =
     Scheduler.Timer.schedule_after tm (Time.of_sec t.flush_interval)
 
 let on_flush_timer t =
+  let dirty = Alloc.pending_dirty t.alloc in
   Alloc.flush t.alloc ~now:(now_s t);
+  if dirty > 0 && Sim_obs.Metrics.active t.metrics then
+    Sim_obs.Metrics.emit t.metrics ~kind:"fluid_rebalance"
+      ~info:
+        [
+          ("dirty", string_of_int dirty);
+          ("carried", string_of_int (Alloc.pending_dirty t.alloc));
+        ]
+      ();
   if Alloc.pending_dirty t.alloc > 0 then request_flush t
 
 (* Arm the connection's timer at an absolute float-second deadline
@@ -196,6 +207,7 @@ let do_switch c ~now =
     c.c_switched <- true;
     c.c_switch <- None;
     c.c_t.switched <- c.c_t.switched + 1;
+    Sim_obs.Flow_ledger.on_phase_switch c.c_t.ledger ~conn:c.c_id;
     remove_legs c ~now;
     c.c_leg_specs <- sw_legs;
     add_legs c sw_legs;
@@ -211,6 +223,7 @@ let complete c =
   Scheduler.Timer.cancel (the_timer c);
   t.active <- t.active - 1;
   t.completed <- t.completed + 1;
+  Sim_obs.Flow_ledger.on_complete t.ledger ~conn:c.c_id;
   c.c_on_complete c
 
 let enter_drain c ~now =
@@ -249,6 +262,7 @@ let go_running c =
   let now = now_s t in
   c.c_state <- Running;
   c.c_last_t <- now;
+  Sim_obs.Flow_ledger.on_handshake t.ledger ~conn:c.c_id;
   add_legs c c.c_leg_specs;
   (if c.c_slow_start then begin
      c.c_ss_cap <- float_of_int (t.iw * t.mss) /. c.c_rtt;
@@ -259,6 +273,11 @@ let go_running c =
      c.c_next_double <- infinity
    end);
   Alloc.settle t.alloc ~now c.c_legs;
+  (* The info list would allocate before [emit]'s own guard ran. *)
+  if Sim_obs.Metrics.active t.metrics then
+    Sim_obs.Metrics.emit t.metrics ~kind:"fluid_settle" ~conn:c.c_id
+      ~info:[ ("legs", string_of_int (Array.length c.c_legs)) ]
+      ();
   request_flush t;
   refresh_rate c ~now;
   step c ~now
@@ -293,6 +312,8 @@ let make ~sched ~cap_bps ?(params = Sim_tcp.Tcp_params.default)
          re-dirties the population anyway, so extra waves per flush
          redo the same work; convergence continues next quantum. *)
       alloc = Alloc.create ~max_waves:1 ~caps:cap_bps ~on_rate:on_leg_rate ();
+      metrics = Sim_engine.Sim_ctx.metrics (Scheduler.ctx sched);
+      ledger = Sim_engine.Sim_ctx.ledger (Scheduler.ctx sched);
       mss = params.Sim_tcp.Tcp_params.mss;
       iw = params.Sim_tcp.Tcp_params.initial_window;
       flush_interval;
@@ -313,8 +334,20 @@ let make ~sched ~cap_bps ?(params = Sim_tcp.Tcp_params.default)
      reg "active_conns" "conns" (fun () -> float_of_int t.active);
      reg "conns_completed" "conns" (fun () -> float_of_int t.completed);
      reg "phase_switches" "conns" (fun () -> float_of_int t.switched);
-     reg "dirty_flows" "flows" (fun () ->
-         float_of_int (Alloc.pending_dirty t.alloc))
+     reg "rebalance_pending" "flows" (fun () ->
+         float_of_int (Alloc.pending_dirty t.alloc));
+     (* Allocator work counters: how hard the incremental max-min
+        machinery is running (see Alloc's self-profiling section). *)
+     reg "alloc_live_flows" "flows" (fun () ->
+         float_of_int (Alloc.live_flows t.alloc));
+     reg "alloc_flushes" "flushes" (fun () ->
+         float_of_int (Alloc.flushes_run t.alloc));
+     reg "alloc_waves" "waves" (fun () ->
+         float_of_int (Alloc.waves_run t.alloc));
+     reg "alloc_settles" "settles" (fun () ->
+         float_of_int (Alloc.settles_run t.alloc));
+     reg "alloc_heap_pops" "pops" (fun () ->
+         float_of_int (Alloc.heap_pops t.alloc))
    end);
   t
 

@@ -30,6 +30,9 @@ let start ~src ~dst ~size ~subflows ?(params = Sim_tcp.Tcp_params.default)
         subflows;
         plane =
           Dataplane.create ~sched ~size ~on_complete:(fun () ->
+              Sim_obs.Flow_ledger.on_complete
+                (Sim_engine.Sim_ctx.ledger (Scheduler.ctx sched))
+                ~conn;
               on_complete (Lazy.force t));
         txs = [||];
         rxs = [||];

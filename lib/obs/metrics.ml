@@ -26,6 +26,12 @@ type t = {
   mutable hists_rev : (meta * Sim_stats.Histogram.t) list;
   mutable events_rev : event list;
   mutable n_events : int;
+  (* Conn-filter diagnostics: did any [want_conn] query ever match
+     while a filter was set? Lets the scenario layer reject a --probe
+     CONN list that matches nothing under the selected model instead
+     of silently rendering empty artifacts. *)
+  mutable filter_matched : bool;
+  mutable components_rev : string list;
 }
 
 let create () =
@@ -38,6 +44,8 @@ let create () =
     hists_rev = [];
     events_rev = [];
     n_events = 0;
+    filter_matched = false;
+    components_rev = [];
   }
 
 let enable t ?conns ~clock_ns () =
@@ -48,12 +56,29 @@ let enable t ?conns ~clock_ns () =
 let active t = t.on
 
 let want_conn t conn =
-  t.on && (match t.conns with None -> true | Some cs -> List.mem conn cs)
+  t.on
+  &&
+  match t.conns with
+  | None -> true
+  | Some cs ->
+    let hit = List.mem conn cs in
+    if hit then t.filter_matched <- true;
+    hit
+
+let conn_filter t = if t.on then t.conns else None
+let conn_filter_matched t = t.filter_matched
+
+let note_component t component =
+  if t.on && not (List.mem component t.components_rev) then
+    t.components_rev <- component :: t.components_rev
+
+let components t = List.rev t.components_rev
 
 let now_ns t = t.clock_ns ()
 
 let register t ~component ~id ~name ~units read =
   if t.on then begin
+    note_component t component;
     t.gauges_rev <- ({ component; id; name; units }, read) :: t.gauges_rev;
     t.n_gauges <- t.n_gauges + 1
   end
@@ -61,6 +86,7 @@ let register t ~component ~id ~name ~units read =
 let histogram t ~component ~id ~name ~units ~lo ~hi ~buckets =
   if not t.on then None
   else begin
+    note_component t component;
     let h = Sim_stats.Histogram.create ~lo ~hi ~buckets in
     t.hists_rev <- ({ component; id; name; units }, h) :: t.hists_rev;
     Some h

@@ -60,6 +60,21 @@ val want_conn : t -> int -> bool
 val now_ns : t -> int
 (** The registry's clock ([0] before {!enable}). *)
 
+val conn_filter : t -> int list option
+(** The [conns] restriction passed to {!enable} ([None] when the
+    registry is disabled or unrestricted). *)
+
+val conn_filter_matched : t -> bool
+(** Whether any {!want_conn} query (or conn-scoped {!emit}) matched
+    while a [conns] filter was set. Lets callers detect a filter that
+    named only nonexistent connections — which would otherwise render
+    perfectly empty artifacts — and fail loudly instead. *)
+
+val components : t -> string list
+(** Component names that registered at least one instrument, in first
+    registration order — i.e. what the simulation actually built
+    under the current model. Used in the mismatch diagnostic above. *)
+
 val register :
   t ->
   component:string ->

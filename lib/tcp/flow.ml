@@ -35,6 +35,9 @@ let start ~src ~dst ~size ?(params = Tcp_params.default) ?(cc = Reno.make)
       ignore (Intervals.add t.received ~start:dsn ~stop:(dsn + len));
       if Intervals.total t.received >= size then begin
         t.completed_at <- Some (Scheduler.now sched);
+        Sim_obs.Flow_ledger.on_complete
+          (Sim_engine.Sim_ctx.ledger (Scheduler.ctx sched))
+          ~conn;
         on_complete t
       end
     end
@@ -58,6 +61,9 @@ let start ~src ~dst ~size ?(params = Tcp_params.default) ?(cc = Reno.make)
      immediately for simplicity. *)
   if size = 0 then begin
     t.completed_at <- Some (Scheduler.now sched);
+    Sim_obs.Flow_ledger.on_complete
+      (Sim_engine.Sim_ctx.ledger (Scheduler.ctx sched))
+      ~conn;
     on_complete t
   end;
   Tcp_tx.connect tx;

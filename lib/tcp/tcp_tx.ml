@@ -88,6 +88,7 @@ type t = {
   st : stats;
   m : Sim_obs.Metrics.t option;  (* [Some] only when probing this conn *)
   hist_rtt : Sim_stats.Histogram.t option;
+  ledger : Sim_obs.Flow_ledger.t;  (* per-sim; every hook is one branch when off *)
 }
 
 let noop () = ()
@@ -183,6 +184,7 @@ let create ~host ~peer ~conn ~subflow ~params ~src_port ~dst_port ~source ~cc
         };
       m = metrics;
       hist_rtt;
+      ledger = Sim_engine.Sim_ctx.ledger (Scheduler.ctx (Host.sched host));
     }
   in
   t.cc <- cc (window t);
@@ -323,6 +325,7 @@ and on_rto t =
     end
   | Established when flight t > 0 ->
     t.st.rto_events <- t.st.rto_events + 1;
+    Sim_obs.Flow_ledger.on_rto t.ledger ~conn:t.conn;
     (match t.m with
      | Some m ->
        Sim_obs.Metrics.emit m ~kind:"rto_fired" ~conn:t.conn
@@ -406,6 +409,7 @@ let check_all_acked t =
 
 let enter_fast_recovery t =
   t.st.fast_rtx_events <- t.st.fast_rtx_events + 1;
+  Sim_obs.Flow_ledger.on_fast_rtx t.ledger ~conn:t.conn;
   (match t.m with
    | Some m ->
      Sim_obs.Metrics.emit m ~kind:"fast_retransmit" ~conn:t.conn
@@ -507,6 +511,7 @@ let handle t pkt =
       t.state <- Established;
       t.backoff <- 0;
       cancel_rto t;
+      Sim_obs.Flow_ledger.on_handshake t.ledger ~conn:t.conn;
       t.on_established ();
       try_send t;
       (* A zero-length flow completes immediately. *)

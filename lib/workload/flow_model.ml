@@ -47,6 +47,7 @@ type obs_cfg = {
   probe_conns : int list option;
   trace_level : Sim_engine.Trace.level option;
   trace_components : string list option;
+  ledger : bool;
 }
 
 let default_obs =
@@ -55,6 +56,7 @@ let default_obs =
     probe_conns = None;
     trace_level = None;
     trace_components = None;
+    ledger = false;
   }
 
 type config = {
@@ -122,6 +124,7 @@ type net_stats = {
 }
 
 type live = {
+  l_conn : int;
   l_src : int;
   l_dst : int;
   l_size : int;

@@ -59,6 +59,7 @@ type obs_cfg = {
   probe_conns : int list option;
   trace_level : Sim_engine.Trace.level option;
   trace_components : string list option;
+  ledger : bool;  (** record per-flow lifecycles in the flow ledger *)
 }
 
 val default_obs : obs_cfg
@@ -94,6 +95,7 @@ type net_stats = {
     are model-specific; the fluid engine has no retransmissions, so
     its [l_rtos]/[l_frtx] are constant 0. *)
 type live = {
+  l_conn : int;  (** transport connection id (ledger key) *)
   l_src : int;
   l_dst : int;
   l_size : int;

@@ -145,7 +145,8 @@ let transport_plan (cfg : Flow_model.config) net ~rng ~src ~dst ~assume_switched
 
 let live_of ~src_id ~dst_id ~size ~is_long ~start c =
   {
-    Flow_model.l_src = src_id;
+    Flow_model.l_conn = Engine.conn_id c;
+    l_src = src_id;
     l_dst = dst_id;
     l_size = size;
     l_long = is_long;

@@ -115,6 +115,11 @@ let start_flow (cfg : Flow_model.config) net ~rng ~src_id ~dst_id ~size
   else begin
     let stage1 = net.handoff in
     let fluid = ref None in
+    let ctx = Scheduler.ctx topo.Topology.sched in
+    let ledger = Sim_engine.Sim_ctx.ledger ctx in
+    (* Set once start_flow_ext returns, read when the packet stage
+       completes (always after start: the stage transfers >= 1 byte). *)
+    let pkt_conn = ref (-1) in
     let promote ~switched =
       let legs, switch =
         Model_fluid.transport_plan cfg net.fnet ~rng ~src:src_id ~dst:dst_id
@@ -127,14 +132,35 @@ let start_flow (cfg : Flow_model.config) net ~rng ~src_id ~dst_id ~size
           ()
       in
       fluid := Some c;
+      (* The fluid continuation's conn id becomes an alias of the
+         packet-stage ledger record, so stage-2 events land on the one
+         flow entry. [Engine.start ~handshake:false] runs [go_running]
+         synchronously, but its handshake hook hits an unaliased conn
+         and is dropped — the record keeps the packet-stage handshake
+         timestamp, which is the real one. *)
+      Sim_obs.Flow_ledger.on_promote ledger ~conn:!pkt_conn
+        ~cont:(Engine.conn_id c);
+      (let m = Sim_engine.Sim_ctx.metrics ctx in
+       (* The info list would allocate before [emit]'s own guard. *)
+       if Sim_obs.Metrics.active m then
+         Sim_obs.Metrics.emit m ~kind:"promotion" ~conn:!pkt_conn
+           ~info:
+             [
+               ("cont", string_of_int (Engine.conn_id c));
+               ("done_bytes", string_of_int stage1);
+               ("switched", string_of_bool switched);
+             ]
+           ());
       ensure_sampling net
     in
     let pl =
       Model_packet.start_flow_ext cfg topo ~rng ~src_id ~dst_id ~size:stage1
         ~is_long ~on_complete:(fun ~switched -> promote ~switched)
     in
+    pkt_conn := pl.Flow_model.l_conn;
     {
-      Flow_model.l_src = src_id;
+      Flow_model.l_conn = pl.Flow_model.l_conn;
+      l_src = src_id;
       l_dst = dst_id;
       l_size = size;
       l_long = is_long;

@@ -33,7 +33,8 @@ let start_flow_ext (cfg : Flow_model.config) (net : net) ~rng ~src_id ~dst_id
         ()
     in
     {
-      Flow_model.l_src = src_id;
+      Flow_model.l_conn = Sim_tcp.Flow.conn f;
+      l_src = src_id;
       l_dst = dst_id;
       l_size = size;
       l_long = is_long;
@@ -51,7 +52,8 @@ let start_flow_ext (cfg : Flow_model.config) (net : net) ~rng ~src_id ~dst_id
         ()
     in
     {
-      Flow_model.l_src = src_id;
+      Flow_model.l_conn = Sim_tcp.Flow.conn f;
+      l_src = src_id;
       l_dst = dst_id;
       l_size = size;
       l_long = is_long;
@@ -69,7 +71,8 @@ let start_flow_ext (cfg : Flow_model.config) (net : net) ~rng ~src_id ~dst_id
         ()
     in
     {
-      Flow_model.l_src = src_id;
+      Flow_model.l_conn = Sim_mptcp.Mptcp_conn.conn c;
+      l_src = src_id;
       l_dst = dst_id;
       l_size = size;
       l_long = is_long;
@@ -90,7 +93,8 @@ let start_flow_ext (cfg : Flow_model.config) (net : net) ~rng ~src_id ~dst_id
         ()
     in
     {
-      Flow_model.l_src = src_id;
+      Flow_model.l_conn = Mmptcp.Mmptcp_conn.conn c;
+      l_src = src_id;
       l_dst = dst_id;
       l_size = size;
       l_long = is_long;

@@ -28,6 +28,7 @@ type obs_cfg = Flow_model.obs_cfg = {
   probe_conns : int list option;
   trace_level : Sim_engine.Trace.level option;
   trace_components : string list option;
+  ledger : bool;
 }
 
 let default_obs = Flow_model.default_obs
@@ -81,6 +82,7 @@ type result = {
   events : int;
   duration : Time.t;
   obs : Sim_obs.Capture.t option;
+  ledger : Sim_obs.Flow_ledger.dump option;
 }
 
 let backend : model -> (module Flow_model.BACKEND) = function
@@ -121,6 +123,10 @@ let run ?(progress = fun _ -> ()) (cfg : config) =
       Some p
     | None -> None
   in
+  let ledger = Sim_engine.Sim_ctx.ledger (Scheduler.ctx sched) in
+  if cfg.obs.ledger then
+    Sim_obs.Flow_ledger.enable ledger ~clock_ns:(fun () ->
+        Time.to_ns (Scheduler.now sched));
   let rng = Rng.create ~seed:cfg.seed in
   let net = B.build ~sched cfg in
   let n = B.host_count net in
@@ -145,9 +151,18 @@ let run ?(progress = fun _ -> ()) (cfg : config) =
   let arrivals =
     Scheduler.Event.pool sched ~fire:(fun a ->
         let dst = Traffic_matrix.dest tm ~src:a.ar_host in
-        note
-          (B.start_flow cfg net ~rng ~src_id:a.ar_host ~dst_id:dst
-             ~size:a.ar_size ~is_long:a.ar_long))
+        let l =
+          B.start_flow cfg net ~rng ~src_id:a.ar_host ~dst_id:dst
+            ~size:a.ar_size ~is_long:a.ar_long
+        in
+        (* The arrival is the model-agnostic ledger anchor: it knows
+           the flow's full size (the hybrid model's packet stage only
+           sees its handoff slice) and runs before any transport event
+           can fire. *)
+        Sim_obs.Flow_ledger.on_start ledger ~conn:l.Flow_model.l_conn
+          ~src:l.Flow_model.l_src ~dst:l.Flow_model.l_dst
+          ~size:l.Flow_model.l_size ~long:l.Flow_model.l_long;
+        note l)
   in
   (* Long background flows start near t=0 with a little jitter so their
      slow starts do not synchronise. *)
@@ -183,7 +198,29 @@ let run ?(progress = fun _ -> ()) (cfg : config) =
     (Printf.sprintf "scenario: %s on %s, %d hosts (%d long, %d short senders)"
        (protocol_name cfg.protocol) (B.name net) n long_count num_short);
   Scheduler.run ~until:cfg.horizon sched;
+  (* A --probe CONN list that matched nothing under this model would
+     render perfectly empty per-connection artifacts; fail loudly with
+     what the model actually built instead. *)
+  (match (probe, cfg.obs.probe_conns) with
+  | Some _, Some (_ :: _ as want) ->
+    let m = Sim_engine.Sim_ctx.metrics (Scheduler.ctx sched) in
+    if not (Sim_obs.Metrics.conn_filter_matched m) then
+      failwith
+        (Printf.sprintf
+           "--probe %s matched no connection under --model %s; components \
+            this model registers: %s"
+           (String.concat "," (List.map string_of_int want))
+           (model_name cfg.model)
+           (match Sim_obs.Metrics.components m with
+           | [] -> "(none)"
+           | cs -> String.concat ", " cs))
+  | _ -> ());
   let collect (l : Flow_model.live) =
+    (* Finalize the ledger's byte counters from the live handle — the
+       transports count bytes in model-specific places; the handle is
+       the one uniform view. *)
+    Sim_obs.Flow_ledger.note_bytes ledger ~conn:l.Flow_model.l_conn
+      (l.Flow_model.l_bytes ());
     {
       id = 0;
       src = l.Flow_model.l_src;
@@ -217,6 +254,8 @@ let run ?(progress = fun _ -> ()) (cfg : config) =
     events = Scheduler.events_processed sched;
     duration = Scheduler.now sched;
     obs = Option.map Sim_engine.Probe.capture probe;
+    ledger =
+      (if cfg.obs.ledger then Some (Sim_obs.Flow_ledger.dump ledger) else None);
   }
 
 let short_fcts_ms r =

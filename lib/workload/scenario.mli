@@ -41,6 +41,9 @@ type obs_cfg = Flow_model.obs_cfg = {
   trace_level : Sim_engine.Trace.level option;
   trace_components : string list option;
       (** restrict trace output to these component tags *)
+  ledger : bool;
+      (** record every flow's lifecycle in the flow ledger
+          ({!Sim_obs.Flow_ledger}); the dump lands in [result.ledger] *)
 }
 
 val default_obs : obs_cfg
@@ -109,9 +112,16 @@ type result = {
   duration : Time.t;  (** simulated time actually elapsed *)
   obs : Sim_obs.Capture.t option;
       (** probe capture, when [config.obs.probe_interval] was set *)
+  ledger : Sim_obs.Flow_ledger.dump option;
+      (** per-flow lifecycle records in arrival order, when
+          [config.obs.ledger] was set — identical across flow models,
+          job counts and exec modes *)
 }
 
 val run : ?progress:(string -> unit) -> config -> result
+(** Raises [Failure] when [config.obs.probe_conns] names only
+    connections that never existed under the selected model — the
+    message lists the components the model actually registered. *)
 
 (** {1 Result accessors} *)
 
